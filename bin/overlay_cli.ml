@@ -1,0 +1,414 @@
+(* Command-line front end: run any of the paper's experiments at any
+   scale, or solve ad-hoc instances with the four algorithms. *)
+
+open Cmdliner
+
+let mode_conv =
+  let parse = function
+    | "ip" -> Ok Overlay.Ip
+    | "arbitrary" | "arb" -> Ok Overlay.Arbitrary
+    | s -> Error (`Msg (Printf.sprintf "unknown routing mode %S (ip|arbitrary)" s))
+  in
+  let print fmt m =
+    Format.fprintf fmt "%s"
+      (match m with Overlay.Ip -> "ip" | Overlay.Arbitrary -> "arbitrary")
+  in
+  Arg.conv (parse, print)
+
+let seed =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let nodes =
+  Arg.(
+    value & opt int 100
+    & info [ "nodes" ] ~docv:"N" ~doc:"Router count of the Waxman topology (Setup A).")
+
+let mode =
+  Arg.(
+    value & opt mode_conv Overlay.Ip
+    & info [ "mode" ] ~docv:"MODE" ~doc:"Routing mode: ip (Sec. II) or arbitrary (Sec. V).")
+
+let ratios =
+  Arg.(
+    value
+    & opt (list float) Exp_tables.paper_ratios
+    & info [ "ratios" ] ~docv:"R,..." ~doc:"Approximation ratios to sweep.")
+
+let sizes =
+  Arg.(
+    value & opt (list int) [ 7; 5 ]
+    & info [ "sizes" ] ~docv:"S,..." ~doc:"Session sizes (Setup A).")
+
+let demand =
+  Arg.(value & opt float 100.0 & info [ "demand" ] ~docv:"D" ~doc:"Session demand.")
+
+let make_setup seed nodes sizes demand =
+  Setup.make_a ~seed
+    {
+      Setup.default_a with
+      Setup.n_nodes = nodes;
+      session_sizes = Array.of_list sizes;
+      demand;
+    }
+
+(* --- tables ------------------------------------------------------------ *)
+
+let tables_cmd =
+  let run seed nodes sizes demand mode ratios =
+    let setup = make_setup seed nodes sizes demand in
+    let mf = Exp_tables.maxflow_sweep setup ~mode ~ratios in
+    print_string
+      (Exp_tables.render_mf
+         ~title:
+           (match mode with
+           | Overlay.Ip -> "Table II (MaxFlow, IP routing)"
+           | Overlay.Arbitrary -> "Table VII (MaxFlow, arbitrary routing)")
+         mf);
+    let mcf =
+      Exp_tables.mcf_sweep setup ~mode ~ratios
+        ~scaling:Max_concurrent_flow.Maxflow_weighted
+    in
+    print_string
+      (Exp_tables.render_mcf
+         ~title:
+           (match mode with
+           | Overlay.Ip -> "Table IV (MaxConcurrentFlow, IP routing)"
+           | Overlay.Arbitrary -> "Table VIII (MaxConcurrentFlow, arbitrary routing)")
+         mcf)
+  in
+  let doc = "Reproduce Tables II/IV (ip mode) or VII/VIII (arbitrary mode)." in
+  Cmd.v
+    (Cmd.info "tables" ~doc)
+    Term.(const run $ seed $ nodes $ sizes $ demand $ mode $ ratios)
+
+(* --- figures (Setup A) --------------------------------------------------- *)
+
+let figures_cmd =
+  let run seed nodes sizes demand mode ratios tree_limit repeats =
+    let setup = make_setup seed nodes sizes demand in
+    let mf = Exp_tables.maxflow_sweep setup ~mode ~ratios in
+    let mf_sols =
+      List.map
+        (fun (r : Exp_tables.mf_row) ->
+          (r.Exp_tables.ratio, r.Exp_tables.result.Max_flow.solution))
+        mf
+    in
+    let header, data = Exp_figures.tree_rate_distribution mf_sols ~slot:0 in
+    print_string
+      (Tableau.series ~title:"Fig 2a: tree rate distribution, session 1 (MaxFlow)"
+         ~columns:header data);
+    let header, data = Exp_figures.tree_rate_distribution mf_sols ~slot:1 in
+    print_string
+      (Tableau.series ~title:"Fig 2b: tree rate distribution, session 2 (MaxFlow)"
+         ~columns:header data);
+    let header, data =
+      Exp_figures.link_utilization_distribution setup ~mode mf_sols
+    in
+    print_string
+      (Tableau.series ~title:"Fig 4a: link utilization (MaxFlow)" ~columns:header data);
+    let limits = List.init tree_limit (fun i -> i + 1) in
+    let random =
+      Exp_figures.random_series setup ~mode ~ratio:0.95 ~tree_limits:limits ~repeats
+    in
+    let online =
+      Exp_figures.online_series setup ~mode ~sigma:30.0 ~tree_limits:limits ~repeats
+    in
+    print_string
+      (Exp_figures.render_limited ~title:"Fig 5a: overall throughput"
+         ~columns:[ "max_trees"; "random"; "online_sigma_30" ]
+         ~metric:(fun p -> p.Exp_figures.throughput)
+         [ random; online ]);
+    print_string
+      (Exp_figures.render_limited ~title:"Fig 5b: rate of session 2"
+         ~columns:[ "max_trees"; "random"; "online_sigma_30" ]
+         ~metric:(fun p -> p.Exp_figures.session_rates.(1))
+         [ random; online ]);
+    print_string
+      (Exp_figures.render_limited ~title:"Fig 6: distinct trees, session 1"
+         ~columns:[ "max_trees"; "random"; "online_sigma_30" ]
+         ~metric:(fun p -> p.Exp_figures.distinct_trees.(0))
+         [ random; online ])
+  in
+  let tree_limit =
+    Arg.(
+      value & opt int 20
+      & info [ "max-trees" ] ~docv:"N" ~doc:"Largest tree budget for Figs 5/6.")
+  in
+  let repeats =
+    Arg.(
+      value & opt int 100
+      & info [ "repeats" ] ~docv:"N" ~doc:"Randomized repetitions to average.")
+  in
+  let doc = "Reproduce the Setup-A figures (2-11, mode selects IP/arbitrary)." in
+  Cmd.v
+    (Cmd.info "figures" ~doc)
+    Term.(
+      const run $ seed $ nodes $ sizes $ demand $ mode $ ratios $ tree_limit
+      $ repeats)
+
+(* --- eval (Setup B surfaces) ---------------------------------------------- *)
+
+let eval_cmd =
+  let run seed n_as routers counts sizes limits repeats =
+    let grid =
+      Exp_eval.small_grid ~n_as ~routers
+        ~session_counts:(Array.of_list counts)
+        ~session_sizes:(Array.of_list sizes) ~seed
+    in
+    let cells = Exp_eval.run_grid grid in
+    print_string
+      (Exp_eval.surface grid cells
+         ~field:(fun c -> c.Exp_eval.mf_throughput)
+         ~title:"Fig 12: overall throughput (MaxFlow)");
+    print_string
+      (Exp_eval.surface grid cells
+         ~field:(fun c -> c.Exp_eval.edges_per_node)
+         ~title:"Fig 13: physical edges per overlay node");
+    print_string
+      (Exp_eval.surface grid cells
+         ~field:(fun c -> c.Exp_eval.mcf_min_rate)
+         ~title:"Fig 15: minimum session rate (MCF)");
+    print_string
+      (Exp_eval.surface grid cells
+         ~field:(fun c -> c.Exp_eval.throughput_ratio)
+         ~title:"Fig 16: throughput ratio (MCF/MF)");
+    List.iter
+      (fun n ->
+        let mcf_txt, mf_txt =
+          Exp_eval.fig14 grid ~n_sessions:n ~sizes:(Array.of_list sizes)
+        in
+        print_string mcf_txt;
+        print_string mf_txt;
+        print_string (Exp_eval.fig17 grid ~n_sessions:n ~sizes:(Array.of_list sizes)))
+      counts;
+    List.iter
+      (fun limit ->
+        let online =
+          Exp_eval.run_online_grid grid ~tree_limit:limit ~sigma:10.0 ~repeats
+        in
+        print_string
+          (Exp_eval.online_surface grid online
+             ~field:(fun c -> c.Exp_eval.throughput_ratio_vs_mf)
+             ~title:
+               (Printf.sprintf "Fig 18: online/MF throughput ratio (%d trees)" limit));
+        print_string
+          (Exp_eval.online_surface grid online
+             ~field:(fun c -> c.Exp_eval.minrate_ratio_vs_mcf)
+             ~title:
+               (Printf.sprintf "Fig 19: online/MCF min-rate ratio (%d trees)" limit)))
+      limits
+  in
+  let n_as =
+    Arg.(value & opt int 10 & info [ "as" ] ~docv:"N" ~doc:"Number of ASes.")
+  in
+  let routers =
+    Arg.(value & opt int 100 & info [ "routers" ] ~docv:"N" ~doc:"Routers per AS.")
+  in
+  let counts =
+    Arg.(
+      value
+      & opt (list int) [ 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+      & info [ "counts" ] ~docv:"N,..." ~doc:"Session-count axis.")
+  in
+  let sizes =
+    Arg.(
+      value
+      & opt (list int) [ 10; 20; 30; 40; 50; 60; 70; 80; 90 ]
+      & info [ "sizes" ] ~docv:"S,..." ~doc:"Session-size axis.")
+  in
+  let limits =
+    Arg.(
+      value & opt (list int) [ 5; 60 ]
+      & info [ "tree-limits" ] ~docv:"N,..." ~doc:"Tree budgets for Figs 18/19.")
+  in
+  let repeats =
+    Arg.(
+      value & opt int 10
+      & info [ "repeats" ] ~docv:"N" ~doc:"Arrival orders to average (online).")
+  in
+  let doc = "Reproduce the Sec. VI surfaces (Figs 12-19) on the two-level topology." in
+  Cmd.v
+    (Cmd.info "eval" ~doc)
+    Term.(const run $ seed $ n_as $ routers $ counts $ sizes $ limits $ repeats)
+
+(* --- solve: ad-hoc instances ------------------------------------------------ *)
+
+let solve_cmd =
+  let run seed nodes sizes demand mode algorithm ratio sigma =
+    let setup = make_setup seed nodes sizes demand in
+    let g = setup.Setup.topology.Topology.graph in
+    let overlays = Setup.overlays setup mode in
+    let describe sol =
+      let t =
+        Tableau.create ~title:"solution"
+          [ "session"; "members"; "rate"; "trees" ]
+      in
+      Array.iteri
+        (fun i s ->
+          Tableau.add_row t
+            [
+              string_of_int i;
+              string_of_int (Session.size s);
+              Printf.sprintf "%.2f" (Solution.session_rate sol i);
+              string_of_int (Solution.n_trees sol i);
+            ])
+        setup.Setup.sessions;
+      Tableau.print t;
+      Printf.printf
+        "overall throughput: %.2f | min rate: %.2f | jain: %.3f | feasible: %b\n"
+        (Solution.overall_throughput sol)
+        (Solution.min_rate sol)
+        (Metrics.fairness_index sol)
+        (Solution.is_feasible sol g ~tol:1e-6)
+    in
+    match algorithm with
+    | "maxflow" ->
+      let r = Max_flow.solve g overlays ~epsilon:(Max_flow.ratio_to_epsilon ratio) in
+      Printf.printf "MaxFlow: %d iterations, %d MST operations\n"
+        r.Max_flow.iterations r.Max_flow.mst_operations;
+      describe r.Max_flow.solution
+    | "mcf" ->
+      let r =
+        Max_concurrent_flow.solve g overlays
+          ~epsilon:(Max_concurrent_flow.ratio_to_epsilon ratio)
+          ~scaling:Max_concurrent_flow.Maxflow_weighted
+      in
+      Printf.printf "MaxConcurrentFlow: %d phases, %d+%d MST operations\n"
+        r.Max_concurrent_flow.phases r.Max_concurrent_flow.main_mst_operations
+        r.Max_concurrent_flow.pre_mst_operations;
+      describe r.Max_concurrent_flow.solution
+    | "online" ->
+      let r = Online.solve g overlays ~sigma in
+      Printf.printf "Online: lmax %.3f\n" r.Online.lmax;
+      describe r.Online.solution
+    | "single-tree" ->
+      let r = Baseline.single_tree g overlays in
+      Printf.printf "Single tree baseline: lmax %.3f\n" r.Baseline.lmax;
+      describe r.Baseline.solution
+    | other -> Printf.eprintf "unknown algorithm %S\n" other
+  in
+  let algorithm =
+    Arg.(
+      value & opt string "maxflow"
+      & info [ "algorithm"; "a" ] ~docv:"ALG"
+          ~doc:"maxflow | mcf | online | single-tree.")
+  in
+  let ratio =
+    Arg.(
+      value & opt float 0.95
+      & info [ "ratio" ] ~docv:"R" ~doc:"FPTAS approximation ratio.")
+  in
+  let sigma =
+    Arg.(
+      value & opt float 30.0
+      & info [ "sigma" ] ~docv:"S" ~doc:"Online algorithm step size.")
+  in
+  let doc = "Solve one instance and print per-session rates." in
+  Cmd.v
+    (Cmd.info "solve" ~doc)
+    Term.(
+      const run $ seed $ nodes $ sizes $ demand $ mode $ algorithm $ ratio $ sigma)
+
+(* --- export: dump an instance + solution to files --------------------------- *)
+
+let export_cmd =
+  let run seed nodes sizes demand mode ratio outdir =
+    if not (Sys.file_exists outdir) then Sys.mkdir outdir 0o755;
+    let setup = make_setup seed nodes sizes demand in
+    let g = setup.Setup.topology.Topology.graph in
+    let overlays = Setup.overlays setup mode in
+    let result =
+      Max_flow.solve g overlays ~epsilon:(Max_flow.ratio_to_epsilon ratio)
+    in
+    let solution = result.Max_flow.solution in
+    let path name = Filename.concat outdir name in
+    Json_export.to_file (path "topology.json")
+      (Json_export.topology setup.Setup.topology);
+    Json_export.to_file (path "solution.json") (Json_export.solution solution);
+    Dot_export.to_file (path "topology.dot")
+      (Dot_export.topology setup.Setup.topology);
+    Csv_export.to_file (path "trees.csv")
+      (Csv_export.render
+         ~header:[ "session"; "members"; "rate"; "physical_links" ]
+         (Csv_export.solution_rows solution));
+    Array.iteri
+      (fun slot session ->
+        (* best tree of each session rendered as DOT *)
+        match
+          List.sort
+            (fun (_, a) (_, b) -> compare b a)
+            (Solution.trees solution slot)
+        with
+        | (tree, _) :: _ ->
+          Dot_export.to_file
+            (path (Printf.sprintf "session%d_top_tree.dot" slot))
+            (Dot_export.overlay_tree g tree ~members:session.Session.members);
+          Csv_export.to_file
+            (path (Printf.sprintf "session%d_rate_curve.csv" slot))
+            (Csv_export.curve
+               ~label:(Printf.sprintf "session%d" slot)
+               (Metrics.tree_rate_curve solution slot))
+        | [] -> ())
+      setup.Setup.sessions;
+    Printf.printf
+      "wrote topology.{json,dot}, solution.json, trees.csv and per-session \
+       tree/curve files to %s/\n"
+      outdir
+  in
+  let ratio =
+    Arg.(
+      value & opt float 0.95
+      & info [ "ratio" ] ~docv:"R" ~doc:"FPTAS approximation ratio.")
+  in
+  let outdir =
+    Arg.(
+      value & opt string "overlay_export"
+      & info [ "out"; "o" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  let doc = "Solve an instance with MaxFlow and export JSON/DOT/CSV artifacts." in
+  Cmd.v
+    (Cmd.info "export" ~doc)
+    Term.(const run $ seed $ nodes $ sizes $ demand $ mode $ ratio $ outdir)
+
+(* --- topo: inspect generated topologies ------------------------------------- *)
+
+let topo_cmd =
+  let run seed kind nodes n_as routers =
+    let rng = Rng.create seed in
+    let t =
+      match kind with
+      | "waxman" -> Waxman.generate rng { Waxman.default_params with n = nodes }
+      | "barabasi" ->
+        Barabasi.generate rng { Barabasi.default_params with n = nodes }
+      | "two-level" ->
+        Two_level.generate rng (Two_level.small_params ~n_as ~routers_per_as:routers)
+      | other -> failwith (Printf.sprintf "unknown topology kind %S" other)
+    in
+    let g = t.Topology.graph in
+    let degrees = Array.init (Graph.n_vertices g) (fun v -> float_of_int (Graph.degree g v)) in
+    Printf.printf "%s: %d nodes, %d links, %s\n" kind (Topology.n_nodes t)
+      (Topology.n_links t)
+      (match Topology.check t with None -> "connected" | Some e -> e);
+    Printf.printf "degree: %s\n" (Stats.summary degrees)
+  in
+  let kind =
+    Arg.(
+      value & opt string "waxman"
+      & info [ "kind"; "k" ] ~docv:"KIND" ~doc:"waxman | barabasi | two-level.")
+  in
+  let n_as =
+    Arg.(value & opt int 10 & info [ "as" ] ~docv:"N" ~doc:"ASes (two-level).")
+  in
+  let routers =
+    Arg.(
+      value & opt int 100 & info [ "routers" ] ~docv:"N" ~doc:"Routers per AS.")
+  in
+  let doc = "Generate a topology and print its statistics." in
+  Cmd.v (Cmd.info "topo" ~doc) Term.(const run $ seed $ kind $ nodes $ n_as $ routers)
+
+let () =
+  let doc =
+    "Optimized capacity utilization in overlay networks (Cui/Li/Nahrstedt, SPAA 2004)"
+  in
+  let info = Cmd.info "overlay_cli" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ tables_cmd; figures_cmd; eval_cmd; solve_cmd; export_cmd; topo_cmd ]))

@@ -1,0 +1,84 @@
+(* Benchmarking practical protocols against the theoretical optimum.
+
+   The paper's algorithms' "major role [is] as evaluation and
+   benchmarking tools" (Sec. III-E): here two distributed overlay
+   constructions from its related-work section — a Narada-style
+   mesh-first tree and a SplitStream-style interior-disjoint stripe
+   forest — are simulated and measured against the MaxFlow /
+   MaxConcurrentFlow upper bounds on the same instance.  The example
+   also dumps the mesh tree as Graphviz DOT so you can see the physical
+   link multiplicities.
+
+   Run with: dune exec examples/protocols_vs_optimum.exe *)
+
+let () =
+  let rng = Rng.create 99 in
+  let topology = Waxman.generate rng Waxman.default_params in
+  let graph = topology.Topology.graph in
+  let sessions =
+    Array.init 2 (fun id ->
+        Session.random rng ~id ~topology_size:100 ~size:(8 - (2 * id))
+          ~demand:100.0)
+  in
+  let fresh () = Array.map (Overlay.create graph Overlay.Ip) sessions in
+
+  let row name throughput min_rate =
+    Printf.printf "%-34s throughput %7.1f   min rate %6.1f\n" name throughput
+      min_rate
+  in
+  Printf.printf "two sessions (8 and 6 members) on a 100-node Waxman network\n\n";
+
+  let mf = Max_flow.solve graph (fresh ()) ~epsilon:0.025 in
+  row "MaxFlow (fractional optimum)"
+    (Solution.overall_throughput mf.Max_flow.solution)
+    (Solution.min_rate mf.Max_flow.solution);
+
+  let mcf =
+    Max_concurrent_flow.solve graph (fresh ()) ~epsilon:0.0167
+      ~scaling:Max_concurrent_flow.Proportional
+  in
+  row "MaxConcurrentFlow (fair optimum)"
+    (Solution.overall_throughput mcf.Max_concurrent_flow.solution)
+    (Solution.min_rate mcf.Max_concurrent_flow.solution);
+
+  let mesh_rng = Rng.create 7 in
+  let mesh = Mesh_protocol.solve mesh_rng graph (fresh ()) Mesh_protocol.default_config in
+  row "Narada-style mesh tree"
+    (Solution.overall_throughput mesh.Baseline.solution)
+    (Solution.min_rate mesh.Baseline.solution);
+
+  let forest_rng = Rng.create 8 in
+  let forest =
+    Stripe_forest.solve forest_rng graph (fresh ()) Stripe_forest.default_config
+  in
+  row "SplitStream-style stripe forest"
+    (Solution.overall_throughput forest.Baseline.solution)
+    (Solution.min_rate forest.Baseline.solution);
+
+  let single = Baseline.single_tree graph (fresh ()) in
+  row "single IP-MST tree"
+    (Solution.overall_throughput single.Baseline.solution)
+    (Solution.min_rate single.Baseline.solution);
+
+  (* how far is the practical world from the bound? *)
+  let opt = Solution.overall_throughput mf.Max_flow.solution in
+  Printf.printf
+    "\nmesh reaches %.0f%%, stripe forest %.0f%%, single tree %.0f%% of the \
+     multi-tree optimum\n"
+    (100.0 *. Solution.overall_throughput mesh.Baseline.solution /. opt)
+    (100.0 *. Solution.overall_throughput forest.Baseline.solution /. opt)
+    (100.0 *. Solution.overall_throughput single.Baseline.solution /. opt);
+
+  (* export the mesh tree of session 0 for inspection *)
+  let overlay = Overlay.create graph Overlay.Ip sessions.(0) in
+  let tree, stats =
+    Mesh_protocol.build (Rng.create 7) graph overlay Mesh_protocol.default_config
+  in
+  let dot = Dot_export.overlay_tree graph tree ~members:sessions.(0).Session.members in
+  let path = Filename.temp_file "mesh_tree" ".dot" in
+  Dot_export.to_file path dot;
+  Printf.printf
+    "mesh stats: %d mesh links, mean degree %.1f, tree depth %d overlay hops\n"
+    stats.Mesh_protocol.mesh_links stats.Mesh_protocol.mean_degree
+    stats.Mesh_protocol.tree_depth;
+  Printf.printf "wrote Graphviz rendering of session 0's delivery tree to %s\n" path

@@ -1,0 +1,36 @@
+(** Baselines the paper's multi-tree philosophy is measured against.
+
+    [single_tree]: the classical one-tree-per-session overlay multicast
+    (Narada-style end result): each session routes its whole demand on
+    its minimum overlay spanning tree under hop lengths, then rates are
+    scaled back by observed congestion.
+
+    [interior_disjoint]: a SplitStream-flavoured forest of
+    interior-node-disjoint trees — each tree is a star centered at a
+    distinct member, so every member is an interior (relaying) node in
+    at most one tree.  The demand splits evenly across the stars. *)
+
+type result = {
+  solution : Solution.t;
+  lmax : float;  (** max congestion before the feasibility scaling *)
+}
+
+(** [of_assignments graph sessions assignments] wraps externally
+    constructed per-session (tree, unscaled-rate) lists into a feasible
+    solution using the same per-session congestion scaling as the other
+    baselines — the hook other tree-construction policies (e.g. the
+    protocol simulations) use to become comparable. *)
+val of_assignments :
+  Graph.t -> Session.t array -> (Otree.t * float) list array -> result
+
+(** [single_tree graph overlays] builds the one-tree baseline. *)
+val single_tree : Graph.t -> Overlay.t array -> result
+
+(** [interior_disjoint graph overlays ~trees_per_session] builds the
+    star-forest baseline; each session uses
+    [min trees_per_session (size - 1)] stars centered at its first
+    members (slot 1 upward; a star centered at the source would make the
+    source the only relay, which is the degenerate single-tree shape,
+    still included when the budget allows). Raises [Invalid_argument]
+    for a non-positive budget. *)
+val interior_disjoint : Graph.t -> Overlay.t array -> trees_per_session:int -> result

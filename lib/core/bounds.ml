@@ -1,0 +1,38 @@
+let member_degree_bound g session =
+  Array.fold_left
+    (fun acc m ->
+      let incident = ref 0.0 in
+      Graph.iter_neighbors g m (fun _ id -> incident := !incident +. Graph.capacity g id);
+      Float.min acc !incident)
+    infinity session.Session.members
+
+let pairwise_cut_bound g session =
+  let tree = Gomory_hu.build g in
+  Gomory_hu.min_cut_over_members tree session.Session.members
+
+let session_rate_upper_bound g session =
+  Float.min (member_degree_bound g session) (pairwise_cut_bound g session)
+
+let check_solution g solution =
+  let sessions = Solution.sessions solution in
+  (* one Gomory-Hu tree serves every session *)
+  let tree = Gomory_hu.build g in
+  let violations = ref [] in
+  Array.iteri
+    (fun slot session ->
+      let bound =
+        Float.min
+          (member_degree_bound g session)
+          (Gomory_hu.min_cut_over_members tree session.Session.members)
+      in
+      let rate = Solution.session_rate solution slot in
+      if rate > bound *. (1.0 +. 1e-6) then violations := slot :: !violations)
+    sessions;
+  List.rev !violations
+
+let total_capacity_bound g solution =
+  let sessions = Solution.sessions solution in
+  let max_receivers =
+    Array.fold_left (fun acc s -> max acc (Session.receivers s)) 1 sessions
+  in
+  Graph.total_capacity g *. float_of_int max_receivers

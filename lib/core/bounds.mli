@@ -1,0 +1,32 @@
+(** Analytical upper bounds on overlay session throughput.
+
+    These close the loop between the combinatorial algorithms and simple
+    cut arguments: any feasible session rate is at most the degree
+    capacity of its weakest member (every unit of session rate enters or
+    leaves each member at least once) and at most the minimum cut
+    separating any two members.  The bounds are cheap, so tests and
+    diagnostics can sandwich the FPTAS output:
+    [rate <= min (degree_bound, cut_bound)] always holds, and for a
+    single session the maximum flow comes within [(1 - 2 eps)] of the
+    (possibly much smaller) true optimum. *)
+
+(** [member_degree_bound g session] is
+    [min over members m of (sum of capacities incident to m)]. *)
+val member_degree_bound : Graph.t -> Session.t -> float
+
+(** [pairwise_cut_bound g session] is the minimum cut separating any
+    pair of members, computed through a Gomory–Hu tree. *)
+val pairwise_cut_bound : Graph.t -> Session.t -> float
+
+(** [session_rate_upper_bound g session] is the minimum of the two. *)
+val session_rate_upper_bound : Graph.t -> Session.t -> float
+
+(** [check_solution g solution] verifies every session's rate respects
+    its upper bound (with relative tolerance [1e-6]); returns the list
+    of violating session slots (empty = all good). *)
+val check_solution : Graph.t -> Solution.t -> int list
+
+(** [total_capacity_bound g solution] bounds overall throughput by the
+    total network capacity times the largest receiver count — a crude
+    sanity ceiling used in property tests. *)
+val total_capacity_bound : Graph.t -> Solution.t -> float

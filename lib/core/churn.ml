@@ -1,0 +1,180 @@
+type config = {
+  arrival_rate : float;
+  mean_holding_time : float;
+  size_min : int;
+  size_max : int;
+  demand : float;
+  sigma : float;
+  horizon : float;
+  admission_threshold : float;
+}
+
+let default_config =
+  {
+    arrival_rate = 1.0;
+    mean_holding_time = 5.0;
+    size_min = 3;
+    size_max = 8;
+    demand = 1.0;
+    sigma = 30.0;
+    horizon = 50.0;
+    admission_threshold = infinity;
+  }
+
+type snapshot = {
+  time : float;
+  active_sessions : int;
+  accepted : int;
+  rejected : int;
+  min_rate : float;
+  mean_rate : float;
+  throughput : float;
+  max_congestion : float;
+}
+
+type result = {
+  trace : snapshot list;
+  final_congestion : float array;
+}
+
+type active = {
+  tree : Otree.t;
+  demand : float;
+  receivers : int;
+  departure : float;
+}
+
+let validate graph config =
+  if config.arrival_rate <= 0.0 then invalid_arg "Churn.run: arrival_rate <= 0";
+  if config.mean_holding_time <= 0.0 then
+    invalid_arg "Churn.run: mean_holding_time <= 0";
+  if config.size_min < 2 then invalid_arg "Churn.run: size_min < 2";
+  if config.size_max < config.size_min then
+    invalid_arg "Churn.run: size_max < size_min";
+  if config.size_max > Graph.n_vertices graph then
+    invalid_arg "Churn.run: size_max exceeds node count";
+  if config.demand <= 0.0 then invalid_arg "Churn.run: demand <= 0";
+  if config.sigma <= 0.0 then invalid_arg "Churn.run: sigma <= 0";
+  if config.horizon <= 0.0 then invalid_arg "Churn.run: horizon <= 0"
+
+let run rng graph config =
+  validate graph config;
+  let m = Graph.n_edges graph in
+  let congestion = Array.make m 0.0 in
+  (* d_e = (1+sigma)^(l_e) / c_e, evaluated lazily per arrival *)
+  let length id =
+    let c = Graph.capacity graph id in
+    if c <= 0.0 then infinity
+    else (1.0 +. config.sigma) ** congestion.(id) /. c
+  in
+  let apply sign (tree : Otree.t) demand =
+    Otree.iter_usage tree (fun id count ->
+        let c = Graph.capacity graph id in
+        if c > 0.0 then
+          congestion.(id) <-
+            Float.max 0.0
+              (congestion.(id) +. (sign *. float_of_int count *. demand /. c)))
+  in
+  let actives : (int, active) Hashtbl.t = Hashtbl.create 64 in
+  let accepted = ref 0 and rejected = ref 0 in
+  let next_session_id = ref 0 in
+  let snapshot time =
+    let rates = ref [] in
+    let throughput = ref 0.0 in
+    Hashtbl.iter
+      (fun _ a ->
+        (* per-session rate = demand / own max congestion along tree *)
+        let worst = ref 0.0 in
+        Otree.iter_usage a.tree (fun id _ ->
+            worst := Float.max !worst congestion.(id));
+        let rate = if !worst > 0.0 then a.demand /. !worst else a.demand in
+        rates := rate :: !rates;
+        throughput := !throughput +. (float_of_int a.receivers *. rate))
+      actives;
+    let max_congestion = Array.fold_left Float.max 0.0 congestion in
+    let rates = Array.of_list !rates in
+    {
+      time;
+      active_sessions = Hashtbl.length actives;
+      accepted = !accepted;
+      rejected = !rejected;
+      min_rate =
+        (if Array.length rates = 0 then 0.0
+         else Array.fold_left Float.min infinity rates);
+      mean_rate = (if Array.length rates = 0 then 0.0 else Stats.mean rates);
+      throughput = !throughput;
+      max_congestion;
+    }
+  in
+  let trace = ref [] in
+  let record time = trace := snapshot time :: !trace in
+  (* event loop: merge the Poisson arrival stream with pending
+     departures, always processing the earlier event; departures are
+     kept in an ordered set keyed by (time, session id) *)
+  let module Events = Set.Make (struct
+    type t = float * int
+    let compare = compare
+  end) in
+  let departures = ref Events.empty in
+  let next_arrival = ref (Rng.exponential rng ~mean:(1.0 /. config.arrival_rate)) in
+  let arrive time =
+    let size =
+      config.size_min + Rng.int rng (config.size_max - config.size_min + 1)
+    in
+    let id = !next_session_id in
+    incr next_session_id;
+    let session =
+      Session.random rng ~id ~topology_size:(Graph.n_vertices graph) ~size
+        ~demand:config.demand
+    in
+    let overlay = Overlay.create graph Overlay.Ip session in
+    let tree = Overlay.min_spanning_tree overlay ~length in
+    (* admission check before committing the load *)
+    let admit =
+      config.admission_threshold = infinity
+      ||
+      let worst = ref 0.0 in
+      Otree.iter_usage tree (fun eid count ->
+          let c = Graph.capacity graph eid in
+          if c > 0.0 then
+            worst :=
+              Float.max !worst
+                (congestion.(eid)
+                +. (float_of_int count *. config.demand /. c)));
+      !worst <= config.admission_threshold
+    in
+    if admit then begin
+      incr accepted;
+      apply 1.0 tree config.demand;
+      let departure = time +. Rng.exponential rng ~mean:config.mean_holding_time in
+      Hashtbl.replace actives id
+        { tree; demand = config.demand; receivers = size - 1; departure };
+      departures := Events.add (departure, id) !departures
+    end
+    else incr rejected
+  in
+  let depart id =
+    match Hashtbl.find_opt actives id with
+    | None -> ()
+    | Some a ->
+      apply (-1.0) a.tree a.demand;
+      Hashtbl.remove actives id
+  in
+  let finished = ref false in
+  while not !finished do
+    match Events.min_elt_opt !departures with
+    | Some (t, id) when t <= !next_arrival && t <= config.horizon ->
+      departures := Events.remove (t, id) !departures;
+      depart id;
+      record t
+    | _ ->
+      if !next_arrival > config.horizon then finished := true
+      else begin
+        let t = !next_arrival in
+        arrive t;
+        record t;
+        next_arrival :=
+          t +. Rng.exponential rng ~mean:(1.0 /. config.arrival_rate)
+      end
+  done;
+  { trace = List.rev !trace; final_congestion = congestion }

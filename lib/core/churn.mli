@@ -1,0 +1,55 @@
+(** Session churn simulation over the online algorithm.
+
+    The paper motivates Online-MinCongestion with session dynamics
+    ("new sessions may join and existing sessions may terminate over
+    time", Sec. I) but only evaluates joins.  This module closes the
+    loop: a continuous-time simulation with Poisson arrivals and
+    exponential holding times, where each arriving session is routed on
+    one overlay tree by the online rule and departures release their
+    load.
+
+    Lengths generalize Table VI's multiplicative update to a reversible
+    congestion potential: [d_e = (1 + sigma)^(l_e) / c_e] where [l_e]
+    is the current congestion contribution of the {e active} sessions —
+    identical to the paper's lengths under the no-bottleneck assumption,
+    but well-defined when load is removed.
+
+    Optionally an admission threshold rejects arrivals whose routing
+    would push some link's congestion indicator beyond a limit. *)
+
+type config = {
+  arrival_rate : float;       (** mean arrivals per unit time *)
+  mean_holding_time : float;  (** mean session lifetime *)
+  size_min : int;
+  size_max : int;             (** session sizes drawn uniformly *)
+  demand : float;
+  sigma : float;              (** online step size *)
+  horizon : float;            (** simulated time span *)
+  admission_threshold : float;
+      (** reject arrivals pushing congestion above this; [infinity]
+          disables admission control *)
+}
+
+val default_config : config
+
+(** State observed right after an event. *)
+type snapshot = {
+  time : float;
+  active_sessions : int;
+  accepted : int;             (** cumulative *)
+  rejected : int;             (** cumulative *)
+  min_rate : float;           (** over active sessions, scaled by l^i_max; 0 if none *)
+  mean_rate : float;
+  throughput : float;         (** receivers-weighted aggregate rate *)
+  max_congestion : float;     (** max_e l_e of raw (unscaled) load *)
+}
+
+type result = {
+  trace : snapshot list;      (** one snapshot per event, time order *)
+  final_congestion : float array;  (** residual l_e at the horizon *)
+}
+
+(** [run rng graph config] simulates on the given physical network.
+    Raises [Invalid_argument] for non-positive rates/sizes or
+    [size_max] exceeding the node count. *)
+val run : Rng.t -> Graph.t -> config -> result

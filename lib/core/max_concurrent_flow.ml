@@ -1,0 +1,250 @@
+type demand_scaling = Maxflow_weighted | Proportional
+type variant = Paper | Fleischer
+
+type result = {
+  solution : Solution.t;
+  phases : int;
+  main_mst_operations : int;
+  pre_mst_operations : int;
+  zetas : float array;
+  epsilon : float;
+}
+
+let ratio_to_epsilon r =
+  if r <= 0.0 || r >= 1.0 then invalid_arg "Max_concurrent_flow.ratio_to_epsilon";
+  (1.0 -. r) /. 3.0
+
+let renorm_threshold = 1e150
+
+(* Shared state of one run: lengths in log-space plus the incremental
+   dual objective. *)
+type state = {
+  graph : Graph.t;
+  epsilon : float;
+  m : int;
+  lens : float array;
+  mutable ln_base : float;
+  mutable s_cache : float;     (* sum_e c_e lens_e *)
+  ln_delta : float;
+}
+
+let make_state graph ~epsilon =
+  let m = Graph.n_edges graph in
+  let ln_delta = -.(1.0 /. epsilon) *. log (float_of_int m /. (1.0 -. epsilon)) in
+  (* d_e = exp(ln_base) * lens.(e); initial d_e = delta / c_e *)
+  let lens = Array.make m 0.0 in
+  Graph.iter_edges graph (fun e ->
+      lens.(e.Graph.id) <-
+        (if e.Graph.capacity > 0.0 then 1.0 /. e.Graph.capacity else infinity));
+  let s_cache =
+    Graph.fold_edges graph
+      (fun acc e ->
+        if e.Graph.capacity > 0.0 then acc +. (e.Graph.capacity *. lens.(e.Graph.id))
+        else acc)
+      0.0
+  in
+  { graph; epsilon; m; lens; ln_base = ln_delta; s_cache; ln_delta }
+
+let refresh_dual st =
+  st.s_cache <-
+    Graph.fold_edges st.graph
+      (fun acc e ->
+        if e.Graph.capacity > 0.0 then
+          acc +. (e.Graph.capacity *. st.lens.(e.Graph.id))
+        else acc)
+      0.0
+
+let dual_reached_one st = log st.s_cache +. st.ln_base >= 0.0
+
+let renorm st =
+  let scale = 1.0 /. renorm_threshold in
+  for id = 0 to st.m - 1 do
+    if st.lens.(id) < infinity then st.lens.(id) <- st.lens.(id) *. scale
+  done;
+  st.s_cache <- st.s_cache *. scale;
+  st.ln_base <- st.ln_base +. log renorm_threshold
+
+(* Route [c] units along [tree], updating lengths and the dual sum. *)
+let route st solution tree c =
+  Solution.add solution tree c;
+  let needs_renorm = ref false in
+  Otree.iter_usage tree (fun id count ->
+      let ce = Graph.capacity st.graph id in
+      if ce > 0.0 then begin
+        let before = st.lens.(id) in
+        let after =
+          before *. (1.0 +. (st.epsilon *. float_of_int count *. c /. ce))
+        in
+        st.lens.(id) <- after;
+        st.s_cache <- st.s_cache +. (ce *. (after -. before));
+        if after > renorm_threshold then needs_renorm := true
+      end);
+  if !needs_renorm then renorm st
+
+(* ln of the tree's real length (weight in lens units times base). *)
+let ln_tree_length st tree =
+  let w = Otree.weight tree ~length:(fun id -> st.lens.(id)) in
+  if w <= 0.0 then neg_infinity else log w +. st.ln_base
+
+(* --- the paper's Table III main loop ------------------------------- *)
+
+let run_paper st overlays working solution =
+  let k = Array.length overlays in
+  let length id = st.lens.(id) in
+  let phases = ref 0 in
+  (* Demand-doubling horizon (Lemma 6 / Sec. III-C): if the loop outlives
+     T phases the optimum exceeds 2; doubling demands halves it. *)
+  let t_horizon =
+    let bound =
+      2.0 /. st.epsilon
+      *. (log (float_of_int st.m /. (1.0 -. st.epsilon)) /. log (1.0 +. st.epsilon))
+    in
+    max 1 (int_of_float (ceil bound))
+  in
+  let finished = ref (dual_reached_one st) in
+  while not !finished do
+    incr phases;
+    for i = 0 to k - 1 do
+      let remaining = ref working.(i) in
+      while (not !finished) && !remaining > 1e-15 do
+        let tree = Overlay.min_spanning_tree overlays.(i) ~length in
+        let bottleneck = Otree.bottleneck tree ~capacity:(Graph.capacity st.graph) in
+        let c = Float.min !remaining bottleneck in
+        if c <= 0.0 || c = infinity then remaining := 0.0
+        else begin
+          route st solution tree c;
+          remaining := !remaining -. c;
+          if dual_reached_one st then finished := true
+        end
+      done
+    done;
+    refresh_dual st;
+    if (not !finished) && !phases mod t_horizon = 0 then
+      for i = 0 to k - 1 do
+        working.(i) <- working.(i) *. 2.0
+      done
+  done;
+  !phases
+
+(* --- Fleischer's improvement [12] ----------------------------------- *)
+
+(* Trees are reused while their current length stays below the running
+   lower bound alpha times (1 + eps); minimum-overlay-spanning-tree
+   recomputations happen only when a cached tree expires, which removes
+   the per-step MST from the inner loop.  alpha is tracked in log space
+   like the lengths. *)
+
+let run_fleischer st overlays working solution =
+  let k = Array.length overlays in
+  let length id = st.lens.(id) in
+  let cached : Otree.t option array = Array.make k None in
+  let remaining = Array.copy working in
+  (* initial alpha: the smallest current tree length across sessions *)
+  let ln_alpha =
+    ref
+      (Array.fold_left
+         (fun acc o ->
+           let t = Overlay.min_spanning_tree o ~length in
+           Float.min acc (ln_tree_length st t))
+         infinity overlays)
+  in
+  let ln_one_plus_eps = log (1.0 +. st.epsilon) in
+  let alpha_steps = ref 0 in
+  let finished = ref (dual_reached_one st) in
+  while not !finished && !ln_alpha < 0.0 do
+    incr alpha_steps;
+    (* sweep commodities, routing while some tree is within alpha(1+eps) *)
+    for i = 0 to k - 1 do
+      let commodity_done = ref false in
+      while (not !finished) && not !commodity_done do
+        let tree_ok t = ln_tree_length st t <= !ln_alpha +. ln_one_plus_eps in
+        let tree =
+          match cached.(i) with
+          | Some t when tree_ok t -> Some t
+          | _ ->
+            let t = Overlay.min_spanning_tree overlays.(i) ~length in
+            cached.(i) <- Some t;
+            if tree_ok t then Some t else None
+        in
+        match tree with
+        | None -> commodity_done := true
+        | Some tree ->
+          let bottleneck =
+            Otree.bottleneck tree ~capacity:(Graph.capacity st.graph)
+          in
+          let c = Float.min remaining.(i) bottleneck in
+          if c <= 0.0 || c = infinity then commodity_done := true
+          else begin
+            route st solution tree c;
+            remaining.(i) <- remaining.(i) -. c;
+            if remaining.(i) <= 1e-15 then
+              (* full demand routed once more; start the next round *)
+              remaining.(i) <- working.(i);
+            if dual_reached_one st then finished := true
+          end
+      done
+    done;
+    refresh_dual st;
+    if dual_reached_one st then finished := true
+    else ln_alpha := !ln_alpha +. ln_one_plus_eps
+  done;
+  !alpha_steps
+
+(* --- common driver --------------------------------------------------- *)
+
+let solve ?(variant = Paper) graph overlays ~epsilon ~scaling =
+  if epsilon <= 0.0 || epsilon >= 1.0 /. 3.0 then
+    invalid_arg "Max_concurrent_flow.solve: epsilon out of (0, 1/3)";
+  let k = Array.length overlays in
+  if k = 0 then invalid_arg "Max_concurrent_flow.solve: no sessions";
+  Array.iter
+    (fun o ->
+      if Overlay.graph o != graph then
+        invalid_arg "Max_concurrent_flow.solve: overlay on a different graph")
+    overlays;
+  let sessions = Array.map Overlay.session overlays in
+  Array.iter Overlay.reset_mst_operations overlays;
+  (* Preprocessing: standalone maximum flow per session. *)
+  let zetas =
+    Array.map
+      (fun o ->
+        let rate, _ = Max_flow.solve_single graph o ~epsilon in
+        rate)
+      overlays
+  in
+  let pre_mst_operations = Overlay.total_mst_operations overlays in
+  Array.iter Overlay.reset_mst_operations overlays;
+  (* Working demands put the optimum into [1, k]. *)
+  let kf = float_of_int k in
+  let working =
+    match scaling with
+    | Maxflow_weighted -> Array.map (fun z -> Float.max (z /. kf) 1e-12) zetas
+    | Proportional ->
+      let lambda =
+        Array.fold_left Float.min infinity
+          (Array.mapi (fun i z -> z /. sessions.(i).Session.demand) zetas)
+      in
+      let s = Float.max (lambda /. kf) 1e-12 in
+      Array.map (fun session -> session.Session.demand *. s) sessions
+  in
+  let st = make_state graph ~epsilon in
+  let solution = Solution.create sessions in
+  let phases =
+    match variant with
+    | Paper -> run_paper st overlays working solution
+    | Fleischer -> run_fleischer st overlays working solution
+  in
+  (* Scale by log_{1+eps} (1/delta) for feasibility, then guard against
+     the partial final phase with an explicit congestion check. *)
+  let scale_factor = -.st.ln_delta /. log (1.0 +. epsilon) in
+  if scale_factor > 0.0 then Solution.scale solution (1.0 /. scale_factor);
+  let congestion = Solution.max_congestion solution graph in
+  if congestion > 1.0 then Solution.scale solution (1.0 /. congestion);
+  {
+    solution;
+    phases;
+    main_mst_operations = Overlay.total_mst_operations overlays;
+    pre_mst_operations;
+    zetas;
+    epsilon;
+  }

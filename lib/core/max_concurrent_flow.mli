@@ -1,0 +1,62 @@
+(** MaxConcurrentFlow — the FPTAS for the overlay maximum concurrent
+    flow problem M2 (Table III of the paper), achieving weighted
+    max-min fairness with the demands as weights.
+
+    Phase structure: in each phase, every session routes its (working)
+    demand in steps along minimum overlay spanning trees, updating the
+    dual lengths [d_e <- d_e (1 + eps n_e c / c_e)]; the run stops when
+    the dual objective [sum_e c_e d_e] reaches 1.  The flow scaled by
+    [log_{1+eps} (1/delta)] is feasible and at least [(1 - 3 eps)]
+    optimal (Lemmas 4–6).
+
+    Preprocessing (Sec. III-C end): the per-session maximum flow rates
+    [zeta_i] are obtained by running MaxFlow on each session alone, and
+    working demands are scaled so the optimum lies in [1, k]; if the
+    main loop survives [T = (2/eps) log_{1+eps} (|E|/(1-eps))] phases,
+    demands are doubled (halving the optimum) and the loop continues.
+
+    Two demand-scaling policies are provided because the paper's own
+    Table IV reports {e unequal} rates for sessions of equal demand —
+    consistent with its sessions' demands being rescaled to their
+    standalone maximum flows, not by a common factor:
+    - [Maxflow_weighted] (paper's Table IV behaviour): working demand of
+      session i is proportional to zeta_i;
+    - [Proportional]: one common scale factor, preserving the requested
+      demand ratios exactly. *)
+
+type demand_scaling = Maxflow_weighted | Proportional
+
+(** The main-loop strategy.
+    - [Paper]: Table III verbatim — one minimum-overlay-spanning-tree
+      computation per routing step.
+    - [Fleischer]: the improvement of Fleischer [12] the paper builds
+      on: a commodity reuses its cached tree while the tree's current
+      length stays within [(1 + eps)] of the running lower bound
+      [alpha], so MST recomputations leave the inner loop.  Same
+      [(1 - 3 eps)] guarantee, far fewer MST operations; the
+      [abl_fleischer] bench quantifies the gap. *)
+type variant = Paper | Fleischer
+
+type result = {
+  solution : Solution.t;     (** feasible, scaled multi-tree flow *)
+  phases : int;
+  main_mst_operations : int; (** Table III loop (part one of Table IV's runtime) *)
+  pre_mst_operations : int;  (** MaxFlow preprocessing (part two) *)
+  zetas : float array;       (** standalone maximum flow rate per session *)
+  epsilon : float;
+}
+
+(** [ratio_to_epsilon r] gives the [eps] with [(1 - 3 eps) = r]. *)
+val ratio_to_epsilon : float -> float
+
+(** [solve ?variant graph overlays ~epsilon ~scaling] runs the
+    algorithm ([variant] defaults to [Paper]).  [result.phases] counts
+    demand phases in [Paper] mode and alpha-steps in [Fleischer] mode.
+    Raises [Invalid_argument] for [epsilon] outside (0, 1/3). *)
+val solve :
+  ?variant:variant ->
+  Graph.t ->
+  Overlay.t array ->
+  epsilon:float ->
+  scaling:demand_scaling ->
+  result

@@ -1,0 +1,111 @@
+type result = {
+  solution : Solution.t;
+  iterations : int;
+  mst_operations : int;
+  epsilon : float;
+}
+
+let ratio_to_epsilon r =
+  if r <= 0.0 || r >= 1.0 then invalid_arg "Max_flow.ratio_to_epsilon";
+  (1.0 -. r) /. 2.0
+
+(* Lengths are represented as d_e = exp(ln_base) * lens.(e).  Only ratios
+   of lengths matter to the MST and to the update rule; ln_base enters
+   solely through the stop test and is adjusted whenever the stored
+   magnitudes threaten to overflow. *)
+
+let renorm_threshold = 1e150
+
+let solve graph overlays ~epsilon =
+  if epsilon <= 0.0 || epsilon >= 0.5 then
+    invalid_arg "Max_flow.solve: epsilon out of (0, 0.5)";
+  let k = Array.length overlays in
+  if k = 0 then invalid_arg "Max_flow.solve: no sessions";
+  Array.iter
+    (fun o ->
+      if Overlay.graph o != graph then
+        invalid_arg "Max_flow.solve: overlay built on a different graph")
+    overlays;
+  let sessions = Array.map Overlay.session overlays in
+  let smax = float_of_int (Session.max_size sessions - 1) in
+  let u_bound =
+    Array.fold_left (fun acc o -> max acc (Overlay.max_route_hops o)) 1 overlays
+  in
+  (* ln delta = (1 - 1/eps) ln (1+eps) - (1/eps) ln ((|Smax|-1) U)  *)
+  let ln_delta =
+    ((1.0 -. (1.0 /. epsilon)) *. log (1.0 +. epsilon))
+    -. ((1.0 /. epsilon) *. log (smax *. float_of_int u_bound))
+  in
+  let m = Graph.n_edges graph in
+  let lens = Array.make m 1.0 in
+  (* d_e starts at delta for every edge: lens = 1, ln_base = ln delta *)
+  let ln_base = ref ln_delta in
+  let length id = lens.(id) in
+  let solution = Solution.create sessions in
+  let iterations = ref 0 in
+  let normalizer i =
+    smax /. float_of_int (Session.receivers sessions.(i))
+  in
+  let stop = ref false in
+  while not !stop do
+    (* minimum normalized-length tree across sessions *)
+    let best = ref None in
+    Array.iteri
+      (fun i o ->
+        let tree = Overlay.min_spanning_tree o ~length in
+        let w = Otree.weight tree ~length *. normalizer i in
+        match !best with
+        | Some (_, bw) when bw <= w -> ()
+        | _ -> best := Some (tree, w))
+      overlays;
+    match !best with
+    | None -> stop := true
+    | Some (tree, w) ->
+      (* normalized length in real units: w * exp(ln_base) >= 1 ? *)
+      if w <= 0.0 || log w +. !ln_base >= 0.0 then stop := true
+      else begin
+        incr iterations;
+        let c = Otree.bottleneck tree ~capacity:(Graph.capacity graph) in
+        if c <= 0.0 || c = infinity then stop := true
+        else begin
+          Solution.add solution tree c;
+          let needs_renorm = ref false in
+          Otree.iter_usage tree (fun id count ->
+              let ce = Graph.capacity graph id in
+              let growth =
+                1.0 +. (epsilon *. float_of_int count *. c /. ce)
+              in
+              lens.(id) <- lens.(id) *. growth;
+              if lens.(id) > renorm_threshold then needs_renorm := true);
+          if !needs_renorm then begin
+            let scale = 1.0 /. renorm_threshold in
+            for id = 0 to m - 1 do
+              lens.(id) <- lens.(id) *. scale
+            done;
+            ln_base := !ln_base +. log renorm_threshold
+          end
+        end
+      end
+  done;
+  (* Feasibility scaling: divide by log_{1+eps} ((1+eps)/delta). *)
+  let scale_factor =
+    (log (1.0 +. epsilon) -. ln_delta) /. log (1.0 +. epsilon)
+  in
+  if scale_factor > 0.0 then Solution.scale solution (1.0 /. scale_factor);
+  {
+    solution;
+    iterations = !iterations;
+    mst_operations = Overlay.total_mst_operations overlays;
+    epsilon;
+  }
+
+let solve_single graph overlay ~epsilon =
+  let result = solve graph [| overlay |] ~epsilon in
+  (* the single session keeps its own id; rate lookup goes through the
+     session array of the fresh solution, which has exactly one slot *)
+  let sessions = Solution.sessions result.solution in
+  let rate =
+    if Array.length sessions = 1 then Solution.session_rate result.solution 0
+    else 0.0
+  in
+  (rate, result)

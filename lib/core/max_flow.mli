@@ -1,0 +1,37 @@
+(** MaxFlow — the FPTAS for the overlay maximum flow problem M1
+    (Table I of the paper, after Garg–Könemann).
+
+    Each iteration computes a minimum overlay spanning tree for every
+    session under the dual lengths [d_e], picks the tree of minimum
+    {e normalized} length (weighted by [(|S_max|-1)/(|S_i|-1)]), routes
+    its bottleneck capacity, and multiplies the lengths of the touched
+    physical edges by [1 + eps * n_e(t) * c / c_e].  The algorithm stops
+    when the minimum normalized tree length reaches 1; the accumulated
+    flow scaled by [log_{1+eps} ((1+eps)/delta)] is feasible and at
+    least [(1 - 2 eps)] of optimal (Lemmas 1–3).
+
+    Lengths are maintained as [base * d'_e] with [log base] tracked
+    separately, because the prescribed [delta] underflows doubles for
+    small [eps] (e.g. approximation ratio 0.99). *)
+
+type result = {
+  solution : Solution.t;      (** feasible multi-tree flow, already scaled *)
+  iterations : int;           (** augmentation count *)
+  mst_operations : int;       (** total minimum-overlay-spanning-tree computations *)
+  epsilon : float;
+}
+
+(** [ratio_to_epsilon r] maps a target approximation ratio [r] (e.g.
+    0.95) to the [eps] achieving [(1 - 2 eps) = r]. *)
+val ratio_to_epsilon : float -> float
+
+(** [solve graph overlays ~epsilon] runs MaxFlow over sessions sharing
+    one physical graph.  All overlays must be built on [graph].
+    Raises [Invalid_argument] for [epsilon] outside (0, 0.5). *)
+val solve : Graph.t -> Overlay.t array -> epsilon:float -> result
+
+(** [solve_single graph overlay ~epsilon] runs the single-session
+    special case and returns the session's maximum flow rate (the
+    [zeta_i] of the concurrent-flow preprocessing) along with the full
+    result. *)
+val solve_single : Graph.t -> Overlay.t -> epsilon:float -> float * result

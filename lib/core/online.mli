@@ -1,0 +1,31 @@
+(** Online-MinCongestion — the one-pass online algorithm (Table VI).
+
+    Sessions arrive in order.  Each arriving session routes its whole
+    demand along the current minimum overlay spanning tree under the
+    lengths [d_e] (initialized to [sigma / c_e]), then the lengths of
+    the touched links grow by [1 + sigma * n_e * dem / c_e] — no
+    rerouting of existing sessions ever happens, only a final uniform
+    per-session rate scaling by the observed congestion [l^i_max].
+    Approximation [O(log |E|)] (Theorem 4) under the no-bottleneck
+    assumption. *)
+
+type result = {
+  solution : Solution.t;            (** feasible: each session carries
+                                        [dem(i) / l^i_max] on one tree —
+                                        scaling works in both directions,
+                                        saturating under-used capacity *)
+  lmax : float;                     (** max congestion before scaling *)
+  per_session_lmax : float array;
+  trees : Otree.t array;            (** tree chosen per session, arrival order *)
+}
+
+(** [solve graph overlays ~sigma] routes the sessions in array order.
+    [sigma] is the multiplicative step size (the paper sweeps 10..200).
+    Raises [Invalid_argument] for non-positive [sigma]. *)
+val solve : Graph.t -> Overlay.t array -> sigma:float -> result
+
+(** [scale_demands_for_no_bottleneck overlays ~graph] returns the factor
+    that rescales all demands so that
+    [max_i dem(i) * |S_max| / min_e c_e = 1 / (2 k)], the paper's recipe
+    for guaranteeing [f* >= 2] (end of Sec. IV-C). *)
+val scale_demands_for_no_bottleneck : Graph.t -> Overlay.t array -> float

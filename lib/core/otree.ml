@@ -1,0 +1,90 @@
+type t = {
+  session_id : int;
+  pairs : (int * int) array;
+  routes : Route.t array;
+  usage : (int * int) array;
+}
+
+let build ~session_id ~pairs ~routes =
+  if Array.length pairs <> Array.length routes then
+    invalid_arg "Otree.build: pairs/routes length mismatch";
+  let order = Array.init (Array.length pairs) (fun i -> i) in
+  let normalized =
+    Array.map (fun (a, b) -> if a < b then (a, b) else (b, a)) pairs
+  in
+  Array.sort (fun i j -> compare normalized.(i) normalized.(j)) order;
+  let pairs = Array.map (fun i -> normalized.(i)) order in
+  let routes = Array.map (fun i -> routes.(i)) order in
+  (* accumulate physical edge multiplicities *)
+  let counts = Hashtbl.create 32 in
+  Array.iter
+    (fun route ->
+      Route.iter_edges route (fun id ->
+          let c = try Hashtbl.find counts id with Not_found -> 0 in
+          Hashtbl.replace counts id (c + 1)))
+    routes;
+  let usage =
+    Hashtbl.fold (fun id c acc -> (id, c) :: acc) counts []
+    |> List.sort compare |> Array.of_list
+  in
+  { session_id; pairs; routes; usage }
+
+let n_e t edge_id =
+  let lo = ref 0 and hi = ref (Array.length t.usage - 1) in
+  let found = ref 0 in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let id, c = t.usage.(mid) in
+    if id = edge_id then begin
+      found := c;
+      lo := !hi + 1
+    end
+    else if id < edge_id then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+let iter_usage t f = Array.iter (fun (id, c) -> f id c) t.usage
+
+let weight t ~length =
+  Array.fold_left
+    (fun acc (id, c) -> acc +. (float_of_int c *. length id))
+    0.0 t.usage
+
+let bottleneck t ~capacity =
+  Array.fold_left
+    (fun acc (id, c) -> Float.min acc (capacity id /. float_of_int c))
+    infinity t.usage
+
+let key t =
+  let buf = Buffer.create 64 in
+  Array.iter
+    (fun (a, b) -> Buffer.add_string buf (Printf.sprintf "%d,%d;" a b))
+    t.pairs;
+  Buffer.add_char buf '|';
+  Array.iter
+    (fun r ->
+      Route.iter_edges r (fun id -> Buffer.add_string buf (string_of_int id));
+      Buffer.add_char buf '/')
+    t.routes;
+  Buffer.contents buf
+
+let shape_key t =
+  let buf = Buffer.create 32 in
+  Array.iter
+    (fun (a, b) -> Buffer.add_string buf (Printf.sprintf "%d,%d;" a b))
+    t.pairs;
+  Buffer.contents buf
+
+let n_overlay_edges t = Array.length t.pairs
+
+let is_spanning t ~n_members =
+  Array.length t.pairs = n_members - 1
+  &&
+  let uf = Union_find.create n_members in
+  Array.for_all (fun (a, b) -> Union_find.union uf a b) t.pairs
+  && Union_find.count uf = 1
+
+let pp fmt t =
+  Format.fprintf fmt "otree<session %d, %d overlay edges, %d physical links>"
+    t.session_id (Array.length t.pairs) (Array.length t.usage)

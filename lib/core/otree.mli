@@ -1,0 +1,57 @@
+(** Overlay multicast trees.
+
+    An overlay tree [t_j^i] spans the members of one session; each of
+    its overlay edges is realized by a unicast route through the
+    physical network.  [n_e t] counts how many times physical edge [e]
+    appears across all routes of the tree — the multiplicity in the
+    paper's capacity constraints (it can exceed 1). *)
+
+type t = {
+  session_id : int;
+  pairs : (int * int) array;
+  (** overlay edges as (member-slot, member-slot) with fst < snd,
+      sorted — the canonical tree shape *)
+  routes : Route.t array;  (** physical realization, aligned with [pairs] *)
+  usage : (int * int) array;
+  (** (physical edge id, n_e) pairs, sorted by edge id, n_e >= 1 *)
+}
+
+(** [build ~session_id ~pairs ~routes] canonicalizes and derives the
+    usage table.  Raises [Invalid_argument] when [pairs] and [routes]
+    disagree in length. *)
+val build : session_id:int -> pairs:(int * int) array -> routes:Route.t array -> t
+
+(** [n_e t edge_id] is the multiplicity of a physical edge in the tree
+    (0 when unused); O(log usage). *)
+val n_e : t -> int -> int
+
+(** [iter_usage t f] calls [f edge_id multiplicity] for every physical
+    edge the tree touches. *)
+val iter_usage : t -> (int -> int -> unit) -> unit
+
+(** [weight t ~length] is [sum_e n_e(t) * length e] — the tree length
+    under dual variables. *)
+val weight : t -> length:(int -> float) -> float
+
+(** [bottleneck t ~capacity] is [min_e capacity(e) / n_e(t)] — the
+    maximum rate the tree can carry alone (Table I line 10). *)
+val bottleneck : t -> capacity:(int -> float) -> float
+
+(** [key t] is a canonical identity string: the overlay shape plus the
+    physical realization.  Two trees with equal keys are the same tree
+    (needed to count distinct trees under arbitrary routing, where one
+    overlay shape can be realized by different routes over time). *)
+val key : t -> string
+
+(** [shape_key t] identifies only the overlay shape (member pairs),
+    ignoring routes. *)
+val shape_key : t -> string
+
+(** [n_overlay_edges t] is the number of overlay edges, [|S_i| - 1]. *)
+val n_overlay_edges : t -> int
+
+(** [is_spanning t ~n_members] checks the overlay edges form a spanning
+    tree over member slots [0 .. n_members - 1]. *)
+val is_spanning : t -> n_members:int -> bool
+
+val pp : Format.formatter -> t -> unit

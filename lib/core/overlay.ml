@@ -1,0 +1,116 @@
+type mode = Ip | Arbitrary
+
+type t = {
+  session : Session.t;
+  graph : Graph.t;
+  mode : mode;
+  ip_table : Ip_routing.t option;      (* Some iff mode = Ip *)
+  overlay_graph : Graph.t;             (* complete graph on member slots *)
+  pair_of_oedge : (int * int) array;   (* overlay edge id -> member slots *)
+  mutable ops : int;
+}
+
+let build_complete k =
+  let g = Graph.create ~n:k in
+  let pairs = ref [] in
+  for a = 0 to k - 1 do
+    for b = a + 1 to k - 1 do
+      ignore (Graph.add_edge g a b ~capacity:1.0);
+      pairs := (a, b) :: !pairs
+    done
+  done;
+  (g, Array.of_list (List.rev !pairs))
+
+let create graph mode session =
+  let members = session.Session.members in
+  if not (Traverse.is_spanning_connected graph ~vertices:members) then
+    failwith "Overlay.create: session members are disconnected";
+  let ip_table =
+    match mode with
+    | Ip -> Some (Ip_routing.compute graph ~members)
+    | Arbitrary -> None
+  in
+  let overlay_graph, pair_of_oedge = build_complete (Array.length members) in
+  { session; graph; mode; ip_table; overlay_graph; pair_of_oedge; ops = 0 }
+
+let with_session t session =
+  if
+    Array.length session.Session.members
+    <> Array.length t.session.Session.members
+    || session.Session.members <> t.session.Session.members
+  then invalid_arg "Overlay.with_session: member sets differ";
+  { t with session; ops = 0 }
+
+let session t = t.session
+let mode t = t.mode
+let graph t = t.graph
+
+let members t = t.session.Session.members
+
+let fixed_route t a b =
+  match t.ip_table with
+  | Some table -> Ip_routing.route table (members t).(a) (members t).(b)
+  | None -> assert false
+
+let mst_from_weights_and_routes t weights routes =
+  let olength id = weights.(id) in
+  let mst = Mst.prim t.overlay_graph ~length:olength in
+  let oedges = Array.of_list mst.Mst.edges in
+  let pairs = Array.map (fun id -> t.pair_of_oedge.(id)) oedges in
+  let tree_routes = Array.map (fun id -> routes id) oedges in
+  Otree.build ~session_id:t.session.Session.id ~pairs ~routes:tree_routes
+
+let min_spanning_tree t ~length =
+  t.ops <- t.ops + 1;
+  match t.mode with
+  | Ip ->
+    let weights =
+      Array.mapi
+        (fun _id (a, b) -> Route.weight (fixed_route t a b) ~length)
+        t.pair_of_oedge
+    in
+    mst_from_weights_and_routes t weights (fun id ->
+        let a, b = t.pair_of_oedge.(id) in
+        fixed_route t a b)
+  | Arbitrary ->
+    let snapshot =
+      Dynamic_routing.routes t.graph ~members:(members t) ~length
+    in
+    let ms = members t in
+    let weights =
+      Array.map
+        (fun (a, b) -> Dynamic_routing.distance snapshot ms.(a) ms.(b))
+        t.pair_of_oedge
+    in
+    mst_from_weights_and_routes t weights (fun id ->
+        let a, b = t.pair_of_oedge.(id) in
+        Dynamic_routing.route snapshot ms.(a) ms.(b))
+
+let tree_of_pairs t ~pairs ~length =
+  let ms = members t in
+  match t.mode with
+  | Ip ->
+    let routes = Array.map (fun (a, b) -> fixed_route t a b) pairs in
+    Otree.build ~session_id:t.session.Session.id ~pairs ~routes
+  | Arbitrary ->
+    let snapshot = Dynamic_routing.routes t.graph ~members:ms ~length in
+    let routes =
+      Array.map (fun (a, b) -> Dynamic_routing.route snapshot ms.(a) ms.(b)) pairs
+    in
+    Otree.build ~session_id:t.session.Session.id ~pairs ~routes
+
+let max_route_hops t =
+  match t.ip_table with
+  | Some table -> Ip_routing.max_hops table
+  | None -> Graph.n_vertices t.graph - 1
+
+let covered_edges t =
+  match t.ip_table with
+  | Some table -> Ip_routing.covered_edges table
+  | None -> Array.init (Graph.n_edges t.graph) (fun i -> i)
+
+let mst_operations t = t.ops
+let reset_mst_operations t = t.ops <- 0
+
+let total_mst_operations ts =
+  Array.fold_left (fun acc t -> acc + t.ops) 0 ts

@@ -1,0 +1,63 @@
+(** Per-session overlay context: the complete overlay graph [G_i] over a
+    session's members and the machinery to extract the {e minimum overlay
+    spanning tree} under the algorithms' dual length assignment [d_e].
+
+    Two routing modes, matching Sec. II vs Sec. V of the paper:
+    - [Ip]: every overlay edge is the fixed shortest-hop IP route,
+      computed once; the tree length of an overlay edge under [d_e] is
+      the sum of [d_e] along that fixed route.
+    - [Arbitrary]: every overlay edge is the shortest path under the
+      {e current} [d_e], recomputed on each query (one Dijkstra per
+      member, the [|S_i| * T_spt] overhead of Sec. V-B). *)
+
+type mode = Ip | Arbitrary
+
+type t
+
+(** [create graph mode session] builds the context.  In [Ip] mode the
+    route table is computed here (shortest-hop, deterministic).  Raises
+    [Failure] when members are disconnected. *)
+val create : Graph.t -> mode -> Session.t -> t
+
+(** [with_session t session] reuses [t]'s routing state (the IP route
+    table in [Ip] mode) for a replica session with the {e same} member
+    array — the online experiments replicate sessions many times and
+    recomputing identical route tables dominates otherwise.  The copy
+    has its own MST-operation counter.  Raises [Invalid_argument] when
+    the member arrays differ. *)
+val with_session : t -> Session.t -> t
+
+val session : t -> Session.t
+val mode : t -> mode
+val graph : t -> Graph.t
+
+(** [min_spanning_tree t ~length] computes the minimum overlay spanning
+    tree under the physical edge length function, as an overlay tree
+    with realized routes.  Each call counts as one MST operation. *)
+val min_spanning_tree : t -> length:(int -> float) -> Otree.t
+
+(** [tree_of_pairs t ~pairs ~length] realizes an arbitrary overlay
+    spanning tree shape (member-slot pairs) with routes chosen per the
+    mode; used by baselines and enumeration oracles.  [length] only
+    matters in [Arbitrary] mode. *)
+val tree_of_pairs : t -> pairs:(int * int) array -> length:(int -> float) -> Otree.t
+
+(** [max_route_hops t] is an upper bound on the hop length of any
+    unicast route the context can produce — the paper's [U].  Exact for
+    [Ip] mode; [|V| - 1] in [Arbitrary] mode. *)
+val max_route_hops : t -> int
+
+(** [covered_edges t] is the sorted set of physical edges reachable by
+    this session's routes.  In [Ip] mode these are exactly the edges of
+    the fixed routes; in [Arbitrary] mode all edges may be used. *)
+val covered_edges : t -> int array
+
+(** [mst_operations t] is the number of [min_spanning_tree] calls so
+    far (the paper's running-time metric); [reset_mst_operations]
+    clears it. *)
+val mst_operations : t -> int
+
+val reset_mst_operations : t -> unit
+
+(** [total_mst_operations ts] sums the counters. *)
+val total_mst_operations : t array -> int

@@ -1,0 +1,37 @@
+(** Iterative refinement of limited-tree solutions.
+
+    The paper's online algorithm routes each (replica) commodity once
+    and never revisits the choice; its discussion (Sec. IV, VII) points
+    at practical algorithms that improve constructed topologies.  This
+    module implements that next step as congestion-driven local search:
+    repeatedly take the session with the worst (rate-limiting)
+    congestion, remove its load, and re-route its tree budget one
+    sub-commodity at a time against the {e remaining} load — the same
+    minimum-overlay-spanning-tree primitive under congestion-exponential
+    lengths the online rule uses.  Feasibility is maintained by the same
+    per-session [l^i_max] scaling; the max-min objective never
+    decreases (a re-route is kept only if it helps).
+
+    This is a heuristic: no approximation guarantee beyond the online
+    bound it starts from, but in the benches it recovers a large part of
+    the gap to the fractional optimum at equal tree budgets. *)
+
+type config = {
+  trees_per_session : int;   (** budget per session (>= 1) *)
+  rounds : int;              (** max improvement passes over the sessions *)
+  sigma : float;             (** congestion-length steepness, as online *)
+}
+
+val default_config : config
+
+type result = {
+  solution : Solution.t;     (** feasible, per-session l^i_max scaled *)
+  rounds_used : int;
+  improved : bool;           (** did any pass improve the objective? *)
+  initial_objective : float; (** starting min_i rate_i / dem_i *)
+  final_objective : float;
+}
+
+(** [improve graph overlays config] starts from an online-style greedy
+    assignment and refines it.  Overlays must share [graph]. *)
+val improve : Graph.t -> Overlay.t array -> config -> result

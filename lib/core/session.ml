@@ -1,0 +1,40 @@
+type t = { id : int; members : int array; demand : float }
+
+let create ~id ~members ~demand =
+  if Array.length members < 2 then
+    invalid_arg "Session.create: need at least 2 members";
+  if demand <= 0.0 then invalid_arg "Session.create: demand must be positive";
+  let seen = Hashtbl.create (Array.length members) in
+  Array.iter
+    (fun v ->
+      if Hashtbl.mem seen v then invalid_arg "Session.create: duplicate member";
+      Hashtbl.replace seen v ())
+    members;
+  { id; members = Array.copy members; demand }
+
+let size t = Array.length t.members
+let receivers t = Array.length t.members - 1
+let source t = t.members.(0)
+
+let random rng ~id ~topology_size ~size ~demand =
+  if size > topology_size then invalid_arg "Session.random: size > topology";
+  let members = Rng.sample_without_replacement rng ~n:topology_size ~k:size in
+  create ~id ~members ~demand
+
+let random_batch rng ~topology_size ~count ~size ~demand =
+  Array.init count (fun id -> random rng ~id ~topology_size ~size ~demand)
+
+let replicate sessions ~copies ~demand =
+  if copies < 1 then invalid_arg "Session.replicate: copies < 1";
+  let n = Array.length sessions in
+  Array.init (n * copies) (fun i ->
+      let original = sessions.(i mod n) in
+      { id = i; members = Array.copy original.members; demand })
+
+let max_size sessions =
+  if Array.length sessions = 0 then invalid_arg "Session.max_size: empty";
+  Array.fold_left (fun acc s -> max acc (size s)) 0 sessions
+
+let pp fmt t =
+  Format.fprintf fmt "session %d: %d members (source %d), demand %.2f" t.id
+    (size t) (source t) t.demand

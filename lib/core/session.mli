@@ -1,0 +1,45 @@
+(** Overlay multicast sessions — the paper's commodities.
+
+    A session [S_i] is a set of end hosts on the physical topology;
+    [members.(0)] is the data source and the other [|S_i| - 1] members
+    are receivers.  Its demand is the desired session rate [dem(i)]
+    used by the concurrent-flow and congestion objectives. *)
+
+type t = {
+  id : int;             (** dense session index *)
+  members : int array;  (** physical vertex ids; members.(0) is the source *)
+  demand : float;
+}
+
+(** [create ~id ~members ~demand] validates and builds a session:
+    at least 2 distinct members, positive demand. *)
+val create : id:int -> members:int array -> demand:float -> t
+
+(** [size t] is [|S_i|], the number of members. *)
+val size : t -> int
+
+(** [receivers t] is [|S_i| - 1]. *)
+val receivers : t -> int
+
+(** [source t] is [members.(0)]. *)
+val source : t -> int
+
+(** [random rng ~id ~topology_size ~size ~demand] draws a session with
+    [size] distinct members uniformly from [0 .. topology_size - 1]. *)
+val random :
+  Rng.t -> id:int -> topology_size:int -> size:int -> demand:float -> t
+
+(** [random_batch rng ~topology_size ~count ~size ~demand] draws
+    [count] independent sessions with ids [0 .. count-1]. *)
+val random_batch :
+  Rng.t -> topology_size:int -> count:int -> size:int -> demand:float -> t array
+
+(** [replicate sessions ~copies ~demand] makes [copies] clones of each
+    session (fresh dense ids, same member sets, the given demand) — the
+    construction of the paper's online experiment (Sec. IV-D). *)
+val replicate : t array -> copies:int -> demand:float -> t array
+
+(** [max_size sessions] is [|S_max|]. Raises on empty input. *)
+val max_size : t array -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,24 @@
+(** Exact solver for the unsplittable problem M2I on tiny instances.
+
+    M2I (Sec. IV-A) asks for {e one} overlay tree per session maximizing
+    the concurrent ratio [f] with [rate_i = f * dem(i)].  For sessions
+    with at most [max_session_size] members the tree space is enumerable
+    by Prüfer sequences, so the optimum over all joint tree choices can
+    be found by brute force: for a fixed choice of trees, the best [f]
+    is [1 / (max-edge congestion at demand rates)].
+
+    This is exponential ([prod_i |S_i|^(|S_i|-2)] combinations) and
+    exists purely as a test oracle for Random-MinCongestion and
+    Online-MinCongestion: their f is at most the value found here, and
+    the rounding guarantee says not much below. *)
+
+type result = {
+  objective : float;             (** optimal f: min_i rate_i / dem(i) *)
+  trees : Otree.t array;         (** optimal tree per session slot *)
+  combinations : int;            (** search-space size actually explored *)
+}
+
+(** [solve graph overlays] brute-forces the joint tree choice.  Raises
+    [Invalid_argument] when the search space exceeds [max_combinations]
+    (default 200000) or a session exceeds 7 members. *)
+val solve : ?max_combinations:int -> Graph.t -> Overlay.t array -> result

@@ -1,0 +1,218 @@
+type grid = {
+  n_as : int;
+  routers_per_as : int;
+  session_counts : int array;
+  session_sizes : int array;
+  ratio : float;
+  seed : int;
+}
+
+let paper_grid =
+  {
+    n_as = 10;
+    routers_per_as = 100;
+    session_counts = Array.init 9 (fun i -> i + 1);
+    session_sizes = Array.init 9 (fun i -> (i + 1) * 10);
+    ratio = 0.95;
+    seed = 20040627;
+  }
+
+let small_grid ~n_as ~routers ~session_counts ~session_sizes ~seed =
+  { n_as; routers_per_as = routers; session_counts; session_sizes; ratio = 0.95; seed }
+
+type cell = {
+  n_sessions : int;
+  session_size : int;
+  mf_throughput : float;
+  edges_per_node : float;
+  mcf_min_rate : float;
+  mcf_throughput : float;
+  throughput_ratio : float;
+  mf_solution : Solution.t;
+  mcf_solution : Solution.t;
+}
+
+let cell_setup grid ~n_sessions ~session_size =
+  Setup.make_b
+    ~seed:(grid.seed + (n_sessions * 1009) + (session_size * 9176))
+    {
+      Setup.n_as = grid.n_as;
+      routers_per_as = grid.routers_per_as;
+      n_sessions;
+      session_size;
+      demand = 1.0;
+      capacity = 100.0;
+    }
+
+let run_cell grid ~n_sessions ~session_size =
+  let setup = cell_setup grid ~n_sessions ~session_size in
+  let graph = setup.Setup.topology.Topology.graph in
+  let epsilon_mf = Max_flow.ratio_to_epsilon grid.ratio in
+  let epsilon_mcf = Max_concurrent_flow.ratio_to_epsilon grid.ratio in
+  let mf_overlays = Setup.overlays setup Overlay.Ip in
+  let mf = Max_flow.solve graph mf_overlays ~epsilon:epsilon_mf in
+  let mcf_overlays = Setup.overlays setup Overlay.Ip in
+  let mcf =
+    Max_concurrent_flow.solve graph mcf_overlays ~epsilon:epsilon_mcf
+      ~scaling:Max_concurrent_flow.Proportional
+  in
+  let mf_thr = Solution.overall_throughput mf.Max_flow.solution in
+  let mcf_thr =
+    Solution.overall_throughput mcf.Max_concurrent_flow.solution
+  in
+  {
+    n_sessions;
+    session_size;
+    mf_throughput = mf_thr;
+    edges_per_node = Metrics.edges_per_node mf_overlays;
+    mcf_min_rate = Solution.min_rate mcf.Max_concurrent_flow.solution;
+    mcf_throughput = mcf_thr;
+    throughput_ratio = (if mf_thr > 0.0 then mcf_thr /. mf_thr else 0.0);
+    mf_solution = mf.Max_flow.solution;
+    mcf_solution = mcf.Max_concurrent_flow.solution;
+  }
+
+let run_grid grid =
+  Array.map
+    (fun n_sessions ->
+      Array.map
+        (fun session_size -> run_cell grid ~n_sessions ~session_size)
+        grid.session_sizes)
+    grid.session_counts
+
+let surface grid cells ~field ~title =
+  Tableau.surface ~title ~xlabel:"session size" ~ylabel:"n sessions"
+    ~xs:(Array.map float_of_int grid.session_sizes)
+    ~ys:(Array.map float_of_int grid.session_counts)
+    (Array.map (Array.map field) cells)
+
+let utilization_series setup solution =
+  let overlays = Setup.overlays setup Overlay.Ip in
+  let edges = Metrics.covered_edges overlays in
+  let graph = setup.Setup.topology.Topology.graph in
+  let curve = Metrics.utilization_curve solution graph ~edges in
+  if Array.length curve = 0 then
+    Array.map (fun _ -> 0.0) Exp_figures.curve_grid
+  else Cdf.sample curve Exp_figures.curve_grid
+
+let fig14 grid ~n_sessions ~sizes =
+  let cells =
+    Array.map
+      (fun session_size ->
+        let setup = cell_setup grid ~n_sessions ~session_size in
+        let cell = run_cell grid ~n_sessions ~session_size in
+        (session_size, setup, cell))
+      sizes
+  in
+  let render which title =
+    let header =
+      "normalized_edge_rank"
+      :: Array.to_list
+           (Array.map (fun (s, _, _) -> Printf.sprintf "size_%d" s) cells)
+    in
+    let sampled =
+      Array.map (fun (_, setup, cell) -> utilization_series setup (which cell)) cells
+    in
+    let rows =
+      Array.to_list
+        (Array.mapi
+           (fun i x ->
+             x :: Array.to_list (Array.map (fun ys -> ys.(i)) sampled))
+           Exp_figures.curve_grid)
+    in
+    Tableau.series ~title ~columns:header rows
+  in
+  ( render
+      (fun c -> c.mcf_solution)
+      (Printf.sprintf "Fig 14: link utilization, %d sessions (MaxConcurrentFlow)" n_sessions),
+    render
+      (fun c -> c.mf_solution)
+      (Printf.sprintf "Fig 14: link utilization, %d sessions (MaxFlow)" n_sessions) )
+
+let fig17 grid ~n_sessions ~sizes =
+  let series =
+    Array.map
+      (fun session_size ->
+        let cell = run_cell grid ~n_sessions ~session_size in
+        let curve = Metrics.tree_rate_curve cell.mf_solution 0 in
+        if Array.length curve = 0 then
+          Array.map (fun _ -> 0.0) Exp_figures.curve_grid
+        else Cdf.sample curve Exp_figures.curve_grid)
+      sizes
+  in
+  let header =
+    "normalized_tree_rank"
+    :: Array.to_list (Array.map (Printf.sprintf "size_%d") sizes)
+  in
+  let rows =
+    Array.to_list
+      (Array.mapi
+         (fun i x -> x :: Array.to_list (Array.map (fun ys -> ys.(i)) series))
+         Exp_figures.curve_grid)
+  in
+  Tableau.series
+    ~title:
+      (Printf.sprintf
+         "Fig 17: accumulative tree rate distribution, %d session(s) (MaxFlow)"
+         n_sessions)
+    ~columns:header rows
+
+type online_cell = {
+  o_n_sessions : int;
+  o_session_size : int;
+  throughput_ratio_vs_mf : float;
+  minrate_ratio_vs_mcf : float;
+}
+
+let run_online_cell grid ~n_sessions ~session_size ~tree_limit ~sigma ~repeats =
+  let setup = cell_setup grid ~n_sessions ~session_size in
+  let graph = setup.Setup.topology.Topology.graph in
+  let cell = run_cell grid ~n_sessions ~session_size in
+  let originals = Array.length setup.Setup.sessions in
+  let thr_sum = ref 0.0 in
+  let minrate_sum = ref 0.0 in
+  for rep = 1 to repeats do
+    let overlays, original_of_slot =
+      Setup.replicated_overlays setup Overlay.Ip ~copies:tree_limit ~demand:1.0
+        ~arrival_seed:(grid.seed + (rep * 7919) + tree_limit)
+    in
+    let r = Online.solve graph overlays ~sigma in
+    let rates =
+      Metrics.aggregate_replicated_rates r.Online.solution ~original_of_slot
+        ~originals
+    in
+    thr_sum := !thr_sum +. Solution.overall_throughput r.Online.solution;
+    minrate_sum := !minrate_sum +. Array.fold_left Float.min infinity rates
+  done;
+  let n = float_of_int repeats in
+  let online_thr = !thr_sum /. n in
+  let online_minrate = !minrate_sum /. n in
+  (* the online replicas have total demand [tree_limit] per original
+     session while the MF/MCF bounds are computed at demand 1; rates are
+     capacity-determined after l_max scaling, so the comparison is
+     between absolute achieved rates, as in the paper *)
+  {
+    o_n_sessions = n_sessions;
+    o_session_size = session_size;
+    throughput_ratio_vs_mf =
+      (if cell.mf_throughput > 0.0 then online_thr /. cell.mf_throughput else 0.0);
+    minrate_ratio_vs_mcf =
+      (if cell.mcf_min_rate > 0.0 then online_minrate /. cell.mcf_min_rate
+       else 0.0);
+  }
+
+let run_online_grid grid ~tree_limit ~sigma ~repeats =
+  Array.map
+    (fun n_sessions ->
+      Array.map
+        (fun session_size ->
+          run_online_cell grid ~n_sessions ~session_size ~tree_limit ~sigma
+            ~repeats)
+        grid.session_sizes)
+    grid.session_counts
+
+let online_surface grid cells ~field ~title =
+  Tableau.surface ~title ~xlabel:"session size" ~ylabel:"n sessions"
+    ~xs:(Array.map float_of_int grid.session_sizes)
+    ~ys:(Array.map float_of_int grid.session_counts)
+    (Array.map (Array.map field) cells)

@@ -1,0 +1,78 @@
+(** Reproduction of the Sec. VI evaluation (Figs. 12–19): surfaces over
+    (number of sessions) x (session size) on the two-level AS topology
+    (Setup B).
+
+    The paper's grid is sessions 1..9 x sizes 10..90 on a 1000-router
+    network; a [grid] value scales both down so the benches finish in
+    minutes while preserving the trends.  Each grid cell runs on a
+    fresh seeded instance, so cells are independent and reproducible. *)
+
+type grid = {
+  n_as : int;
+  routers_per_as : int;
+  session_counts : int array;   (** rows of the surface *)
+  session_sizes : int array;    (** columns *)
+  ratio : float;                (** FPTAS approximation ratio (paper: 0.95) *)
+  seed : int;
+}
+
+(** The paper's full-scale grid. *)
+val paper_grid : grid
+
+(** A scaled-down grid for benches: [n_as] ASes x [routers] routers,
+    sessions 1..[max_sessions], sizes from [sizes]. *)
+val small_grid :
+  n_as:int -> routers:int -> session_counts:int array -> session_sizes:int array -> seed:int -> grid
+
+(** One grid cell's measurements; surfaces read individual fields. *)
+type cell = {
+  n_sessions : int;
+  session_size : int;
+  mf_throughput : float;        (** Fig. 12 *)
+  edges_per_node : float;       (** Fig. 13 *)
+  mcf_min_rate : float;         (** Fig. 15 *)
+  mcf_throughput : float;
+  throughput_ratio : float;     (** Fig. 16: MCF / MF *)
+  mf_solution : Solution.t;
+  mcf_solution : Solution.t;
+}
+
+(** [run_cell grid ~n_sessions ~session_size] evaluates one cell:
+    builds the instance, runs MaxFlow and MaxConcurrentFlow. *)
+val run_cell : grid -> n_sessions:int -> session_size:int -> cell
+
+(** [run_grid grid] evaluates the full surface (row-major:
+    result.(i).(j) has [session_counts.(i)] sessions of size
+    [session_sizes.(j)]). *)
+val run_grid : grid -> cell array array
+
+(** [surface grid cells ~field ~title] renders one surface. *)
+val surface : grid -> cell array array -> field:(cell -> float) -> title:string -> string
+
+(** [fig14 grid ~n_sessions ~sizes] renders the link-utilization
+    staircase curves for a fixed session count, one series per session
+    size, for both algorithms: returns (MCF text, MF text). *)
+val fig14 : grid -> n_sessions:int -> sizes:int array -> string * string
+
+(** [fig17 grid ~n_sessions ~sizes] renders the accumulative tree-rate
+    distribution of session 0 for each session size (MaxFlow). *)
+val fig17 : grid -> n_sessions:int -> sizes:int array -> string
+
+(** Online-vs-optimal ratio surfaces (Figs. 18/19). *)
+type online_cell = {
+  o_n_sessions : int;
+  o_session_size : int;
+  throughput_ratio_vs_mf : float;   (** Fig. 18 *)
+  minrate_ratio_vs_mcf : float;     (** Fig. 19 *)
+}
+
+(** [run_online_grid grid ~tree_limit ~sigma ~repeats] replicates each
+    session [tree_limit] times, runs the online algorithm over random
+    arrival orders, and reports its throughput and min-rate against the
+    MaxFlow / MaxConcurrentFlow bounds of the same cell. *)
+val run_online_grid :
+  grid -> tree_limit:int -> sigma:float -> repeats:int -> online_cell array array
+
+(** [online_surface grid cells ~field ~title] renders Fig. 18/19. *)
+val online_surface :
+  grid -> online_cell array array -> field:(online_cell -> float) -> title:string -> string

@@ -1,0 +1,147 @@
+let curve_grid = Array.init 20 (fun i -> float_of_int (i + 1) /. 20.0)
+
+let tree_rate_distribution rows ~slot =
+  let header =
+    "normalized_tree_rank"
+    :: List.map (fun (ratio, _) -> Printf.sprintf "ratio_%.2f" ratio) rows
+  in
+  let curves =
+    List.map
+      (fun (_, solution) -> Metrics.tree_rate_curve solution slot)
+      rows
+  in
+  let sampled =
+    List.map
+      (fun curve ->
+        if Array.length curve = 0 then Array.map (fun _ -> 0.0) curve_grid
+        else Cdf.sample curve curve_grid)
+      curves
+  in
+  let data =
+    Array.to_list
+      (Array.mapi
+         (fun i x -> x :: List.map (fun ys -> ys.(i)) sampled)
+         curve_grid)
+  in
+  (header, data)
+
+let link_utilization_distribution setup ~mode rows =
+  let graph = setup.Setup.topology.Topology.graph in
+  let edges =
+    match mode with
+    | Overlay.Ip ->
+      (* the fixed routes determine coverage (the paper's "52 physical
+         links"), whether or not flow ended up on them *)
+      Metrics.covered_edges (Setup.overlays setup Overlay.Ip)
+    | Overlay.Arbitrary ->
+      (* no fixed coverage exists; use the union of links actually
+         loaded by any of the solutions *)
+      let used = Hashtbl.create 64 in
+      List.iter
+        (fun (_, solution) ->
+          let loads = Solution.link_load solution graph in
+          Array.iteri
+            (fun id load -> if load > 1e-12 then Hashtbl.replace used id ())
+            loads)
+        rows;
+      let ids = Hashtbl.fold (fun id () acc -> id :: acc) used [] in
+      let arr = Array.of_list ids in
+      Array.sort compare arr;
+      arr
+  in
+  let header =
+    "normalized_edge_rank"
+    :: List.map (fun (ratio, _) -> Printf.sprintf "ratio_%.2f" ratio) rows
+  in
+  let sampled =
+    List.map
+      (fun (_, solution) ->
+        let curve = Metrics.utilization_curve solution graph ~edges in
+        if Array.length curve = 0 then Array.map (fun _ -> 0.0) curve_grid
+        else Cdf.sample curve curve_grid)
+      rows
+  in
+  let data =
+    Array.to_list
+      (Array.mapi
+         (fun i x -> x :: List.map (fun ys -> ys.(i)) sampled)
+         curve_grid)
+  in
+  (header, data)
+
+type limited_point = {
+  max_trees : int;
+  throughput : float;
+  session_rates : float array;
+  distinct_trees : float array;
+}
+
+let random_series setup ~mode ~ratio ~tree_limits ~repeats =
+  let overlays = Setup.overlays setup mode in
+  let graph = setup.Setup.topology.Topology.graph in
+  let result =
+    Max_concurrent_flow.solve graph overlays
+      ~epsilon:(Max_concurrent_flow.ratio_to_epsilon ratio)
+      ~scaling:Max_concurrent_flow.Maxflow_weighted
+  in
+  let fractional = result.Max_concurrent_flow.solution in
+  List.map
+    (fun max_trees ->
+      let rng = Setup.rng_for setup ~salt:(7000 + max_trees) in
+      let rates, throughput, distinct =
+        Random_rounding.round_average rng graph ~fractional
+          ~trees_per_session:max_trees ~repeats
+      in
+      { max_trees; throughput; session_rates = rates; distinct_trees = distinct })
+    tree_limits
+
+let online_series setup ~mode ~sigma ~tree_limits ~repeats =
+  let graph = setup.Setup.topology.Topology.graph in
+  let originals = Array.length setup.Setup.sessions in
+  List.map
+    (fun max_trees ->
+      let rate_sum = Array.make originals 0.0 in
+      let tree_sum = Array.make originals 0.0 in
+      let throughput_sum = ref 0.0 in
+      for rep = 1 to repeats do
+        let overlays, original_of_slot =
+          Setup.replicated_overlays setup mode ~copies:max_trees ~demand:1.0
+            ~arrival_seed:((setup.Setup.seed * 7919) + (max_trees * 101) + rep)
+        in
+        let r = Online.solve graph overlays ~sigma in
+        let rates =
+          Metrics.aggregate_replicated_rates r.Online.solution
+            ~original_of_slot ~originals
+        in
+        let distinct =
+          Metrics.aggregate_replicated_trees r.Online.solution
+            ~original_of_slot ~originals
+        in
+        for i = 0 to originals - 1 do
+          rate_sum.(i) <- rate_sum.(i) +. rates.(i);
+          tree_sum.(i) <- tree_sum.(i) +. float_of_int distinct.(i)
+        done;
+        throughput_sum :=
+          !throughput_sum +. Solution.overall_throughput r.Online.solution
+      done;
+      let n = float_of_int repeats in
+      {
+        max_trees;
+        throughput = !throughput_sum /. n;
+        session_rates = Array.map (fun s -> s /. n) rate_sum;
+        distinct_trees = Array.map (fun s -> s /. n) tree_sum;
+      })
+    tree_limits
+
+let render_limited ~title ~columns ~metric series_list =
+  match series_list with
+  | [] -> Tableau.series ~title ~columns []
+  | first :: _ ->
+    let rows =
+      List.mapi
+        (fun idx point ->
+          float_of_int point.max_trees
+          :: List.map (fun series -> metric (List.nth series idx)) series_list)
+        first
+    in
+    Tableau.series ~title ~columns rows

@@ -1,0 +1,69 @@
+(** Reproduction of the paper's Setup-A figures (2–11).
+
+    Every function returns plain data plus a gnuplot-style rendering, so
+    the bench harness can print exactly the series the paper plots.
+    The arbitrary-routing figures 7–11 are the same runners with
+    [mode = Arbitrary]. *)
+
+(** Sampling grid for distribution curves: x = 0.05, 0.10, ..., 1.0. *)
+val curve_grid : float array
+
+(** [tree_rate_distribution rows ~slot] builds Fig. 2/3/7/8: one series
+    per approximation ratio, each the accumulative rate distribution of
+    session [slot]'s trees, sampled on [curve_grid].
+    Input rows come from [Exp_tables].  Returns (header, rows) where a
+    row is [x :: one y per ratio]. *)
+val tree_rate_distribution :
+  (float * Solution.t) list -> slot:int -> string list * float list list
+
+(** [link_utilization_distribution setup ~mode rows] builds Fig. 4/9:
+    the utilization-ratio distribution over the physical links covered
+    by the sessions' routes (fixed-route coverage in [Ip] mode, the
+    union of actually loaded links in [Arbitrary] mode), one series per
+    ratio. *)
+val link_utilization_distribution :
+  Setup.t ->
+  mode:Overlay.mode ->
+  (float * Solution.t) list ->
+  string list * float list list
+
+(** Result of one limited-tree experiment point (Figs. 5/6/10/11). *)
+type limited_point = {
+  max_trees : int;
+  throughput : float;
+  session_rates : float array;   (** per original session *)
+  distinct_trees : float array;  (** mean distinct trees per original session *)
+}
+
+(** [random_series setup ~mode ~ratio ~tree_limits ~repeats] runs
+    MaxConcurrentFlow once at [ratio] (the paper uses 95%), then
+    rounds with each tree budget, averaging over [repeats] draws. *)
+val random_series :
+  Setup.t ->
+  mode:Overlay.mode ->
+  ratio:float ->
+  tree_limits:int list ->
+  repeats:int ->
+  limited_point list
+
+(** [online_series setup ~mode ~sigma ~tree_limits ~repeats] replicates
+    every session [n-1] times (demand 1) for each tree budget [n], runs
+    the online algorithm over [repeats] random arrival orders, and
+    averages. *)
+val online_series :
+  Setup.t ->
+  mode:Overlay.mode ->
+  sigma:float ->
+  tree_limits:int list ->
+  repeats:int ->
+  limited_point list
+
+(** [render_limited ~title ~sigma_labels series_list] renders Fig. 5/6
+    style output: column 1 is the tree budget, then per algorithm the
+    requested metric.  [metric] picks what to print. *)
+val render_limited :
+  title:string ->
+  columns:string list ->
+  metric:(limited_point -> float) ->
+  limited_point list list ->
+  string

@@ -1,0 +1,96 @@
+type family = Waxman_flat | Barabasi_albert | Two_level_as | Transit_stub_ts
+
+let all_families = [ Waxman_flat; Barabasi_albert; Two_level_as; Transit_stub_ts ]
+
+let family_name = function
+  | Waxman_flat -> "waxman"
+  | Barabasi_albert -> "barabasi-albert"
+  | Two_level_as -> "two-level-as"
+  | Transit_stub_ts -> "transit-stub"
+
+type row = {
+  family : family;
+  randomized_capacity : bool;
+  n_nodes : int;
+  n_links : int;
+  throughput : float;
+  utilization_gini : float;
+  top10_load_share : float;
+  mean_utilization : float;
+  max_utilization : float;
+}
+
+let build_topology rng = function
+  | Waxman_flat -> Waxman.generate rng Waxman.default_params
+  | Barabasi_albert ->
+    Barabasi.generate rng { Barabasi.default_params with n = 100 }
+  | Two_level_as ->
+    Two_level.generate rng (Two_level.small_params ~n_as:5 ~routers_per_as:20)
+  | Transit_stub_ts -> Transit_stub.generate rng Transit_stub.default_params
+
+let evaluate ~seed ~n_sessions ~session_size ~ratio family randomized =
+  let rng = Rng.create (seed + Hashtbl.hash (family_name family, randomized)) in
+  let topology = build_topology rng family in
+  if randomized then
+    Topology.randomize_capacities topology (Rng.split rng) ~low:20.0 ~high:180.0;
+  let graph = topology.Topology.graph in
+  let n = Topology.n_nodes topology in
+  let sessions =
+    Session.random_batch rng ~topology_size:n ~count:n_sessions
+      ~size:session_size ~demand:100.0
+  in
+  let overlays = Array.map (Overlay.create graph Overlay.Ip) sessions in
+  let result =
+    Max_flow.solve graph overlays ~epsilon:(Max_flow.ratio_to_epsilon ratio)
+  in
+  let solution = result.Max_flow.solution in
+  let covered = Metrics.covered_edges overlays in
+  let utils = Metrics.link_utilization solution graph ~edges:covered in
+  let loads = Solution.link_load solution graph in
+  let covered_loads = Array.map (fun id -> loads.(id)) covered in
+  {
+    family;
+    randomized_capacity = randomized;
+    n_nodes = n;
+    n_links = Graph.n_edges graph;
+    throughput = Solution.overall_throughput solution;
+    utilization_gini = (if Array.length utils = 0 then 0.0 else Stats.gini utils);
+    top10_load_share = Cdf.top_share covered_loads ~fraction:0.1;
+    mean_utilization = (if Array.length utils = 0 then 0.0 else Stats.mean utils);
+    max_utilization =
+      (if Array.length utils = 0 then 0.0 else snd (Stats.min_max utils));
+  }
+
+let run ~seed ~n_sessions ~session_size ~ratio =
+  List.concat_map
+    (fun family ->
+      List.map
+        (fun randomized ->
+          evaluate ~seed ~n_sessions ~session_size ~ratio family randomized)
+        [ false; true ])
+    all_families
+
+let render rows =
+  let t =
+    Tableau.create ~title:"robustness: link-load concentration across topologies"
+      [
+        "family"; "capacities"; "nodes"; "links"; "throughput"; "util gini";
+        "top10% load"; "mean util"; "max util";
+      ]
+  in
+  List.iter
+    (fun r ->
+      Tableau.add_row t
+        [
+          family_name r.family;
+          (if r.randomized_capacity then "random" else "uniform");
+          string_of_int r.n_nodes;
+          string_of_int r.n_links;
+          Printf.sprintf "%.0f" r.throughput;
+          Printf.sprintf "%.3f" r.utilization_gini;
+          Printf.sprintf "%.2f" r.top10_load_share;
+          Printf.sprintf "%.3f" r.mean_utilization;
+          Printf.sprintf "%.3f" r.max_utilization;
+        ])
+    rows;
+  Tableau.render t

@@ -1,0 +1,37 @@
+(** Robustness sweep: does the paper's headline finding — highly
+    unbalanced link utilization capping multi-tree capacity — persist
+    across topology families and capacity models?
+
+    The paper conjectures (Sec. VI end) that the unbalanced utilization
+    "might be an intrinsic property of the combination of shortest-path
+    routing and the current Internet topology".  This experiment runs
+    the same sessions over Waxman, Barabási–Albert, two-level AS and
+    transit-stub graphs, with uniform and randomized capacities, and
+    reports concentration statistics of the resulting link loads. *)
+
+type family = Waxman_flat | Barabasi_albert | Two_level_as | Transit_stub_ts
+
+val all_families : family list
+
+val family_name : family -> string
+
+type row = {
+  family : family;
+  randomized_capacity : bool;
+  n_nodes : int;
+  n_links : int;
+  throughput : float;
+  utilization_gini : float;   (** over links covered by overlay routes *)
+  top10_load_share : float;   (** share of total load on the top 10% links *)
+  mean_utilization : float;
+  max_utilization : float;
+}
+
+(** [run ~seed ~n_sessions ~session_size ~ratio] evaluates MaxFlow on
+    every family (about 100 nodes each) with and without randomized
+    capacities; one row per configuration. *)
+val run :
+  seed:int -> n_sessions:int -> session_size:int -> ratio:float -> row list
+
+(** [render rows] draws the comparison table. *)
+val render : row list -> string

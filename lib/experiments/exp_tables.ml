@@ -1,0 +1,125 @@
+type mf_row = {
+  ratio : float;
+  rate1 : float;
+  rate2 : float;
+  throughput : float;
+  trees1 : int;
+  trees2 : int;
+  mst_ops : int;
+  result : Max_flow.result;
+}
+
+type mcf_row = {
+  ratio : float;
+  rate1 : float;
+  rate2 : float;
+  throughput : float;
+  trees1 : int;
+  trees2 : int;
+  main_ops : int;
+  pre_ops : int;
+  result : Max_concurrent_flow.result;
+}
+
+let paper_ratios =
+  [ 0.90; 0.91; 0.92; 0.93; 0.94; 0.95; 0.96; 0.97; 0.98; 0.99 ]
+
+let rate solution slot =
+  if slot < Array.length (Solution.sessions solution) then
+    Solution.session_rate solution slot
+  else 0.0
+
+let trees solution slot =
+  if slot < Array.length (Solution.sessions solution) then
+    Solution.n_trees solution slot
+  else 0
+
+let maxflow_sweep setup ~mode ~ratios =
+  List.map
+    (fun ratio ->
+      let overlays = Setup.overlays setup mode in
+      let epsilon = Max_flow.ratio_to_epsilon ratio in
+      let result =
+        Max_flow.solve setup.Setup.topology.Topology.graph overlays ~epsilon
+      in
+      let s = result.Max_flow.solution in
+      {
+        ratio;
+        rate1 = rate s 0;
+        rate2 = rate s 1;
+        throughput = Solution.overall_throughput s;
+        trees1 = trees s 0;
+        trees2 = trees s 1;
+        mst_ops = result.Max_flow.mst_operations;
+        result;
+      })
+    ratios
+
+let mcf_sweep setup ~mode ~ratios ~scaling =
+  List.map
+    (fun ratio ->
+      let overlays = Setup.overlays setup mode in
+      let epsilon = Max_concurrent_flow.ratio_to_epsilon ratio in
+      let result =
+        Max_concurrent_flow.solve setup.Setup.topology.Topology.graph overlays
+          ~epsilon ~scaling
+      in
+      let s = result.Max_concurrent_flow.solution in
+      {
+        ratio;
+        rate1 = rate s 0;
+        rate2 = rate s 1;
+        throughput = Solution.overall_throughput s;
+        trees1 = trees s 0;
+        trees2 = trees s 1;
+        main_ops = result.Max_concurrent_flow.main_mst_operations;
+        pre_ops = result.Max_concurrent_flow.pre_mst_operations;
+        result;
+      })
+    ratios
+
+let render_mf ~title rows =
+  let t =
+    Tableau.create ~title
+      [
+        "approx ratio"; "rate s1"; "rate s2"; "overall thr"; "trees s1";
+        "trees s2"; "MST ops";
+      ]
+  in
+  List.iter
+    (fun (r : mf_row) ->
+      Tableau.add_row t
+        [
+          Printf.sprintf "%.2f" r.ratio;
+          Printf.sprintf "%.2f" r.rate1;
+          Printf.sprintf "%.2f" r.rate2;
+          Printf.sprintf "%.2f" r.throughput;
+          string_of_int r.trees1;
+          string_of_int r.trees2;
+          string_of_int r.mst_ops;
+        ])
+    rows;
+  Tableau.render t
+
+let render_mcf ~title rows =
+  let t =
+    Tableau.create ~title
+      [
+        "approx ratio"; "rate s1"; "rate s2"; "overall thr"; "trees s1";
+        "trees s2"; "MST ops (main+pre)";
+      ]
+  in
+  List.iter
+    (fun (r : mcf_row) ->
+      Tableau.add_row t
+        [
+          Printf.sprintf "%.2f" r.ratio;
+          Printf.sprintf "%.2f" r.rate1;
+          Printf.sprintf "%.2f" r.rate2;
+          Printf.sprintf "%.2f" r.throughput;
+          string_of_int r.trees1;
+          string_of_int r.trees2;
+          Printf.sprintf "%d+%d" r.main_ops r.pre_ops;
+        ])
+    rows;
+  Tableau.render t

@@ -1,0 +1,52 @@
+(** Reproduction of the paper's Tables II, IV, VII, VIII: MaxFlow and
+    MaxConcurrentFlow swept over approximation ratios on Setup A, under
+    either routing mode (the arbitrary-routing variants VII and VIII
+    differ only in the [Overlay.mode]). *)
+
+type mf_row = {
+  ratio : float;
+  rate1 : float;
+  rate2 : float;
+  throughput : float;
+  trees1 : int;
+  trees2 : int;
+  mst_ops : int;
+  result : Max_flow.result;
+}
+
+type mcf_row = {
+  ratio : float;
+  rate1 : float;
+  rate2 : float;
+  throughput : float;
+  trees1 : int;
+  trees2 : int;
+  main_ops : int;
+  pre_ops : int;
+  result : Max_concurrent_flow.result;
+}
+
+(** The paper's ratio sweep 0.90 .. 0.99. *)
+val paper_ratios : float list
+
+(** [maxflow_sweep setup ~mode ~ratios] produces one row per ratio
+    (fresh overlays per ratio so MST-operation counts are per-run).
+    Sessions beyond the first two still contribute to throughput; rate1
+    and rate2 report the first two slots as the paper does. *)
+val maxflow_sweep :
+  Setup.t -> mode:Overlay.mode -> ratios:float list -> mf_row list
+
+(** [mcf_sweep setup ~mode ~ratios ~scaling] likewise for
+    MaxConcurrentFlow. *)
+val mcf_sweep :
+  Setup.t ->
+  mode:Overlay.mode ->
+  ratios:float list ->
+  scaling:Max_concurrent_flow.demand_scaling ->
+  mcf_row list
+
+(** [render_mf ~title rows] and [render_mcf ~title rows] draw the
+    tables in the paper's row layout. *)
+val render_mf : title:string -> mf_row list -> string
+
+val render_mcf : title:string -> mcf_row list -> string

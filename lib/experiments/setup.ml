@@ -1,0 +1,95 @@
+type t = {
+  topology : Topology.t;
+  sessions : Session.t array;
+  seed : int;
+}
+
+type params_a = {
+  n_nodes : int;
+  session_sizes : int array;
+  demand : float;
+  capacity : float;
+}
+
+let default_a =
+  { n_nodes = 100; session_sizes = [| 7; 5 |]; demand = 100.0; capacity = 100.0 }
+
+let make_a ~seed (p : params_a) =
+  let rng = Rng.create seed in
+  let topology =
+    Waxman.generate rng
+      { Waxman.default_params with n = p.n_nodes; capacity = p.capacity }
+  in
+  let sessions =
+    Array.mapi
+      (fun id size ->
+        Session.random rng ~id ~topology_size:p.n_nodes ~size ~demand:p.demand)
+      p.session_sizes
+  in
+  { topology; sessions; seed }
+
+type params_b = {
+  n_as : int;
+  routers_per_as : int;
+  n_sessions : int;
+  session_size : int;
+  demand : float;
+  capacity : float;
+}
+
+let default_b =
+  {
+    n_as = 10;
+    routers_per_as = 100;
+    n_sessions = 2;
+    session_size = 10;
+    demand = 1.0;
+    capacity = 100.0;
+  }
+
+let make_b ~seed (p : params_b) =
+  let rng = Rng.create seed in
+  let topology =
+    Two_level.generate rng
+      { (Two_level.small_params ~n_as:p.n_as ~routers_per_as:p.routers_per_as)
+        with Two_level.capacity = p.capacity }
+  in
+  let n = Topology.n_nodes topology in
+  let sessions =
+    Session.random_batch rng ~topology_size:n ~count:p.n_sessions
+      ~size:p.session_size ~demand:p.demand
+  in
+  { topology; sessions; seed }
+
+let overlays t mode =
+  Array.map (Overlay.create t.topology.Topology.graph mode) t.sessions
+
+let rng_for t ~salt = Rng.create ((t.seed * 1000003) + salt)
+
+let replicated_overlays t mode ~copies ~demand ~arrival_seed =
+  let replicas = Session.replicate t.sessions ~copies ~demand in
+  let originals = Array.length t.sessions in
+  let rng = Rng.create arrival_seed in
+  let order = Array.init (Array.length replicas) (fun i -> i) in
+  Rng.shuffle rng order;
+  (* fresh dense ids in (shuffled) arrival order; original_of_slot maps
+     each arrival back to its source session *)
+  let original_of_slot = Array.map (fun old -> old mod originals) order in
+  let arrivals =
+    Array.mapi
+      (fun i old ->
+        let s = replicas.(old) in
+        Session.create ~id:i ~members:s.Session.members
+          ~demand:s.Session.demand)
+      order
+  in
+  (* one routing context per original; replicas share it *)
+  let prototypes =
+    Array.map (Overlay.create t.topology.Topology.graph mode) t.sessions
+  in
+  let overlays =
+    Array.mapi
+      (fun slot s -> Overlay.with_session prototypes.(original_of_slot.(slot)) s)
+      arrivals
+  in
+  (overlays, original_of_slot)

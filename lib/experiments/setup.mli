@@ -1,0 +1,63 @@
+(** Experiment environments.
+
+    Setup A reproduces Sec. III-B: a 100-node Waxman router topology
+    (all capacities 100) with two sessions of 7 and 5 members, both of
+    demand 100.  Setup B reproduces Sec. VI: a two-level AS topology
+    (10 ASes x 100 routers in the paper) carrying [n] sessions of a
+    given size, all of demand 1.  Both are seeded, so every run of the
+    same configuration sees the same topology and sessions. *)
+
+type t = {
+  topology : Topology.t;
+  sessions : Session.t array;
+  seed : int;
+}
+
+(** Parameters of Setup A with paper defaults. *)
+type params_a = {
+  n_nodes : int;          (** 100 *)
+  session_sizes : int array;  (** [|7; 5|] *)
+  demand : float;         (** 100. *)
+  capacity : float;       (** 100. *)
+}
+
+val default_a : params_a
+
+(** [make_a ~seed params] builds Setup A. *)
+val make_a : seed:int -> params_a -> t
+
+(** Parameters of Setup B with paper defaults (scaled instances are
+    built by overriding the fields). *)
+type params_b = {
+  n_as : int;             (** 10 *)
+  routers_per_as : int;   (** 100 *)
+  n_sessions : int;
+  session_size : int;
+  demand : float;         (** 1. *)
+  capacity : float;       (** 100. *)
+}
+
+val default_b : params_b
+
+(** [make_b ~seed params] builds Setup B. *)
+val make_b : seed:int -> params_b -> t
+
+(** [overlays t mode] builds one overlay context per session. *)
+val overlays : t -> Overlay.mode -> Overlay.t array
+
+(** [replicated_overlays t mode ~copies ~demand ~arrival_seed]
+    replicates every session [copies] times at the given demand,
+    shuffles the arrival order, and builds overlays — the construction
+    of the online experiments (Sec. IV-D).  Also returns
+    [original_of_slot]: the source-session index of each arrival. *)
+val replicated_overlays :
+  t ->
+  Overlay.mode ->
+  copies:int ->
+  demand:float ->
+  arrival_seed:int ->
+  Overlay.t array * int array
+
+(** [rng_for t ~salt] derives a deterministic RNG stream for a specific
+    consumer (rounding draws, arrival orders, ...). *)
+val rng_for : t -> salt:int -> Rng.t

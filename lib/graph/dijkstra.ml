@@ -1,0 +1,86 @@
+type tree = {
+  source : int;
+  dist : float array;
+  parent_vertex : int array;
+  parent_edge : int array;
+}
+
+let shortest_path_tree g ~length ~source =
+  let n = Graph.n_vertices g in
+  if source < 0 || source >= n then
+    invalid_arg "Dijkstra.shortest_path_tree: source out of range";
+  let dist = Array.make n infinity in
+  let parent_vertex = Array.make n (-1) in
+  let parent_edge = Array.make n (-1) in
+  let settled = Array.make n false in
+  let heap = Indexed_heap.create n in
+  dist.(source) <- 0.0;
+  Indexed_heap.insert heap source 0.0;
+  while not (Indexed_heap.is_empty heap) do
+    let u, du = Indexed_heap.pop_min heap in
+    if not settled.(u) then begin
+      settled.(u) <- true;
+      Graph.iter_neighbors g u (fun v id ->
+          if not settled.(v) then begin
+            let w = length id in
+            if w < 0.0 then invalid_arg "Dijkstra: negative edge length";
+            let candidate = du +. w in
+            if candidate < dist.(v) then begin
+              dist.(v) <- candidate;
+              parent_vertex.(v) <- u;
+              parent_edge.(v) <- id;
+              Indexed_heap.insert_or_decrease heap v candidate
+            end
+          end)
+    end
+  done;
+  { source; dist; parent_vertex; parent_edge }
+
+let path_to tree v =
+  if v = tree.source then Some []
+  else if tree.dist.(v) = infinity then None
+  else begin
+    let rec walk v acc =
+      if v = tree.source then acc
+      else walk tree.parent_vertex.(v) (tree.parent_edge.(v) :: acc)
+    in
+    Some (walk v [])
+  end
+
+let path_vertices tree v =
+  if v = tree.source then Some [ v ]
+  else if tree.dist.(v) = infinity then None
+  else begin
+    let rec walk v acc =
+      if v = tree.source then v :: acc else walk tree.parent_vertex.(v) (v :: acc)
+    in
+    Some (walk v [])
+  end
+
+let distance g ~length ~source ~target =
+  let tree = shortest_path_tree g ~length ~source in
+  tree.dist.(target)
+
+let hop_length _ = 1.0
+
+let bellman_ford g ~length ~source =
+  let n = Graph.n_vertices g in
+  let dist = Array.make n infinity in
+  dist.(source) <- 0.0;
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < n do
+    changed := false;
+    incr rounds;
+    Graph.iter_edges g (fun e ->
+        let w = length e.Graph.id in
+        let relax a b =
+          if dist.(a) +. w < dist.(b) then begin
+            dist.(b) <- dist.(a) +. w;
+            changed := true
+          end
+        in
+        relax e.Graph.u e.Graph.v;
+        relax e.Graph.v e.Graph.u)
+  done;
+  dist

@@ -1,0 +1,40 @@
+(** Single-source shortest paths under an arbitrary edge length function.
+
+    The overlay algorithms re-run shortest paths constantly with lengths
+    given by the dual variables [d_e], so lengths are supplied as a
+    function of edge id rather than stored in the graph.  Lengths must be
+    nonnegative; [infinity] disables an edge. *)
+
+type tree = {
+  source : int;
+  dist : float array;           (** [dist.(v)] = length of shortest path, [infinity] if unreachable *)
+  parent_vertex : int array;    (** predecessor on the path, [-1] at source/unreachable *)
+  parent_edge : int array;      (** edge id into [v] from its predecessor, [-1] at source/unreachable *)
+}
+
+(** [shortest_path_tree g ~length ~source] runs Dijkstra with an indexed
+    heap; O((n + m) log n).  Tie-breaking is deterministic (first
+    relaxation wins), so repeated runs return identical routes — the
+    fixed-IP-routing substrate depends on this. *)
+val shortest_path_tree :
+  Graph.t -> length:(int -> float) -> source:int -> tree
+
+(** [path_to tree v] returns the edge ids from the source to [v] in path
+    order, or [None] when [v] is unreachable. The source itself yields
+    [Some []]. *)
+val path_to : tree -> int -> int list option
+
+(** [path_vertices tree v] returns the vertices of the path from the
+    source to [v], inclusive, or [None] when unreachable. *)
+val path_vertices : tree -> int -> int list option
+
+(** [distance g ~length ~source ~target] is the shortest-path length, or
+    [infinity] when unreachable. *)
+val distance : Graph.t -> length:(int -> float) -> source:int -> target:int -> float
+
+(** [hop_length _] is the unit length function (shortest-hop routing). *)
+val hop_length : int -> float
+
+(** [bellman_ford g ~length ~source] is an O(n m) reference
+    implementation used as a test oracle; same [dist] contract. *)
+val bellman_ford : Graph.t -> length:(int -> float) -> source:int -> float array

@@ -1,0 +1,78 @@
+type t = {
+  n : int;
+  tree_parent : int array;
+  cut_value : float array;
+}
+
+let build g =
+  if not (Traverse.is_connected g) then failwith "Gomory_hu.build: disconnected";
+  let n = Graph.n_vertices g in
+  let tree_parent = Array.make n 0 in
+  let cut_value = Array.make n infinity in
+  tree_parent.(0) <- -1;
+  if n > 1 then begin
+    let net, _ = Maxflow.of_graph g in
+    for i = 1 to n - 1 do
+      Maxflow.reset net;
+      let p = tree_parent.(i) in
+      let f = Maxflow.max_flow net ~source:i ~sink:p in
+      cut_value.(i) <- f;
+      let side = Maxflow.min_cut net ~source:i in
+      (* Gusfield: re-hang later vertices that fell on i's side *)
+      for j = i + 1 to n - 1 do
+        if tree_parent.(j) = p && side.(j) then tree_parent.(j) <- i
+      done;
+      (* root adjustment: if the grandparent is on i's side, swap *)
+      if p <> 0 && tree_parent.(p) >= 0 && side.(tree_parent.(p)) then begin
+        tree_parent.(i) <- tree_parent.(p);
+        tree_parent.(p) <- i;
+        cut_value.(i) <- cut_value.(p);
+        cut_value.(p) <- f
+      end
+    done
+  end;
+  { n; tree_parent; cut_value }
+
+let parent t = Array.init t.n (fun v -> (t.tree_parent.(v), t.cut_value.(v)))
+
+let min_cut_value t u v =
+  if u = v then invalid_arg "Gomory_hu.min_cut_value: identical vertices";
+  if u < 0 || u >= t.n || v < 0 || v >= t.n then
+    invalid_arg "Gomory_hu.min_cut_value: vertex out of range";
+  (* walk both vertices to the root, recording depths first *)
+  let depth x =
+    let rec go x d = if x < 0 then d else go t.tree_parent.(x) (d + 1) in
+    go x 0
+  in
+  let rec lift x steps best =
+    if steps = 0 then (x, best)
+    else
+      lift t.tree_parent.(x) (steps - 1) (Float.min best t.cut_value.(x))
+  in
+  let du = depth u and dv = depth v in
+  let u, v, best =
+    if du >= dv then
+      let u', b = lift u (du - dv) infinity in
+      (u', v, b)
+    else
+      let v', b = lift v (dv - du) infinity in
+      (u, v', b)
+  in
+  let rec meet u v best =
+    if u = v then best
+    else
+      let best = Float.min best (Float.min t.cut_value.(u) t.cut_value.(v)) in
+      meet t.tree_parent.(u) t.tree_parent.(v) best
+  in
+  meet u v best
+
+let min_cut_over_members t members =
+  let k = Array.length members in
+  if k < 2 then invalid_arg "Gomory_hu.min_cut_over_members: need 2 members";
+  let best = ref infinity in
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      best := Float.min !best (min_cut_value t members.(i) members.(j))
+    done
+  done;
+  !best

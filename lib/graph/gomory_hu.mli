@@ -1,0 +1,28 @@
+(** Gomory–Hu cut trees: all-pairs minimum cuts from [n - 1] max-flow
+    computations (Gusfield's variant, no contraction).
+
+    Used by the capacity-bound analysis: the rate of an overlay session
+    is limited by the minimum cut separating any two of its members, and
+    the cut tree answers all [O(|S|^2)] pair queries after one
+    construction. *)
+
+type t
+
+(** [build g] constructs the cut tree of a connected graph with
+    capacities as cut weights. Raises [Failure] when disconnected. *)
+val build : Graph.t -> t
+
+(** [min_cut_value t u v] is the capacity of the minimum cut separating
+    [u] and [v]; O(n) per query. *)
+val min_cut_value : t -> int -> int -> float
+
+(** [parent t] exposes the tree: [fst (parent t).(v)] is the tree parent
+    of [v] (vertex 0 is the root, parent -1) and [snd (parent t).(v)]
+    the cut value of the tree edge. *)
+val parent : t -> (int * float) array
+
+(** [min_cut_over_members t members] is the smallest pairwise min-cut
+    among the given vertices — an upper bound on any session's single
+    "reach every member" rate. Raises [Invalid_argument] with fewer
+    than 2 members. *)
+val min_cut_over_members : t -> int array -> float

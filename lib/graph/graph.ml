@@ -1,0 +1,119 @@
+type edge = { id : int; u : int; v : int; mutable capacity : float }
+
+type t = {
+  n : int;
+  mutable edge_store : edge array;     (* grows by doubling *)
+  mutable m : int;
+  adjacency : (int * int) list array;  (* reversed insertion order *)
+}
+
+let dummy_edge = { id = -1; u = -1; v = -1; capacity = 0.0 }
+
+let create ~n =
+  if n < 0 then invalid_arg "Graph.create: negative size";
+  {
+    n;
+    edge_store = Array.make 8 dummy_edge;
+    m = 0;
+    adjacency = Array.make (max n 1) [];
+  }
+
+let n_vertices t = t.n
+let n_edges t = t.m
+
+let check_vertex t v name =
+  if v < 0 || v >= t.n then
+    invalid_arg (Printf.sprintf "Graph.%s: vertex %d out of range" name v)
+
+let add_edge t u v ~capacity =
+  check_vertex t u "add_edge";
+  check_vertex t v "add_edge";
+  if u = v then invalid_arg "Graph.add_edge: self-loop";
+  if capacity < 0.0 then invalid_arg "Graph.add_edge: negative capacity";
+  let id = t.m in
+  if id = Array.length t.edge_store then begin
+    let bigger = Array.make (2 * id) dummy_edge in
+    Array.blit t.edge_store 0 bigger 0 id;
+    t.edge_store <- bigger
+  end;
+  t.edge_store.(id) <- { id; u; v; capacity };
+  t.adjacency.(u) <- (v, id) :: t.adjacency.(u);
+  t.adjacency.(v) <- (u, id) :: t.adjacency.(v);
+  t.m <- id + 1;
+  id
+
+let of_edges ~n edge_list =
+  let t = create ~n in
+  List.iter (fun (u, v, capacity) -> ignore (add_edge t u v ~capacity)) edge_list;
+  t
+
+let edge t id =
+  if id < 0 || id >= t.m then invalid_arg "Graph.edge: id out of range";
+  t.edge_store.(id)
+
+let capacity t id = (edge t id).capacity
+
+let set_capacity t id c =
+  if c < 0.0 then invalid_arg "Graph.set_capacity: negative capacity";
+  (edge t id).capacity <- c
+
+let endpoints t id =
+  let e = edge t id in
+  (e.u, e.v)
+
+let other t id w =
+  let e = edge t id in
+  if e.u = w then e.v
+  else if e.v = w then e.u
+  else invalid_arg "Graph.other: vertex not an endpoint"
+
+let neighbors t v =
+  check_vertex t v "neighbors";
+  let l = t.adjacency.(v) in
+  let arr = Array.of_list l in
+  (* adjacency lists are built reversed; restore insertion order *)
+  let n = Array.length arr in
+  Array.init n (fun i -> arr.(n - 1 - i))
+
+let iter_neighbors t v f =
+  check_vertex t v "iter_neighbors";
+  (* Insertion order is not required by any algorithm that uses this
+     zero-allocation path, so iterate the stored (reversed) list. *)
+  List.iter (fun (w, id) -> f w id) t.adjacency.(v)
+
+let degree t v =
+  check_vertex t v "degree";
+  List.length t.adjacency.(v)
+
+let iter_edges t f =
+  for id = 0 to t.m - 1 do
+    f t.edge_store.(id)
+  done
+
+let fold_edges t f init =
+  let acc = ref init in
+  for id = 0 to t.m - 1 do
+    acc := f !acc t.edge_store.(id)
+  done;
+  !acc
+
+let edges t = Array.init t.m (fun id -> t.edge_store.(id))
+
+let find_edge t u v =
+  check_vertex t u "find_edge";
+  check_vertex t v "find_edge";
+  let rec scan = function
+    | [] -> None
+    | (w, id) :: rest -> if w = v then Some id else scan rest
+  in
+  scan t.adjacency.(u)
+
+let total_capacity t = fold_edges t (fun acc e -> acc +. e.capacity) 0.0
+
+let copy t =
+  let fresh = create ~n:t.n in
+  iter_edges t (fun e -> ignore (add_edge fresh e.u e.v ~capacity:e.capacity));
+  fresh
+
+let pp fmt t =
+  Format.fprintf fmt "graph<%d vertices, %d edges>" t.n t.m

@@ -1,0 +1,81 @@
+(** Undirected weighted multigraph with dense integer vertex ids.
+
+    Vertices are [0 .. n-1], fixed at creation.  Edges carry a capacity
+    and a stable integer id assigned in insertion order; parallel edges
+    and distinct ids are allowed (overlay graphs need them).  Self-loops
+    are rejected.  The structure is append-only: algorithms that need
+    residual state keep it in their own arrays indexed by edge id. *)
+
+type edge = private {
+  id : int;
+  u : int;
+  v : int;
+  mutable capacity : float;
+}
+
+type t
+
+(** [create ~n] builds an edgeless graph on [n] vertices. *)
+val create : n:int -> t
+
+(** [add_edge t u v ~capacity] inserts an undirected edge and returns its
+    id.  Raises [Invalid_argument] on self-loops, negative capacity, or
+    out-of-range endpoints. *)
+val add_edge : t -> int -> int -> capacity:float -> int
+
+(** [of_edges ~n edges] builds a graph from [(u, v, capacity)] triples;
+    ids follow list order. *)
+val of_edges : n:int -> (int * int * float) list -> t
+
+val n_vertices : t -> int
+val n_edges : t -> int
+
+(** [edge t id] returns the edge record. Raises [Invalid_argument] on a
+    bad id. *)
+val edge : t -> int -> edge
+
+(** [capacity t id] is the capacity of edge [id]. *)
+val capacity : t -> int -> float
+
+(** [set_capacity t id c] updates the capacity in place. *)
+val set_capacity : t -> int -> float -> unit
+
+(** [endpoints t id] is [(u, v)] for edge [id]. *)
+val endpoints : t -> int -> int * int
+
+(** [other t id w] is the endpoint of edge [id] that is not [w]; raises
+    [Invalid_argument] if [w] is not an endpoint. *)
+val other : t -> int -> int -> int
+
+(** [neighbors t v] lists [(neighbor, edge_id)] pairs in insertion
+    order. The returned array is fresh. *)
+val neighbors : t -> int -> (int * int) array
+
+(** [iter_neighbors t v f] calls [f neighbor edge_id] without
+    allocating. *)
+val iter_neighbors : t -> int -> (int -> int -> unit) -> unit
+
+(** [degree t v] is the number of incident edges (parallel edges count). *)
+val degree : t -> int -> int
+
+(** [iter_edges t f] visits edges in id order. *)
+val iter_edges : t -> (edge -> unit) -> unit
+
+(** [fold_edges t f init] folds over edges in id order. *)
+val fold_edges : t -> ('a -> edge -> 'a) -> 'a -> 'a
+
+(** [edges t] is a fresh array of all edges in id order. *)
+val edges : t -> edge array
+
+(** [find_edge t u v] returns the id of some edge between [u] and [v],
+    or [None]. *)
+val find_edge : t -> int -> int -> int option
+
+(** [total_capacity t] sums all edge capacities. *)
+val total_capacity : t -> float
+
+(** [copy t] deep-copies the graph (capacities become independent). *)
+val copy : t -> t
+
+(** [pp] prints a short [n/m] summary. *)
+val pp : Format.formatter -> t -> unit

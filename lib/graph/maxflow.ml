@@ -1,0 +1,163 @@
+(* Arc-pair representation: arc i and arc (i lxor 1) are mutual reverses.
+   cap.(i) holds the residual capacity; original capacity is kept so the
+   network can be reset and so flow_on can report net flow. *)
+
+type t = {
+  n : int;
+  mutable heads : int array;
+  mutable caps : float array;
+  mutable original : float array;
+  mutable arcs : int;
+  first : int list array;   (* per-vertex arc ids, reversed *)
+  level : int array;
+  cursor : int array;
+}
+
+let create ~n =
+  {
+    n;
+    heads = Array.make 16 0;
+    caps = Array.make 16 0.0;
+    original = Array.make 16 0.0;
+    arcs = 0;
+    first = Array.make (max n 1) [];
+    level = Array.make (max n 1) (-1);
+    cursor = Array.make (max n 1) 0;
+  }
+
+let grow t =
+  let len = Array.length t.heads in
+  if t.arcs + 2 > len then begin
+    let heads = Array.make (2 * len) 0 in
+    let caps = Array.make (2 * len) 0.0 in
+    let original = Array.make (2 * len) 0.0 in
+    Array.blit t.heads 0 heads 0 t.arcs;
+    Array.blit t.caps 0 caps 0 t.arcs;
+    Array.blit t.original 0 original 0 t.arcs;
+    t.heads <- heads;
+    t.caps <- caps;
+    t.original <- original
+  end
+
+let add_arc t u v ~capacity =
+  if u = v then invalid_arg "Maxflow.add_arc: self-loop";
+  if capacity < 0.0 then invalid_arg "Maxflow.add_arc: negative capacity";
+  if u < 0 || u >= t.n || v < 0 || v >= t.n then
+    invalid_arg "Maxflow.add_arc: vertex out of range";
+  grow t;
+  let a = t.arcs in
+  t.heads.(a) <- v;
+  t.caps.(a) <- capacity;
+  t.original.(a) <- capacity;
+  t.heads.(a + 1) <- u;
+  t.caps.(a + 1) <- 0.0;
+  t.original.(a + 1) <- 0.0;
+  t.first.(u) <- a :: t.first.(u);
+  t.first.(v) <- (a + 1) :: t.first.(v);
+  t.arcs <- a + 2;
+  a
+
+let add_undirected t u v ~capacity =
+  let a = add_arc t u v ~capacity in
+  let b = add_arc t v u ~capacity in
+  (a, b)
+
+(* Dinic: BFS levels then DFS blocking flow with per-vertex cursors. *)
+
+let arc_lists t =
+  (* materialize adjacency once per max_flow call *)
+  Array.map (fun l -> Array.of_list l) t.first
+
+let eps = 1e-12
+
+let max_flow t ~source ~sink =
+  if source = sink then invalid_arg "Maxflow.max_flow: source = sink";
+  let adj = arc_lists t in
+  let total = ref 0.0 in
+  let build_levels () =
+    Array.fill t.level 0 t.n (-1);
+    let q = Queue.create () in
+    t.level.(source) <- 0;
+    Queue.push source q;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      Array.iter
+        (fun a ->
+          let v = t.heads.(a) in
+          if t.caps.(a) > eps && t.level.(v) < 0 then begin
+            t.level.(v) <- t.level.(u) + 1;
+            Queue.push v q
+          end)
+        adj.(u)
+    done;
+    t.level.(sink) >= 0
+  in
+  let rec push u limit =
+    if u = sink then limit
+    else begin
+      let sent = ref 0.0 in
+      let continue = ref true in
+      while !continue && t.cursor.(u) < Array.length adj.(u) do
+        let a = adj.(u).(t.cursor.(u)) in
+        let v = t.heads.(a) in
+        if t.caps.(a) > eps && t.level.(v) = t.level.(u) + 1 then begin
+          let pushed = push v (Float.min (limit -. !sent) t.caps.(a)) in
+          if pushed > eps then begin
+            t.caps.(a) <- t.caps.(a) -. pushed;
+            t.caps.(a lxor 1) <- t.caps.(a lxor 1) +. pushed;
+            sent := !sent +. pushed;
+            if limit -. !sent <= eps then continue := false
+          end
+          else t.cursor.(u) <- t.cursor.(u) + 1
+        end
+        else t.cursor.(u) <- t.cursor.(u) + 1
+      done;
+      !sent
+    end
+  in
+  while build_levels () do
+    Array.fill t.cursor 0 t.n 0;
+    let pushed = ref (push source infinity) in
+    while !pushed > eps do
+      total := !total +. !pushed;
+      pushed := push source infinity
+    done
+  done;
+  !total
+
+let flow_on t arc =
+  if arc < 0 || arc >= t.arcs then invalid_arg "Maxflow.flow_on: bad arc";
+  (* net flow = original - residual, clamped at zero (reverse arcs report
+     their own perspective) *)
+  Float.max 0.0 (t.original.(arc) -. t.caps.(arc))
+
+let min_cut t ~source =
+  let side = Array.make t.n false in
+  let q = Queue.create () in
+  side.(source) <- true;
+  Queue.push source q;
+  let adj = arc_lists t in
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    Array.iter
+      (fun a ->
+        let v = t.heads.(a) in
+        if t.caps.(a) > eps && not side.(v) then begin
+          side.(v) <- true;
+          Queue.push v q
+        end)
+      adj.(u)
+  done;
+  side
+
+let reset t =
+  Array.blit t.original 0 t.caps 0 t.arcs
+
+let of_graph g =
+  let t = create ~n:(Graph.n_vertices g) in
+  let handles =
+    Array.map
+      (fun e -> add_undirected t e.Graph.u e.Graph.v ~capacity:e.Graph.capacity)
+      (Graph.edges g)
+  in
+  (t, handles)

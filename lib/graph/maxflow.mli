@@ -1,0 +1,41 @@
+(** Maximum flow / minimum cut on directed networks (Dinic's algorithm).
+
+    The paper's separation oracle for packing spanning trees (Cunningham,
+    Barahona) reduces to maximum-flow computations; this module provides
+    the flow substrate plus a min-cut extraction used by tests
+    (max-flow = min-cut) and by capacity upper bounds. *)
+
+type t
+
+(** [create ~n] builds an empty flow network on vertices [0 .. n-1]. *)
+val create : n:int -> t
+
+(** [add_arc t u v ~capacity] adds a directed arc and its zero-capacity
+    reverse residual arc; returns an arc handle usable with [flow_on].
+    Raises [Invalid_argument] on negative capacity or self-loop. *)
+val add_arc : t -> int -> int -> capacity:float -> int
+
+(** [add_undirected t u v ~capacity] models an undirected capacitated
+    edge as a pair of opposing arcs of the given capacity; returns both
+    handles. *)
+val add_undirected : t -> int -> int -> capacity:float -> int * int
+
+(** [max_flow t ~source ~sink] runs Dinic and returns the flow value.
+    Residual state persists in [t]; call [reset] to reuse. Raises
+    [Invalid_argument] if [source = sink]. *)
+val max_flow : t -> source:int -> sink:int -> float
+
+(** [flow_on t arc] is the flow currently assigned to an arc handle. *)
+val flow_on : t -> int -> float
+
+(** [min_cut t ~source] returns, after a [max_flow] run, the source side
+    of a minimum cut as a boolean array over vertices. *)
+val min_cut : t -> source:int -> bool array
+
+(** [reset t] zeroes all flow, restoring initial capacities. *)
+val reset : t -> unit
+
+(** [of_graph g] builds a network from an undirected graph, with
+    [arc_of_edge] mapping each graph edge id to the forward arc handle
+    pair as in [add_undirected]. *)
+val of_graph : Graph.t -> t * (int * int) array

@@ -1,0 +1,90 @@
+let decode seq =
+  let n = Array.length seq + 2 in
+  Array.iter
+    (fun x ->
+      if x < 0 || x >= n then invalid_arg "Prufer.decode: label out of range")
+    seq;
+  let degree = Array.make n 1 in
+  Array.iter (fun x -> degree.(x) <- degree.(x) + 1) seq;
+  (* Min-heap of current leaves keeps the construction canonical. *)
+  let heap = Indexed_heap.create n in
+  for v = 0 to n - 1 do
+    if degree.(v) = 1 then Indexed_heap.insert heap v (float_of_int v)
+  done;
+  let edges = ref [] in
+  Array.iter
+    (fun x ->
+      let leaf, _ = Indexed_heap.pop_min heap in
+      edges := (leaf, x) :: !edges;
+      degree.(x) <- degree.(x) - 1;
+      if degree.(x) = 1 then
+        Indexed_heap.insert heap x (float_of_int x))
+    seq;
+  let a, _ = Indexed_heap.pop_min heap in
+  let b, _ = Indexed_heap.pop_min heap in
+  List.rev ((a, b) :: !edges)
+
+let encode ~n edges =
+  if List.length edges <> n - 1 then invalid_arg "Prufer.encode: not a tree";
+  let adj = Array.make n [] in
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n || u = v then
+        invalid_arg "Prufer.encode: bad edge";
+      adj.(u) <- v :: adj.(u);
+      adj.(v) <- u :: adj.(v))
+    edges;
+  let degree = Array.map List.length adj in
+  if Array.exists (fun d -> d = 0) degree && n > 1 then
+    invalid_arg "Prufer.encode: not a tree";
+  let removed = Array.make n false in
+  let heap = Indexed_heap.create n in
+  for v = 0 to n - 1 do
+    if degree.(v) = 1 then Indexed_heap.insert heap v (float_of_int v)
+  done;
+  let seq = Array.make (max 0 (n - 2)) 0 in
+  for i = 0 to n - 3 do
+    let leaf, _ = Indexed_heap.pop_min heap in
+    removed.(leaf) <- true;
+    let neighbor =
+      match List.find_opt (fun w -> not removed.(w)) adj.(leaf) with
+      | Some w -> w
+      | None -> invalid_arg "Prufer.encode: not a tree"
+    in
+    seq.(i) <- neighbor;
+    degree.(neighbor) <- degree.(neighbor) - 1;
+    if degree.(neighbor) = 1 then
+      Indexed_heap.insert heap neighbor (float_of_int neighbor)
+  done;
+  seq
+
+let count_trees n =
+  if n <= 2 then 1.0 else float_of_int n ** float_of_int (n - 2)
+
+let enumerate n =
+  if n > 8 then invalid_arg "Prufer.enumerate: n too large";
+  if n <= 1 then [ [] ]
+  else if n = 2 then [ [ (0, 1) ] ]
+  else begin
+    let len = n - 2 in
+    let seq = Array.make len 0 in
+    let acc = ref [] in
+    let rec fill i =
+      if i = len then acc := decode seq :: !acc
+      else
+        for x = 0 to n - 1 do
+          seq.(i) <- x;
+          fill (i + 1)
+        done
+    in
+    fill 0;
+    List.rev !acc
+  end
+
+let random rng n =
+  if n <= 1 then []
+  else if n = 2 then [ (0, 1) ]
+  else begin
+    let seq = Array.init (n - 2) (fun _ -> Rng.int rng n) in
+    decode seq
+  end

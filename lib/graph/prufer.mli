@@ -1,0 +1,29 @@
+(** Prüfer sequences: the bijection behind Cayley's formula
+    [n^(n-2)] that the paper cites for the size of each session's tree
+    space.  Used to enumerate {e all} spanning trees of a complete
+    overlay graph for the exact-LP test oracle, and to draw uniform
+    random labelled trees. *)
+
+(** [decode seq] maps a Prüfer sequence over labels [0 .. n-1] (length
+    [n-2]) to the edge list of the corresponding labelled tree on [n]
+    vertices.  [n >= 2].  Raises [Invalid_argument] on out-of-range
+    labels. *)
+val decode : int array -> (int * int) list
+
+(** [encode ~n edges] maps a labelled tree (as an edge list on vertices
+    [0 .. n-1]) back to its Prüfer sequence.  Raises [Invalid_argument]
+    if the edges do not form a tree. *)
+val encode : n:int -> (int * int) list -> int array
+
+(** [count_trees n] is Cayley's number [n^(n-2)] (1 for n <= 2), as
+    float to avoid overflow for large [n]. *)
+val count_trees : int -> float
+
+(** [enumerate n] lists all labelled trees on [n] vertices as edge
+    lists; intended for [n <= 7] ([7^5 = 16807] trees).  Raises
+    [Invalid_argument] for [n > 8] to guard against blow-up. *)
+val enumerate : int -> (int * int) list list
+
+(** [random t n] draws a uniformly random labelled tree on [n] vertices
+    using a random Prüfer sequence. *)
+val random : Rng.t -> int -> (int * int) list

@@ -1,0 +1,57 @@
+let bfs g ~source =
+  let n = Graph.n_vertices g in
+  let dist = Array.make n (-1) in
+  let queue = Queue.create () in
+  dist.(source) <- 0;
+  Queue.push source queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    Graph.iter_neighbors g u (fun v _ ->
+        if dist.(v) < 0 then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.push v queue
+        end)
+  done;
+  dist
+
+let reachable g ~source =
+  let dist = bfs g ~source in
+  Array.map (fun d -> d >= 0) dist
+
+let is_connected g =
+  let n = Graph.n_vertices g in
+  if n <= 1 then true
+  else begin
+    let dist = bfs g ~source:0 in
+    Array.for_all (fun d -> d >= 0) dist
+  end
+
+let components g =
+  let n = Graph.n_vertices g in
+  let labels = Array.make n (-1) in
+  let next = ref 0 in
+  for v = 0 to n - 1 do
+    if labels.(v) < 0 then begin
+      let label = !next in
+      incr next;
+      let queue = Queue.create () in
+      labels.(v) <- label;
+      Queue.push v queue;
+      while not (Queue.is_empty queue) do
+        let u = Queue.pop queue in
+        Graph.iter_neighbors g u (fun w _ ->
+            if labels.(w) < 0 then begin
+              labels.(w) <- label;
+              Queue.push w queue
+            end)
+      done
+    end
+  done;
+  (labels, !next)
+
+let is_spanning_connected g ~vertices =
+  match Array.length vertices with
+  | 0 | 1 -> true
+  | _ ->
+    let dist = bfs g ~source:vertices.(0) in
+    Array.for_all (fun v -> dist.(v) >= 0) vertices

@@ -1,0 +1,21 @@
+(** Breadth-first traversal and connectivity queries. *)
+
+(** [bfs g ~source] returns hop distances from [source]; unreachable
+    vertices get [-1]. *)
+val bfs : Graph.t -> source:int -> int array
+
+(** [is_connected g] is true when every vertex is reachable from vertex 0
+    (vacuously true for graphs with at most one vertex). *)
+val is_connected : Graph.t -> bool
+
+(** [components g] labels each vertex with a component index in
+    [0 .. c-1] and returns [(labels, c)]. *)
+val components : Graph.t -> int array * int
+
+(** [reachable g ~source] is the set of reachable vertices as a boolean
+    array. *)
+val reachable : Graph.t -> source:int -> bool array
+
+(** [is_spanning_connected g ~vertices] is true when all listed vertices
+    lie in one connected component of [g]. *)
+val is_spanning_connected : Graph.t -> vertices:int array -> bool

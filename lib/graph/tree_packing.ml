@@ -1,0 +1,196 @@
+type packing = { trees : (int list * float) list; value : float }
+
+let partition_ratio g labels =
+  let blocks = Hashtbl.create 8 in
+  Array.iter (fun l -> Hashtbl.replace blocks l ()) labels;
+  let k = Hashtbl.length blocks in
+  if k < 2 then invalid_arg "Tree_packing.partition_ratio: trivial partition";
+  let crossing =
+    Graph.fold_edges g
+      (fun acc e ->
+        if labels.(e.Graph.u) <> labels.(e.Graph.v) then acc +. e.Graph.capacity
+        else acc)
+      0.0
+  in
+  crossing /. float_of_int (k - 1)
+
+let strength_exact g =
+  let n = Graph.n_vertices g in
+  if n < 2 then invalid_arg "Tree_packing.strength_exact: need >= 2 vertices";
+  if n > 12 then invalid_arg "Tree_packing.strength_exact: n too large";
+  if not (Traverse.is_connected g) then
+    failwith "Tree_packing.strength_exact: disconnected graph";
+  (* Enumerate set partitions as restricted growth strings:
+     labels.(0) = 0 and labels.(i) <= 1 + max of previous labels. *)
+  let labels = Array.make n 0 in
+  let best = ref infinity in
+  let witness = Array.make n 0 in
+  let rec fill i maxlabel =
+    if i = n then begin
+      if maxlabel >= 1 then begin
+        let ratio = partition_ratio g labels in
+        if ratio < !best then begin
+          best := ratio;
+          Array.blit labels 0 witness 0 n
+        end
+      end
+    end
+    else
+      for l = 0 to maxlabel + 1 do
+        labels.(i) <- l;
+        fill (i + 1) (max maxlabel l)
+      done
+  in
+  labels.(0) <- 0;
+  fill 1 0;
+  (!best, witness)
+
+(* --- Garg–Könemann fractional tree packing ------------------------- *)
+
+let pack_fptas g ~epsilon =
+  if epsilon <= 0.0 || epsilon >= 0.5 then
+    invalid_arg "Tree_packing.pack_fptas: epsilon out of (0, 0.5)";
+  let m = Graph.n_edges g in
+  let n = Graph.n_vertices g in
+  if n <= 1 || m = 0 then { trees = []; value = 0.0 }
+  else begin
+    if not (Traverse.is_connected g) then
+      failwith "Tree_packing.pack_fptas: disconnected graph";
+    (* Garg–Könemann for the packing LP: every column (spanning tree) has
+       at most L = n-1 unit entries per row, so
+       delta = (1+eps) ((1+eps) L)^(-1/eps).  Lengths are stored as
+       base * lens.(e) with ln base tracked separately, exactly as in the
+       overlay MaxFlow FPTAS, so tiny eps cannot underflow. *)
+    let l_param = float_of_int (n - 1) in
+    let ln_delta =
+      ((1.0 -. (1.0 /. epsilon)) *. log (1.0 +. epsilon))
+      -. ((1.0 /. epsilon) *. log l_param)
+    in
+    (* Zero-capacity edges can never carry flow; exclude them via infinite
+       length so the MST avoids them (a spanning tree forced through a
+       zero-capacity edge means value 0 anyway). *)
+    let lens = Array.make m 1.0 in
+    Graph.iter_edges g (fun e ->
+        if e.Graph.capacity <= 0.0 then lens.(e.Graph.id) <- infinity);
+    let ln_base = ref ln_delta in
+    let length id = lens.(id) in
+    let renorm_threshold = 1e150 in
+    (* accumulate rates per distinct tree (keyed by sorted edge ids) *)
+    let tree_rates : (int list, float ref) Hashtbl.t = Hashtbl.create 64 in
+    let continue = ref true in
+    while !continue do
+      let mst = Mst.prim g ~length in
+      let w = mst.Mst.weight in
+      if w = infinity || w <= 0.0 || log w +. !ln_base >= 0.0 then
+        continue := false
+      else begin
+        let bottleneck =
+          List.fold_left
+            (fun acc id -> Float.min acc (Graph.capacity g id))
+            infinity mst.Mst.edges
+        in
+        if bottleneck <= 0.0 || bottleneck = infinity then continue := false
+        else begin
+          let key = List.sort compare mst.Mst.edges in
+          let cell =
+            match Hashtbl.find_opt tree_rates key with
+            | Some r -> r
+            | None ->
+              let r = ref 0.0 in
+              Hashtbl.add tree_rates key r;
+              r
+          in
+          cell := !cell +. bottleneck;
+          let needs_renorm = ref false in
+          List.iter
+            (fun id ->
+              let c = Graph.capacity g id in
+              lens.(id) <- lens.(id) *. (1.0 +. (epsilon *. bottleneck /. c));
+              if lens.(id) > renorm_threshold then needs_renorm := true)
+            mst.Mst.edges;
+          if !needs_renorm then begin
+            let s = 1.0 /. renorm_threshold in
+            for id = 0 to m - 1 do
+              if lens.(id) < infinity then lens.(id) <- lens.(id) *. s
+            done;
+            ln_base := !ln_base +. log renorm_threshold
+          end
+        end
+      end
+    done;
+    (* Scale by log_{1+eps}((1+eps)/delta) for feasibility. *)
+    let scale = (log (1.0 +. epsilon) -. ln_delta) /. log (1.0 +. epsilon) in
+    let trees =
+      Hashtbl.fold
+        (fun key rate acc ->
+          let r = !rate /. scale in
+          if r > 0.0 then (key, r) :: acc else acc)
+        tree_rates []
+      |> List.sort (fun (_, a) (_, b) -> compare b a)
+    in
+    let value = List.fold_left (fun acc (_, r) -> acc +. r) 0.0 trees in
+    { trees; value }
+  end
+
+(* --- Greedy integral peeling --------------------------------------- *)
+
+let pack_greedy g =
+  let m = Graph.n_edges g in
+  let n = Graph.n_vertices g in
+  if n <= 1 || m = 0 then { trees = []; value = 0.0 }
+  else begin
+    let residual = Array.make m 0.0 in
+    Graph.iter_edges g (fun e -> residual.(e.Graph.id) <- e.Graph.capacity);
+    let max_cap =
+      Graph.fold_edges g (fun acc e -> Float.max acc e.Graph.capacity) 0.0
+    in
+    let trees = ref [] in
+    let value = ref 0.0 in
+    let continue = ref true in
+    while !continue do
+      (* Maximum-bottleneck spanning tree over edges with residual > 0:
+         run Kruskal minimizing (max_cap - residual); edges with zero
+         residual get infinite length (excluded by failure). *)
+      let length id =
+        if residual.(id) <= 1e-9 then infinity else max_cap -. residual.(id)
+      in
+      match Mst.kruskal g ~length with
+      | exception Failure _ -> continue := false
+      | mst ->
+        if List.exists (fun id -> residual.(id) <= 1e-9) mst.Mst.edges then
+          continue := false
+        else begin
+          let bottleneck =
+            List.fold_left
+              (fun acc id -> Float.min acc residual.(id))
+              infinity mst.Mst.edges
+          in
+          List.iter
+            (fun id -> residual.(id) <- residual.(id) -. bottleneck)
+            mst.Mst.edges;
+          trees := (mst.Mst.edges, bottleneck) :: !trees;
+          value := !value +. bottleneck
+        end
+    done;
+    { trees = List.rev !trees; value = !value }
+  end
+
+let load g p =
+  let loads = Array.make (Graph.n_edges g) 0.0 in
+  List.iter
+    (fun (edges, rate) ->
+      List.iter (fun id -> loads.(id) <- loads.(id) +. rate) edges)
+    p.trees;
+  loads
+
+let is_feasible g p =
+  let loads = load g p in
+  let ok_capacity =
+    Graph.fold_edges g
+      (fun acc e -> acc && loads.(e.Graph.id) <= e.Graph.capacity +. 1e-6)
+      true
+  in
+  let ok_trees =
+    List.for_all (fun (edges, _) -> Mst.is_spanning_tree g edges) p.trees
+  in
+  ok_capacity && ok_trees

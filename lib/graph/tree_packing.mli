@@ -1,0 +1,48 @@
+(** Packing spanning trees (the paper's problem [S], Sec. II-C).
+
+    Given an overlay graph [G_i] whose edge capacities are the pairwise
+    traffic amounts [f(v_m, v_n)], decompose the capacity into spanning
+    trees with rates whose sum is maximum.  Tutte / Nash-Williams:
+    the optimum equals [min over partitions pi of f(pi) / (|pi| - 1)]
+    — the {e strength} of the graph.
+
+    Three solvers are provided:
+    - [strength_exact]: exact minimum over all vertex partitions
+      (restricted-growth-string enumeration; n <= 12),
+    - [pack_fptas]: Garg–Könemann fractional packing, (1-eps)^2-optimal
+      on any graph, also returning the realizing trees,
+    - [pack_greedy]: fast integral peeling used as a baseline. *)
+
+(** A packing: spanning trees (as edge-id lists) with positive rates. *)
+type packing = {
+  trees : (int list * float) list;
+  value : float;  (** sum of rates *)
+}
+
+(** [partition_ratio g labels] evaluates [f(pi) / (|pi| - 1)] for the
+    partition encoded by component labels per vertex.  Raises
+    [Invalid_argument] if the partition has fewer than 2 blocks. *)
+val partition_ratio : Graph.t -> int array -> float
+
+(** [strength_exact g] is [(strength, witness_partition)] minimizing the
+    Tutte/Nash-Williams ratio.  Exponential in n; guarded to [n <= 12].
+    Requires a connected graph with at least 2 vertices. *)
+val strength_exact : Graph.t -> float * int array
+
+(** [pack_fptas g ~epsilon] packs trees fractionally; the result is
+    feasible (no edge capacity exceeded) and has value at least
+    [(1 - 2 * epsilon) * strength].  Raises [Failure] on a disconnected
+    graph. *)
+val pack_fptas : Graph.t -> epsilon:float -> packing
+
+(** [pack_greedy g] integrally peels maximum-bottleneck spanning trees
+    until the residual graph disconnects; feasible but not optimal in
+    general. *)
+val pack_greedy : Graph.t -> packing
+
+(** [is_feasible g p] checks no edge is loaded beyond capacity
+    (1e-6 slack) and every tree spans [g]. *)
+val is_feasible : Graph.t -> packing -> bool
+
+(** [load g p] is the per-edge load array induced by the packing. *)
+val load : Graph.t -> packing -> float array

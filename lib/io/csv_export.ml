@@ -1,0 +1,65 @@
+let escape field =
+  let needs_quoting =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n') field
+  in
+  if not needs_quoting then field
+  else begin
+    let buf = Buffer.create (String.length field + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      field;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let render ~header rows =
+  let arity = List.length header in
+  let buf = Buffer.create 1024 in
+  let emit row =
+    if List.length row <> arity then
+      invalid_arg "Csv_export.render: ragged row";
+    Buffer.add_string buf (String.concat "," (List.map escape row));
+    Buffer.add_char buf '\n'
+  in
+  emit header;
+  List.iter emit rows;
+  Buffer.contents buf
+
+let render_floats ~header rows =
+  render ~header
+    (List.map (fun row -> List.map (Printf.sprintf "%.6g") row) rows)
+
+let solution_rows solution =
+  let rows = ref [] in
+  Array.iteri
+    (fun slot session ->
+      List.iter
+        (fun (tree, rate) ->
+          rows :=
+            [
+              string_of_int slot;
+              string_of_int (Session.size session);
+              Printf.sprintf "%.6g" rate;
+              string_of_int (Array.length tree.Otree.usage);
+            ]
+            :: !rows)
+        (Solution.trees solution slot))
+    (Solution.sessions solution);
+  List.rev !rows
+
+let curve ~label points =
+  render
+    ~header:[ "series"; "x"; "y" ]
+    (Array.to_list
+       (Array.map
+          (fun p ->
+            [ label; Printf.sprintf "%.6g" p.Cdf.x; Printf.sprintf "%.6g" p.Cdf.y ])
+          points))
+
+let to_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)

@@ -1,0 +1,22 @@
+(** CSV writers for experiment data: plotting-tool-friendly dumps of the
+    series the benches print as text. *)
+
+(** [escape field] quotes a field when it contains separators/quotes. *)
+val escape : string -> string
+
+(** [render ~header rows] produces CSV text from string rows.
+    Raises [Invalid_argument] on ragged rows. *)
+val render : header:string list -> string list list -> string
+
+(** [render_floats ~header rows] formats float rows with [%.6g]. *)
+val render_floats : header:string list -> float list list -> string
+
+(** [solution_rows solution] tabulates a solution: one row per (session,
+    tree) with the session slot, tree rate and physical-link count. *)
+val solution_rows : Solution.t -> string list list
+
+(** [curve ~label points] dumps a {!Cdf.t} as (x, y) rows. *)
+val curve : label:string -> Cdf.t -> string
+
+(** [to_file path contents] writes CSV text to disk. *)
+val to_file : string -> string -> unit

@@ -1,0 +1,57 @@
+let buffer_graph ?(edge_attr = fun _ -> "") ?(node_attr = fun _ -> "") g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "graph overlay_capacity {\n";
+  Buffer.add_string buf "  node [shape=circle, fontsize=10];\n";
+  for v = 0 to Graph.n_vertices g - 1 do
+    let attr = node_attr v in
+    if attr <> "" then
+      Buffer.add_string buf (Printf.sprintf "  %d [%s];\n" v attr)
+  done;
+  Graph.iter_edges g (fun e ->
+      let attr = edge_attr e.Graph.id in
+      Buffer.add_string buf
+        (Printf.sprintf "  %d -- %d [%s];\n" e.Graph.u e.Graph.v attr));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let graph g =
+  buffer_graph
+    ~edge_attr:(fun id -> Printf.sprintf "label=\"%.0f\"" (Graph.capacity g id))
+    g
+
+let palette =
+  [| "lightblue"; "lightyellow"; "lightpink"; "lightgreen"; "lavender";
+     "mistyrose"; "honeydew"; "wheat"; "thistle"; "azure" |]
+
+let topology t =
+  let g = t.Topology.graph in
+  buffer_graph
+    ~node_attr:(fun v ->
+      let info = t.Topology.nodes.(v) in
+      let color = palette.(info.Topology.as_id mod Array.length palette) in
+      let shape = if info.Topology.is_border then "doublecircle" else "circle" in
+      Printf.sprintf "style=filled, fillcolor=%s, shape=%s" color shape)
+    ~edge_attr:(fun id -> Printf.sprintf "label=\"%.0f\"" (Graph.capacity g id))
+    g
+
+let overlay_tree g tree ~members =
+  let member_set = Hashtbl.create (Array.length members) in
+  Array.iteri (fun i v -> Hashtbl.replace member_set v (i = 0)) members;
+  buffer_graph
+    ~node_attr:(fun v ->
+      match Hashtbl.find_opt member_set v with
+      | Some true -> "style=filled, fillcolor=red, label=\"src\""
+      | Some false -> "style=filled, fillcolor=orange"
+      | None -> "")
+    ~edge_attr:(fun id ->
+      let n = Otree.n_e tree id in
+      if n > 0 then
+        Printf.sprintf "penwidth=%d, color=blue, label=\"x%d\"" (min 6 (1 + n)) n
+      else "color=gray")
+    g
+
+let to_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)

@@ -1,0 +1,21 @@
+(** Graphviz (DOT) export of topologies and overlay trees.
+
+    Rendering the physical network with an overlay tree highlighted is
+    the quickest way to see the paper's link-multiplicity effect
+    ([n_e(t) > 1]): shared physical links come out with multi-digit
+    labels. *)
+
+(** [graph g] renders a plain undirected graph with capacity labels. *)
+val graph : Graph.t -> string
+
+(** [topology t] renders a topology: AS membership as fill colors,
+    border routers double-circled. *)
+val topology : Topology.t -> string
+
+(** [overlay_tree g tree ~members] renders the physical graph with the
+    tree's links bold and labelled by multiplicity, members filled, and
+    the source ([members.(0)]) marked. *)
+val overlay_tree : Graph.t -> Otree.t -> members:int array -> string
+
+(** [to_file path contents] writes a rendering to disk. *)
+val to_file : string -> string -> unit

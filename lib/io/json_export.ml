@@ -1,0 +1,124 @@
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | Array_ of t list
+  | Object_ of (string * t) list
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Number x ->
+    (* JSON has no NaN/Infinity literals; encode them as null *)
+    if Float.is_nan x || x = infinity || x = neg_infinity then
+      Buffer.add_string buf "null"
+    else if Float.is_integer x && abs_float x < 1e15 then
+      Buffer.add_string buf (Printf.sprintf "%.0f" x)
+    else Buffer.add_string buf (Printf.sprintf "%.12g" x)
+  | String s -> Buffer.add_string buf (escape_string s)
+  | Array_ items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char buf ',';
+        write buf item)
+      items;
+    Buffer.add_char buf ']'
+  | Object_ fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (key, value) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (escape_string key);
+        Buffer.add_char buf ':';
+        write buf value)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string json =
+  let buf = Buffer.create 256 in
+  write buf json;
+  Buffer.contents buf
+
+let session s =
+  Object_
+    [
+      ("id", Number (float_of_int s.Session.id));
+      ( "members",
+        Array_
+          (Array.to_list
+             (Array.map (fun v -> Number (float_of_int v)) s.Session.members)) );
+      ("demand", Number s.Session.demand);
+    ]
+
+let solution sol =
+  let sessions = Solution.sessions sol in
+  Array_
+    (Array.to_list
+       (Array.mapi
+          (fun slot s ->
+            Object_
+              [
+                ("session", session s);
+                ("rate", Number (Solution.session_rate sol slot));
+                ("trees", Number (float_of_int (Solution.n_trees sol slot)));
+                ( "tree_rates",
+                  Array_
+                    (Array.to_list
+                       (Array.map (fun r -> Number r) (Solution.tree_rates sol slot)))
+                );
+              ])
+          sessions))
+
+let topology t =
+  let g = t.Topology.graph in
+  let nodes =
+    Array.to_list
+      (Array.mapi
+         (fun v info ->
+           Object_
+             [
+               ("id", Number (float_of_int v));
+               ("as", Number (float_of_int info.Topology.as_id));
+               ("border", Bool info.Topology.is_border);
+             ])
+         t.Topology.nodes)
+  in
+  let links =
+    Graph.fold_edges g
+      (fun acc e ->
+        Object_
+          [
+            ("u", Number (float_of_int e.Graph.u));
+            ("v", Number (float_of_int e.Graph.v));
+            ("capacity", Number e.Graph.capacity);
+          ]
+        :: acc)
+      []
+  in
+  Object_ [ ("nodes", Array_ nodes); ("links", Array_ (List.rev links)) ]
+
+let to_file path json =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string json))

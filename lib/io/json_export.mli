@@ -1,0 +1,29 @@
+(** Minimal JSON emitter plus encoders for the library's result types.
+    (No external JSON dependency exists in the sealed environment, so a
+    small purpose-built emitter lives here; it covers objects, arrays,
+    strings, numbers, booleans and null, with proper string escaping.) *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | Array_ of t list
+  | Object_ of (string * t) list
+
+(** [to_string json] serializes compactly (no insignificant
+    whitespace); numbers use [%.12g] so round-tripping floats is
+    lossless in practice. *)
+val to_string : t -> string
+
+(** [session session] encodes id, members, demand. *)
+val session : Session.t -> t
+
+(** [solution s] encodes per-session rates and tree summaries. *)
+val solution : Solution.t -> t
+
+(** [topology t] encodes nodes (with AS ids) and capacitated links. *)
+val topology : Topology.t -> t
+
+(** [to_file path json] writes serialized JSON to disk. *)
+val to_file : string -> t -> unit

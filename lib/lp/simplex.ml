@@ -1,0 +1,113 @@
+exception Unbounded
+
+type solution = { objective : float; x : float array }
+
+let eps = 1e-9
+
+(* Tableau layout: rows = constraints, columns = n structural + m slack
+   variables + 1 rhs column.  Row 0..m-1 are constraints; the objective
+   row is kept separately.  basis.(i) is the variable index basic in
+   row i. *)
+
+let maximize ~c ~a ~b =
+  let m = Array.length a in
+  let n = Array.length c in
+  if Array.length b <> m then invalid_arg "Simplex.maximize: |b| <> rows";
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then
+        invalid_arg "Simplex.maximize: ragged constraint matrix")
+    a;
+  Array.iter
+    (fun bi ->
+      if bi < -.eps then invalid_arg "Simplex.maximize: negative rhs")
+    b;
+  let cols = n + m in
+  let tableau = Array.make_matrix m (cols + 1) 0.0 in
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      tableau.(i).(j) <- a.(i).(j)
+    done;
+    tableau.(i).(n + i) <- 1.0;
+    tableau.(i).(cols) <- Float.max 0.0 b.(i)
+  done;
+  (* Reduced-cost row: z_j - c_j; initially -c_j for structural vars. *)
+  let obj = Array.make (cols + 1) 0.0 in
+  for j = 0 to n - 1 do
+    obj.(j) <- -.c.(j)
+  done;
+  let basis = Array.init m (fun i -> n + i) in
+  let pivot row col =
+    let p = tableau.(row).(col) in
+    for j = 0 to cols do
+      tableau.(row).(j) <- tableau.(row).(j) /. p
+    done;
+    for i = 0 to m - 1 do
+      if i <> row then begin
+        let factor = tableau.(i).(col) in
+        if factor <> 0.0 then
+          for j = 0 to cols do
+            tableau.(i).(j) <- tableau.(i).(j) -. (factor *. tableau.(row).(j))
+          done
+      end
+    done;
+    let factor = obj.(col) in
+    if factor <> 0.0 then
+      for j = 0 to cols do
+        obj.(j) <- obj.(j) -. (factor *. tableau.(row).(j))
+      done;
+    basis.(row) <- col
+  in
+  (* Bland's rule: entering = smallest index with negative reduced cost;
+     leaving = min ratio, ties by smallest basic variable index. *)
+  let rec iterate guard =
+    if guard = 0 then failwith "Simplex.maximize: iteration guard tripped";
+    let entering = ref (-1) in
+    (try
+       for j = 0 to cols - 1 do
+         if obj.(j) < -.eps then begin
+           entering := j;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !entering >= 0 then begin
+      let col = !entering in
+      let leaving = ref (-1) in
+      let best_ratio = ref infinity in
+      for i = 0 to m - 1 do
+        let coeff = tableau.(i).(col) in
+        if coeff > eps then begin
+          let ratio = tableau.(i).(cols) /. coeff in
+          if
+            ratio < !best_ratio -. eps
+            || (abs_float (ratio -. !best_ratio) <= eps
+               && (!leaving < 0 || basis.(i) < basis.(!leaving)))
+          then begin
+            best_ratio := ratio;
+            leaving := i
+          end
+        end
+      done;
+      if !leaving < 0 then raise Unbounded;
+      pivot !leaving col;
+      iterate (guard - 1)
+    end
+  in
+  iterate 200000;
+  let x = Array.make n 0.0 in
+  Array.iteri
+    (fun i var -> if var < n then x.(var) <- tableau.(i).(cols))
+    basis;
+  let objective = Array.fold_left ( +. ) 0.0 (Array.mapi (fun j cj -> cj *. x.(j)) c) in
+  { objective; x }
+
+let check_feasible ~a ~b x ~tol =
+  let m = Array.length a in
+  let ok = ref (Array.for_all (fun xi -> xi >= -.tol) x) in
+  for i = 0 to m - 1 do
+    let lhs = ref 0.0 in
+    Array.iteri (fun j aij -> lhs := !lhs +. (aij *. x.(j))) a.(i);
+    if !lhs > b.(i) +. tol then ok := false
+  done;
+  !ok

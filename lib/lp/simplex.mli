@@ -1,0 +1,30 @@
+(** Dense primal simplex for packing-form linear programs.
+
+    Solves [maximize c.x subject to A x <= b, x >= 0] with [b >= 0], which
+    covers every LP in the paper once the tree sets are enumerated
+    explicitly (M1, M2 and the packing problem S all have nonnegative
+    right-hand sides).  The slack basis is immediately feasible, so no
+    phase-one is needed.  Bland's rule guarantees termination under the
+    degeneracy introduced by the [f * dem(i) - sum f_ij <= 0] fairness
+    rows.
+
+    This is an exact (up to floating point) oracle for validating the
+    combinatorial FPTAS implementations on small instances; it is O(rows
+    * cols) per pivot and dense, so keep instances small. *)
+
+exception Unbounded
+
+type solution = {
+  objective : float;
+  x : float array;  (** optimal primal values, one per column of [a] *)
+}
+
+(** [maximize ~c ~a ~b] solves the LP above.  [a] is row-major:
+    [a.(i).(j)] multiplies variable [j] in constraint [i].  Raises
+    [Invalid_argument] on dimension mismatch or negative [b]; raises
+    [Unbounded] when the objective is unbounded. *)
+val maximize : c:float array -> a:float array array -> b:float array -> solution
+
+(** [check_feasible ~a ~b x ~tol] verifies [A x <= b + tol] and
+    [x >= -tol]. *)
+val check_feasible : a:float array array -> b:float array -> float array -> tol:float -> bool

@@ -1,0 +1,71 @@
+type point = { x : float; y : float }
+type t = point array
+
+let sorted_desc values =
+  let v = Array.copy values in
+  Array.sort (fun a b -> compare b a) v;
+  v
+
+let accumulative values =
+  let n = Array.length values in
+  if n = 0 then [||]
+  else begin
+    let v = sorted_desc values in
+    let total = Array.fold_left ( +. ) 0.0 v in
+    let acc = ref 0.0 in
+    Array.mapi
+      (fun i x ->
+        acc := !acc +. x;
+        let y = if total = 0.0 then 0.0 else !acc /. total in
+        { x = float_of_int (i + 1) /. float_of_int n; y })
+      v
+  end
+
+let rank_value values =
+  let n = Array.length values in
+  if n = 0 then [||]
+  else begin
+    let v = sorted_desc values in
+    Array.mapi
+      (fun i y -> { x = float_of_int (i + 1) /. float_of_int n; y })
+      v
+  end
+
+let sample curve xs =
+  if Array.length curve = 0 then invalid_arg "Cdf.sample: empty curve";
+  let n = Array.length curve in
+  let eval q =
+    (* binary search for first point with x >= q *)
+    let rec go lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if curve.(mid).x >= q then go lo mid else go (mid + 1) hi
+    in
+    let i = go 0 n in
+    if i >= n then curve.(n - 1).y else curve.(i).y
+  in
+  Array.map eval xs
+
+let top_share values ~fraction =
+  if fraction < 0.0 || fraction > 1.0 then
+    invalid_arg "Cdf.top_share: fraction out of range";
+  let n = Array.length values in
+  if n = 0 then 0.0
+  else begin
+    let v = sorted_desc values in
+    let total = Array.fold_left ( +. ) 0.0 v in
+    if total = 0.0 then 0.0
+    else begin
+      let k =
+        max 0 (min n (int_of_float (ceil (fraction *. float_of_int n))))
+      in
+      let acc = ref 0.0 in
+      for i = 0 to k - 1 do
+        acc := !acc +. v.(i)
+      done;
+      !acc /. total
+    end
+  end
+
+let to_rows curve = Array.to_list (Array.map (fun p -> (p.x, p.y)) curve)

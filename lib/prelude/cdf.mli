@@ -1,0 +1,34 @@
+(** Cumulative-distribution curves in the shape the paper plots.
+
+    Figures 2/3/7/8/17 plot the {e accumulative rate distribution}: trees
+    sorted by descending rate, x = normalized rank in (0,1], y = fraction
+    of total rate carried by the top-x trees.  Figures 4/9/14 plot the
+    {e utilization ratio distribution}: edges sorted by descending
+    utilization, y = utilization of the edge at normalized rank x. *)
+
+type point = { x : float; y : float }
+
+type t = point array
+
+(** [accumulative values] builds the cumulative-share curve: values are
+    sorted descending; point i has [x = (i+1)/n] and
+    [y = (sum of top i+1) / total].  Empty input yields an empty curve; a
+    zero total yields y = 0 everywhere. *)
+val accumulative : float array -> t
+
+(** [rank_value values] builds the sorted-value curve: values sorted
+    descending, point i has [x = (i+1)/n] and [y = values_sorted.(i)]. *)
+val rank_value : float array -> t
+
+(** [sample curve xs] evaluates the curve at each query in [xs] by step
+    interpolation (the value at the smallest point with x >= query; the
+    last y beyond the end). Raises [Invalid_argument] on an empty curve. *)
+val sample : t -> float array -> float array
+
+(** [top_share values ~fraction] is the share of the total carried by the
+    top [fraction] of entries, e.g. [top_share rates ~fraction:0.1] is the
+    paper's "90% of throughput in <10% of trees" statistic. *)
+val top_share : float array -> fraction:float -> float
+
+(** [to_rows curve] renders [(x, y)] rows for table output. *)
+val to_rows : t -> (float * float) list

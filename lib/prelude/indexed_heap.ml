@@ -1,0 +1,97 @@
+type t = {
+  keys : int array;          (* heap slots -> key *)
+  prios : float array;       (* heap slots -> priority *)
+  slots : int array;         (* key -> heap slot, or -1 if absent *)
+  mutable size : int;
+}
+
+let create n =
+  {
+    keys = Array.make (max n 1) (-1);
+    prios = Array.make (max n 1) 0.0;
+    slots = Array.make (max n 1) (-1);
+    size = 0;
+  }
+
+let is_empty t = t.size = 0
+let cardinal t = t.size
+
+let mem t key =
+  key >= 0 && key < Array.length t.slots && t.slots.(key) >= 0
+
+let priority t key =
+  if not (mem t key) then raise Not_found;
+  t.prios.(t.slots.(key))
+
+let swap t i j =
+  let ki = t.keys.(i) and kj = t.keys.(j) in
+  let pi = t.prios.(i) and pj = t.prios.(j) in
+  t.keys.(i) <- kj;
+  t.keys.(j) <- ki;
+  t.prios.(i) <- pj;
+  t.prios.(j) <- pi;
+  t.slots.(kj) <- i;
+  t.slots.(ki) <- j
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.prios.(i) < t.prios.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && t.prios.(l) < t.prios.(!smallest) then smallest := l;
+  if r < t.size && t.prios.(r) < t.prios.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let insert t key prio =
+  if key < 0 || key >= Array.length t.slots then
+    invalid_arg "Indexed_heap.insert: key out of range";
+  if t.slots.(key) >= 0 then invalid_arg "Indexed_heap.insert: duplicate key";
+  let i = t.size in
+  t.keys.(i) <- key;
+  t.prios.(i) <- prio;
+  t.slots.(key) <- i;
+  t.size <- t.size + 1;
+  sift_up t i
+
+let decrease t key prio =
+  if not (mem t key) then invalid_arg "Indexed_heap.decrease: absent key";
+  let i = t.slots.(key) in
+  if prio > t.prios.(i) then invalid_arg "Indexed_heap.decrease: priority increase";
+  t.prios.(i) <- prio;
+  sift_up t i
+
+let insert_or_decrease t key prio =
+  if mem t key then begin
+    if prio < t.prios.(t.slots.(key)) then decrease t key prio
+  end
+  else insert t key prio
+
+let pop_min t =
+  if t.size = 0 then raise Not_found;
+  let key = t.keys.(0) and prio = t.prios.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    let last = t.size in
+    t.keys.(0) <- t.keys.(last);
+    t.prios.(0) <- t.prios.(last);
+    t.slots.(t.keys.(0)) <- 0;
+    sift_down t 0
+  end;
+  t.slots.(key) <- -1;
+  (key, prio)
+
+let clear t =
+  for i = 0 to t.size - 1 do
+    t.slots.(t.keys.(i)) <- -1
+  done;
+  t.size <- 0

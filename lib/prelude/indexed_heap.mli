@@ -1,0 +1,42 @@
+(** Indexed binary min-heap over keys [0 .. n-1] with float priorities.
+
+    Supports decrease-key in O(log n) by tracking each key's heap slot;
+    this is the priority queue behind Dijkstra and Prim. A key is present
+    at most once. *)
+
+type t
+
+(** [create n] builds an empty heap able to hold keys [0 .. n-1]. *)
+val create : int -> t
+
+(** [is_empty t] is true when no key is queued. *)
+val is_empty : t -> bool
+
+(** [cardinal t] is the number of queued keys. *)
+val cardinal : t -> int
+
+(** [mem t key] tests whether [key] is currently queued. *)
+val mem : t -> int -> bool
+
+(** [priority t key] returns the queued priority of [key].
+    Raises [Not_found] if absent. *)
+val priority : t -> int -> float
+
+(** [insert t key prio] queues [key]. Raises [Invalid_argument] if [key]
+    is already present or out of range. *)
+val insert : t -> int -> float -> unit
+
+(** [decrease t key prio] lowers [key]'s priority. Raises
+    [Invalid_argument] if absent or if [prio] is larger than current. *)
+val decrease : t -> int -> float -> unit
+
+(** [insert_or_decrease t key prio] inserts, lowers, or leaves [key]
+    untouched, whichever keeps the smaller priority. *)
+val insert_or_decrease : t -> int -> float -> unit
+
+(** [pop_min t] removes and returns the (key, priority) pair with minimum
+    priority. Raises [Not_found] when empty. *)
+val pop_min : t -> int * float
+
+(** [clear t] empties the heap. *)
+val clear : t -> unit

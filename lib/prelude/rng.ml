@@ -1,0 +1,112 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* splitmix64: used only to expand the seed into the xoshiro state, per the
+   reference implementation recommendation. *)
+let splitmix_next state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix_next state in
+  let s1 = splitmix_next state in
+  let s2 = splitmix_next state in
+  let s3 = splitmix_next state in
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 t =
+  let open Int64 in
+  let result = mul (rotl (mul t.s1 5L) 7) 9L in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  (* Derive a fresh state by hashing four outputs through splitmix64; the
+     derived stream shares no state words with the parent. *)
+  let state = ref (bits64 t) in
+  let s0 = splitmix_next state in
+  let s1 = splitmix_next state in
+  let s2 = splitmix_next state in
+  let s3 = splitmix_next state in
+  { s0; s1; s2; s3 }
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling on the top 62 bits keeps the draw unbiased. *)
+  let bound = Int64.of_int n in
+  let rec draw () =
+    let r = Int64.shift_right_logical (bits64 t) 2 in
+    let v = Int64.rem r bound in
+    if Int64.sub r v > Int64.sub (Int64.sub Int64.max_int bound) 1L then draw ()
+    else Int64.to_int v
+  in
+  draw ()
+
+let uniform t =
+  (* 53 random bits into [0,1). *)
+  let r = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float r *. (1.0 /. 9007199254740992.0)
+
+let float t x = uniform t *. x
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let exponential t ~mean =
+  let u = uniform t in
+  -. mean *. log (1.0 -. u)
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let sample_without_replacement t ~n ~k =
+  if k > n then invalid_arg "Rng.sample_without_replacement: k > n";
+  if k < 0 then invalid_arg "Rng.sample_without_replacement: k < 0";
+  (* Partial Fisher–Yates over an index array: O(n) setup, O(k) draws. *)
+  let idx = Array.init n (fun i -> i) in
+  for i = 0 to k - 1 do
+    let j = i + int t (n - i) in
+    let tmp = idx.(i) in
+    idx.(i) <- idx.(j);
+    idx.(j) <- tmp
+  done;
+  Array.sub idx 0 k
+
+let choose_weighted t weights =
+  let total = Array.fold_left (fun acc w ->
+      if w < 0.0 then invalid_arg "Rng.choose_weighted: negative weight";
+      acc +. w)
+      0.0 weights
+  in
+  if total <= 0.0 then invalid_arg "Rng.choose_weighted: all weights zero";
+  let target = uniform t *. total in
+  let n = Array.length weights in
+  let rec scan i acc =
+    if i = n - 1 then i
+    else
+      let acc = acc +. weights.(i) in
+      if target < acc then i else scan (i + 1) acc
+  in
+  scan 0 0.0

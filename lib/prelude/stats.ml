@@ -1,0 +1,69 @@
+let check_nonempty name xs =
+  if Array.length xs = 0 then invalid_arg (name ^ ": empty sample")
+
+let total xs = Array.fold_left ( +. ) 0.0 xs
+
+let mean xs =
+  check_nonempty "Stats.mean" xs;
+  total xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  check_nonempty "Stats.variance" xs;
+  let m = mean xs in
+  let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+  acc /. float_of_int (Array.length xs)
+
+let stddev xs = sqrt (variance xs)
+
+let min_max xs =
+  check_nonempty "Stats.min_max" xs;
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (xs.(0), xs.(0)) xs
+
+let percentile xs p =
+  check_nonempty "Stats.percentile" xs;
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.of_int (int_of_float rank)) in
+    let lo = if lo >= n - 1 then n - 2 else lo in
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(lo + 1) *. frac)
+  end
+
+let median xs = percentile xs 50.0
+
+let jain_index xs =
+  check_nonempty "Stats.jain_index" xs;
+  let s = total xs in
+  let s2 = Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 xs in
+  if s2 = 0.0 then 1.0
+  else s *. s /. (float_of_int (Array.length xs) *. s2)
+
+let gini xs =
+  check_nonempty "Stats.gini" xs;
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let s = total sorted in
+  if s = 0.0 then 0.0
+  else begin
+    (* G = (2 * sum_i i*x_(i) / (n * sum x)) - (n+1)/n with 1-based i. *)
+    let weighted = ref 0.0 in
+    for i = 0 to n - 1 do
+      weighted := !weighted +. (float_of_int (i + 1) *. sorted.(i))
+    done;
+    (2.0 *. !weighted /. (float_of_int n *. s))
+    -. (float_of_int (n + 1) /. float_of_int n)
+  end
+
+let summary xs =
+  check_nonempty "Stats.summary" xs;
+  let lo, hi = min_max xs in
+  Printf.sprintf "n=%d mean=%.4f sd=%.4f min=%.4f med=%.4f max=%.4f"
+    (Array.length xs) (mean xs) (stddev xs) lo (median xs) hi

@@ -1,0 +1,38 @@
+(** Descriptive statistics over float samples.
+
+    Everything here is pure; arrays passed in are not mutated. *)
+
+(** [mean xs] is the arithmetic mean; raises [Invalid_argument] on empty
+    input. *)
+val mean : float array -> float
+
+(** [total xs] is the sum of the samples (0 on empty input). *)
+val total : float array -> float
+
+(** [variance xs] is the population variance. *)
+val variance : float array -> float
+
+(** [stddev xs] is the population standard deviation. *)
+val stddev : float array -> float
+
+(** [min_max xs] returns [(min, max)]; raises on empty input. *)
+val min_max : float array -> float * float
+
+(** [percentile xs p] is the [p]-th percentile, [p] in [0, 100], by linear
+    interpolation between order statistics. Raises on empty input or out
+    of range [p]. *)
+val percentile : float array -> float -> float
+
+(** [median xs] is [percentile xs 50]. *)
+val median : float array -> float
+
+(** [jain_index xs] is Jain's fairness index
+    [(sum x)^2 / (n * sum x^2)]; 1 is perfectly fair. Raises on empty
+    input; returns 1 when all samples are zero. *)
+val jain_index : float array -> float
+
+(** [gini xs] is the Gini coefficient of nonnegative samples, 0 = equal. *)
+val gini : float array -> float
+
+(** [summary xs] pretty-prints n/mean/stddev/min/median/max. *)
+val summary : float array -> string

@@ -1,0 +1,103 @@
+type align = Left | Right
+
+type t = {
+  title : string;
+  headers : string array;
+  mutable aligns : align array;
+  mutable rows : string array list;  (* reversed *)
+}
+
+let create ~title columns =
+  let headers = Array.of_list columns in
+  let aligns =
+    Array.mapi (fun i _ -> if i = 0 then Left else Right) headers
+  in
+  { title; headers; aligns; rows = [] }
+
+let set_align t aligns =
+  let aligns = Array.of_list aligns in
+  if Array.length aligns <> Array.length t.headers then
+    invalid_arg "Tableau.set_align: arity mismatch";
+  t.aligns <- aligns
+
+let add_row t cells =
+  let cells = Array.of_list cells in
+  if Array.length cells <> Array.length t.headers then
+    invalid_arg "Tableau.add_row: arity mismatch";
+  t.rows <- cells :: t.rows
+
+let add_float_row t ~label cells =
+  add_row t (label :: List.map (Printf.sprintf "%.2f") cells)
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let blanks = String.make (width - n) ' ' in
+    match align with Left -> s ^ blanks | Right -> blanks ^ s
+
+let render t =
+  let ncols = Array.length t.headers in
+  let rows = List.rev t.rows in
+  let widths = Array.map String.length t.headers in
+  List.iter
+    (fun row ->
+      Array.iteri
+        (fun i cell -> widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    rows;
+  let buf = Buffer.create 1024 in
+  let line s = Buffer.add_string buf s; Buffer.add_char buf '\n' in
+  let render_row row =
+    let cells =
+      List.init ncols (fun i -> pad t.aligns.(i) widths.(i) row.(i))
+    in
+    line ("| " ^ String.concat " | " cells ^ " |")
+  in
+  let rule =
+    "+"
+    ^ String.concat "+"
+        (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths))
+    ^ "+"
+  in
+  line ("== " ^ t.title ^ " ==");
+  line rule;
+  render_row t.headers;
+  line rule;
+  List.iter render_row rows;
+  line rule;
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let series ~title ~columns rows =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "# %s\n" title);
+  Buffer.add_string buf ("# " ^ String.concat " " columns ^ "\n");
+  List.iter
+    (fun row ->
+      let cells = List.map (Printf.sprintf "%.6g") row in
+      Buffer.add_string buf (String.concat " " cells);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let surface ~title ~xlabel ~ylabel ~xs ~ys values =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "# %s\n" title);
+  Buffer.add_string buf
+    (Printf.sprintf "# rows: %s; cols: %s\n" ylabel xlabel);
+  Buffer.add_string buf
+    ("#        "
+    ^ String.concat " "
+        (Array.to_list (Array.map (Printf.sprintf "%8.4g") xs))
+    ^ "\n");
+  Array.iteri
+    (fun iy row ->
+      Buffer.add_string buf (Printf.sprintf "%8.4g " ys.(iy));
+      Buffer.add_string buf
+        (String.concat " "
+           (Array.to_list (Array.map (Printf.sprintf "%8.4g") row)));
+      Buffer.add_char buf '\n')
+    values;
+  Buffer.contents buf

@@ -1,0 +1,44 @@
+(** Plain-text rendering of experiment tables and figure series.
+
+    The benchmark harness prints the same rows/columns the paper's tables
+    report and gnuplot-style [x y1 y2 ...] blocks for figures. *)
+
+type align = Left | Right
+
+type t
+
+(** [create ~title columns] starts a table with the given column headers. *)
+val create : title:string -> string list -> t
+
+(** [set_align t aligns] overrides per-column alignment (default Right,
+    first column Left). Lengths must match the header count. *)
+val set_align : t -> align list -> unit
+
+(** [add_row t cells] appends a row; cell count must match headers. *)
+val add_row : t -> string list -> unit
+
+(** [add_float_row t ~label cells] appends a row with a label and
+    [%.2f]-formatted floats. *)
+val add_float_row : t -> label:string -> float list -> unit
+
+(** [render t] draws the table with a title banner and column rules. *)
+val render : t -> string
+
+(** [print t] writes [render t] to stdout. *)
+val print : t -> unit
+
+(** [series ~title ~columns rows] renders a gnuplot-style block: a
+    commented header followed by whitespace-separated numeric rows. *)
+val series : title:string -> columns:string list -> float list list -> string
+
+(** [surface ~title ~xlabel ~ylabel ~xs ~ys values] renders a 2-D grid
+    (figures 12–19 are 3-D surfaces in the paper); [values.(iy).(ix)]
+    belongs to [ys.(iy)], [xs.(ix)]. *)
+val surface :
+  title:string ->
+  xlabel:string ->
+  ylabel:string ->
+  xs:float array ->
+  ys:float array ->
+  float array array ->
+  string

@@ -1,0 +1,59 @@
+type t = {
+  parent : int array;
+  rank : int array;
+  sizes : int array;
+  mutable classes : int;
+}
+
+let create n =
+  {
+    parent = Array.init n (fun i -> i);
+    rank = Array.make n 0;
+    sizes = Array.make n 1;
+    classes = n;
+  }
+
+let rec find t x =
+  let p = t.parent.(x) in
+  if p = x then x
+  else begin
+    let root = find t p in
+    t.parent.(x) <- root;
+    root
+  end
+
+let union t x y =
+  let rx = find t x and ry = find t y in
+  if rx = ry then false
+  else begin
+    let rx, ry = if t.rank.(rx) < t.rank.(ry) then ry, rx else rx, ry in
+    t.parent.(ry) <- rx;
+    t.sizes.(rx) <- t.sizes.(rx) + t.sizes.(ry);
+    if t.rank.(rx) = t.rank.(ry) then t.rank.(rx) <- t.rank.(rx) + 1;
+    t.classes <- t.classes - 1;
+    true
+  end
+
+let same t x y = find t x = find t y
+let count t = t.classes
+let size t x = t.sizes.(find t x)
+
+let groups t =
+  let n = Array.length t.parent in
+  let buckets = Hashtbl.create 16 in
+  for i = 0 to n - 1 do
+    let r = find t i in
+    let members = try Hashtbl.find buckets r with Not_found -> [] in
+    Hashtbl.replace buckets r (i :: members)
+  done;
+  Hashtbl.fold (fun _ members acc -> Array.of_list (List.rev members) :: acc) buckets []
+  |> List.sort compare
+
+let reset t =
+  let n = Array.length t.parent in
+  for i = 0 to n - 1 do
+    t.parent.(i) <- i;
+    t.rank.(i) <- 0;
+    t.sizes.(i) <- 1
+  done;
+  t.classes <- n

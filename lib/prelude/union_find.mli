@@ -1,0 +1,31 @@
+(** Disjoint-set forest with union by rank and path compression.
+
+    Used by Kruskal's MST, connectivity checks, and the partition search in
+    spanning-tree packing. All operations are effectively O(alpha(n)). *)
+
+type t
+
+(** [create n] builds [n] singleton sets labelled [0 .. n-1]. *)
+val create : int -> t
+
+(** [find t x] returns the canonical representative of [x]'s set. *)
+val find : t -> int -> int
+
+(** [union t x y] merges the sets of [x] and [y]; returns [true] iff they
+    were previously distinct. *)
+val union : t -> int -> int -> bool
+
+(** [same t x y] tests whether [x] and [y] are in the same set. *)
+val same : t -> int -> int -> bool
+
+(** [count t] is the current number of disjoint sets. *)
+val count : t -> int
+
+(** [size t x] is the number of elements in [x]'s set. *)
+val size : t -> int -> int
+
+(** [groups t] lists the sets as arrays of members, canonical order. *)
+val groups : t -> int array list
+
+(** [reset t] restores every element to its own singleton. *)
+val reset : t -> unit

@@ -1,0 +1,41 @@
+(** Narada-style mesh-first overlay construction (End System Multicast,
+    Chu et al.), simulated round-synchronously.
+
+    The paper's Sec. VII positions its optimal algorithms as the
+    benchmark "against which the performance of any practical solutions
+    can be quantified"; this module provides such a practical solution.
+    Members maintain a degree-bounded overlay mesh.  Each round every
+    member probes a random non-neighbor and adds the link when Narada's
+    utility (relative improvement of its mesh distances to all other
+    members) clears a threshold, and drops its lowest-consensus-cost
+    link when over degree.  Data delivery uses the source-rooted
+    shortest-path tree of the final mesh, with physical link weights
+    given by IP hop counts. *)
+
+type config = {
+  initial_degree : int;   (** mesh links per member at bootstrap *)
+  max_degree : int;       (** mesh degree cap *)
+  rounds : int;           (** refinement rounds *)
+  add_threshold : float;  (** minimum relative utility to add a link *)
+}
+
+val default_config : config
+
+type stats = {
+  mesh_links : int;
+  mean_degree : float;
+  links_added : int;
+  links_dropped : int;
+  tree_depth : int;       (** hops in the delivery tree, overlay hops *)
+}
+
+(** [build rng graph overlay config] runs the protocol for the
+    overlay's session and returns the delivery tree (with IP-route
+    realization from the overlay context) and protocol statistics. *)
+val build : Rng.t -> Graph.t -> Overlay.t -> config -> Otree.t * stats
+
+(** [solve rng graph overlays config] builds one delivery tree per
+    session, routes each session's demand on it, and scales rates by
+    per-session congestion exactly as the other single-tree baselines —
+    directly comparable against [Max_flow] / [Max_concurrent_flow]. *)
+val solve : Rng.t -> Graph.t -> Overlay.t array -> config -> Baseline.result

@@ -1,0 +1,35 @@
+(** SplitStream-style stripe forest, simulated as a distributed join
+    procedure.
+
+    Content is split into [stripes] equal sub-streams; stripe [s] has
+    its own tree.  Each member is {e interior-eligible} in exactly one
+    stripe (SplitStream's interior-node-disjointness: the stripe its id
+    hashes to); in every other stripe it must be a leaf.  Members join
+    stripe trees in random order, attaching to the interior-eligible
+    tree node with spare out-degree that is closest by IP hops — the
+    locality heuristic Scribe/Pastry approximates.  The source is
+    interior-eligible everywhere (it feeds all stripes).
+
+    Against the paper's optimum this shows what the
+    interior-disjointness constraint costs in capacity. *)
+
+type config = {
+  stripes : int;        (** trees per session (SplitStream's k) *)
+  out_degree_cap : int; (** children per interior node per stripe *)
+}
+
+val default_config : config
+
+type stats = {
+  max_depth : int;           (** deepest stripe tree, overlay hops *)
+  interior_violations : int; (** forced eligibility violations (full trees) *)
+}
+
+(** [build rng graph overlay config] constructs the stripe trees for
+    one session; each is a spanning overlay tree. *)
+val build : Rng.t -> Graph.t -> Overlay.t -> config -> Otree.t list * stats
+
+(** [solve rng graph overlays config] builds each session's forest,
+    splits its demand evenly across stripes, and scales by congestion
+    like the other baselines. *)
+val solve : Rng.t -> Graph.t -> Overlay.t array -> config -> Baseline.result

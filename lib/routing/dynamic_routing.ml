@@ -1,0 +1,46 @@
+type snapshot = {
+  member_list : int array;
+  index : (int, int) Hashtbl.t;
+  routes : Route.t option array array;  (* upper triangle *)
+  dists : float array array;
+}
+
+let routes g ~members ~length =
+  let k = Array.length members in
+  let index = Hashtbl.create k in
+  Array.iteri (fun i v -> Hashtbl.replace index v i) members;
+  if Hashtbl.length index <> k then
+    invalid_arg "Dynamic_routing.routes: duplicate members";
+  let routes = Array.make_matrix k k None in
+  let dists = Array.make_matrix k k 0.0 in
+  for i = 0 to k - 1 do
+    let tree = Dijkstra.shortest_path_tree g ~length ~source:members.(i) in
+    for j = i + 1 to k - 1 do
+      match Dijkstra.path_to tree members.(j) with
+      | None -> failwith "Dynamic_routing.routes: member pair disconnected"
+      | Some edges ->
+        routes.(i).(j) <-
+          Some (Route.make ~src:members.(i) ~dst:members.(j) (Array.of_list edges));
+        dists.(i).(j) <- tree.Dijkstra.dist.(members.(j));
+        dists.(j).(i) <- dists.(i).(j)
+    done
+  done;
+  { member_list = Array.copy members; index; routes; dists }
+
+let slot s v = try Hashtbl.find s.index v with Not_found -> raise Not_found
+
+let route s u v =
+  let i = slot s u and j = slot s v in
+  if i = j then Route.make ~src:u ~dst:v [||]
+  else begin
+    let a, b = if i < j then (i, j) else (j, i) in
+    match s.routes.(a).(b) with
+    | None -> raise Not_found
+    | Some r -> if i < j then r else Route.reverse r
+  end
+
+let distance s u v =
+  let i = slot s u and j = slot s v in
+  s.dists.(i).(j)
+
+let members s = Array.copy s.member_list

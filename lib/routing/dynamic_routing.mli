@@ -1,0 +1,26 @@
+(** Arbitrary (dynamic) unicast routing of Sec. V.
+
+    When the fixed-IP-routing assumption is dropped, the unicast path
+    behind an overlay edge is the shortest path under the {e current}
+    dual length assignment [d_e].  This module computes, for a member
+    set, the pairwise shortest routes under a caller-supplied length
+    function — one Dijkstra per member, [|S_i| * T_spt] as the paper
+    notes. *)
+
+type snapshot
+
+(** [routes g ~members ~length] computes shortest routes among members
+    under [length].  Edges with [infinity] length are unusable.  Raises
+    [Failure] when a pair is disconnected. *)
+val routes : Graph.t -> members:int array -> length:(int -> float) -> snapshot
+
+(** [route s u v] is the route between two member vertices in this
+    snapshot. Raises [Not_found] for non-members. *)
+val route : snapshot -> int -> int -> Route.t
+
+(** [distance s u v] is the length of that route under the snapshot's
+    length function. *)
+val distance : snapshot -> int -> int -> float
+
+(** [members s] is the member set. *)
+val members : snapshot -> int array

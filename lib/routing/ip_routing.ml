@@ -1,0 +1,81 @@
+type t = {
+  member_list : int array;
+  index : (int, int) Hashtbl.t;           (* vertex -> member slot *)
+  routes : Route.t option array array;    (* slot x slot, upper triangle *)
+}
+
+let compute_with_metric g ~members ~metric =
+  let k = Array.length members in
+  let index = Hashtbl.create k in
+  Array.iteri (fun i v -> Hashtbl.replace index v i) members;
+  if Hashtbl.length index <> k then
+    invalid_arg "Ip_routing.compute: duplicate members";
+  let routes = Array.make_matrix k k None in
+  for i = 0 to k - 1 do
+    let tree =
+      Dijkstra.shortest_path_tree g ~length:metric ~source:members.(i)
+    in
+    for j = i + 1 to k - 1 do
+      match Dijkstra.path_to tree members.(j) with
+      | None -> failwith "Ip_routing.compute: member pair disconnected"
+      | Some edges ->
+        (* Keep the route computed from the lower-indexed member so both
+           directions agree on one path. *)
+        if routes.(i).(j) = None then
+          routes.(i).(j) <-
+            Some (Route.make ~src:members.(i) ~dst:members.(j)
+                    (Array.of_list edges))
+    done
+  done;
+  { member_list = Array.copy members; index; routes }
+
+let compute g ~members =
+  compute_with_metric g ~members ~metric:Dijkstra.hop_length
+
+let compute_randomized g rng ~members =
+  (* jitter far below 1/(n+1) keeps hop-count order intact while
+     randomizing which equal-hop path wins *)
+  let n = float_of_int (Graph.n_vertices g + 1) in
+  let jitter =
+    Array.init (Graph.n_edges g) (fun _ -> Rng.uniform rng /. (n *. n))
+  in
+  compute_with_metric g ~members ~metric:(fun id -> 1.0 +. jitter.(id))
+
+let route t u v =
+  let i = try Hashtbl.find t.index u with Not_found -> raise Not_found in
+  let j = try Hashtbl.find t.index v with Not_found -> raise Not_found in
+  if i = j then Route.make ~src:u ~dst:v [||]
+  else begin
+    let a, b = if i < j then (i, j) else (j, i) in
+    match t.routes.(a).(b) with
+    | None -> raise Not_found
+    | Some r -> if i < j then r else Route.reverse r
+  end
+
+let members t = Array.copy t.member_list
+
+let fold_routes t f init =
+  let k = Array.length t.member_list in
+  let acc = ref init in
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      match t.routes.(i).(j) with
+      | Some r -> acc := f !acc r
+      | None -> ()
+    done
+  done;
+  !acc
+
+let max_hops t = fold_routes t (fun acc r -> max acc (Route.hops r)) 0
+
+let covered_edges t =
+  let seen = Hashtbl.create 64 in
+  let () =
+    fold_routes t
+      (fun () r -> Route.iter_edges r (fun id -> Hashtbl.replace seen id ()))
+      ()
+  in
+  let ids = Hashtbl.fold (fun id () acc -> id :: acc) seen [] in
+  let arr = Array.of_list ids in
+  Array.sort compare arr;
+  arr

@@ -1,0 +1,46 @@
+(** Fixed IP routing substrate.
+
+    The paper's default model: the unicast route between two overlay
+    hosts is the IP shortest-hop route, fixed once regardless of the
+    overlay algorithms' dual lengths.  Routes are computed with
+    deterministic Dijkstra (hop metric by default), and are symmetric:
+    the route from [u] to [v] is the reverse of the route from [v] to
+    [u], as is needed for an undirected overlay edge. *)
+
+type t
+
+(** [compute g ~members] precomputes routes among all pairs of
+    [members] (one shortest-path tree per member).  Raises [Failure] if
+    some pair is disconnected. *)
+val compute : Graph.t -> members:int array -> t
+
+(** [compute_with_metric g ~members ~metric] uses an arbitrary positive
+    IP metric instead of hop count (e.g. inverse-capacity OSPF
+    weights). *)
+val compute_with_metric : Graph.t -> members:int array -> metric:(int -> float) -> t
+
+(** [compute_randomized g rng ~members] is shortest-hop routing with
+    randomized tie-breaking: equal-hop paths are chosen by a tiny
+    deterministic jitter drawn from [rng], modelling the route diversity
+    real IP deployments exhibit.  Routes are still single fixed paths
+    per pair. *)
+val compute_randomized : Graph.t -> Rng.t -> members:int array -> t
+
+(** [route t u v] returns the fixed route between two member vertices.
+    Raises [Not_found] if either vertex is not a member. *)
+val route : t -> int -> int -> Route.t
+
+(** [members t] is the member vertex set (a fresh copy). *)
+val members : t -> int array
+
+(** [max_hops t] is the hop count of the longest stored route — the
+    paper's [U] parameter. *)
+val max_hops : t -> int
+
+(** [covered_edges t] is the set of physical edge ids used by at least
+    one route, sorted ascending — figure 4's "52 physical links". *)
+val covered_edges : t -> int array
+
+(** [fold_routes t f init] folds over the stored routes (one direction
+    per unordered pair). *)
+val fold_routes : t -> ('a -> Route.t -> 'a) -> 'a -> 'a

@@ -1,0 +1,41 @@
+type t = { src : int; dst : int; edges : int array }
+
+let make ~src ~dst edges =
+  if src = dst && Array.length edges > 0 then
+    invalid_arg "Route.make: nonempty self-route";
+  if src <> dst && Array.length edges = 0 then
+    invalid_arg "Route.make: empty route between distinct hosts";
+  { src; dst; edges }
+
+let hops t = Array.length t.edges
+
+let weight t ~length =
+  Array.fold_left (fun acc id -> acc +. length id) 0.0 t.edges
+
+let reverse t =
+  let n = Array.length t.edges in
+  { src = t.dst; dst = t.src; edges = Array.init n (fun i -> t.edges.(n - 1 - i)) }
+
+let mem t edge_id = Array.exists (fun id -> id = edge_id) t.edges
+
+let iter_edges t f = Array.iter f t.edges
+
+let is_valid g t =
+  if t.src = t.dst then Array.length t.edges = 0
+  else begin
+    let rec walk at i =
+      if i = Array.length t.edges then at = t.dst
+      else begin
+        match Graph.other g t.edges.(i) at with
+        | next -> walk next (i + 1)
+        | exception Invalid_argument _ -> false
+      end
+    in
+    walk t.src 0
+  end
+
+let bottleneck t ~capacity =
+  Array.fold_left (fun acc id -> Float.min acc (capacity id)) infinity t.edges
+
+let pp fmt t =
+  Format.fprintf fmt "%d->%d (%d hops)" t.src t.dst (Array.length t.edges)

@@ -1,0 +1,37 @@
+type params = { n : int; m : int; capacity : float }
+
+let default_params = { n = 100; m = 2; capacity = 100.0 }
+
+let generate rng p =
+  if p.m < 1 then invalid_arg "Barabasi.generate: m < 1";
+  if p.n < p.m + 1 then invalid_arg "Barabasi.generate: n too small";
+  if p.capacity <= 0.0 then invalid_arg "Barabasi.generate: capacity";
+  let graph = Graph.create ~n:p.n in
+  (* endpoint multiset: each edge contributes both endpoints, so drawing
+     uniformly from it is degree-proportional sampling *)
+  let endpoints = ref [] in
+  let push u v =
+    ignore (Graph.add_edge graph u v ~capacity:p.capacity);
+    endpoints := u :: v :: !endpoints
+  in
+  (* seed clique on m+1 nodes *)
+  for u = 0 to p.m do
+    for v = u + 1 to p.m do
+      push u v
+    done
+  done;
+  let pool = ref (Array.of_list !endpoints) in
+  for i = p.m + 1 to p.n - 1 do
+    let chosen = Hashtbl.create p.m in
+    while Hashtbl.length chosen < p.m do
+      let target = (!pool).(Rng.int rng (Array.length !pool)) in
+      if target <> i then Hashtbl.replace chosen target ()
+    done;
+    Hashtbl.iter (fun v () -> push i v) chosen;
+    pool := Array.of_list !endpoints
+  done;
+  let nodes =
+    Array.init p.n (fun _ ->
+        { Topology.x = 0.0; y = 0.0; as_id = 0; is_border = false })
+  in
+  { Topology.graph; nodes }

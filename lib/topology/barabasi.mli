@@ -1,0 +1,17 @@
+(** Barabási–Albert preferential attachment generator (BRITE's "BA"
+    model).  Used for the robustness runs in EXPERIMENTS.md: the paper
+    conjectures its unbalanced-link-utilization finding is intrinsic to
+    Internet-like topologies, so we cross-check on a second family. *)
+
+type params = {
+  n : int;          (** total nodes *)
+  m : int;          (** edges per new node *)
+  capacity : float; (** uniform link capacity *)
+}
+
+val default_params : params
+
+(** [generate rng params] builds a connected BA topology: a seed clique
+    on [m + 1] nodes, then each new node attaches to [m] distinct
+    existing nodes with probability proportional to degree. *)
+val generate : Rng.t -> params -> Topology.t

@@ -1,0 +1,42 @@
+type node_info = { x : float; y : float; as_id : int; is_border : bool }
+
+type t = { graph : Graph.t; nodes : node_info array }
+
+let n_nodes t = Graph.n_vertices t.graph
+let n_links t = Graph.n_edges t.graph
+
+let set_uniform_capacity t c =
+  Graph.iter_edges t.graph (fun e -> Graph.set_capacity t.graph e.Graph.id c)
+
+let scale_capacities t ~factor =
+  Graph.iter_edges t.graph (fun e ->
+      Graph.set_capacity t.graph e.Graph.id (e.Graph.capacity *. factor))
+
+let randomize_capacities t rng ~low ~high =
+  if high < low then invalid_arg "Topology.randomize_capacities: high < low";
+  Graph.iter_edges t.graph (fun e ->
+      let c = low +. Rng.float rng (high -. low) in
+      Graph.set_capacity t.graph e.Graph.id c)
+
+let euclidean t u v =
+  let a = t.nodes.(u) and b = t.nodes.(v) in
+  let dx = a.x -. b.x and dy = a.y -. b.y in
+  sqrt ((dx *. dx) +. (dy *. dy))
+
+let of_graph g =
+  let nodes =
+    Array.init (Graph.n_vertices g) (fun _ ->
+        { x = 0.0; y = 0.0; as_id = 0; is_border = false })
+  in
+  { graph = g; nodes }
+
+let check t =
+  if not (Traverse.is_connected t.graph) then Some "topology is disconnected"
+  else begin
+    let bad =
+      Graph.fold_edges t.graph
+        (fun acc e -> acc || e.Graph.capacity <= 0.0)
+        false
+    in
+    if bad then Some "topology has a non-positive link capacity" else None
+  end

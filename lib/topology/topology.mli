@@ -1,0 +1,45 @@
+(** Physical network topologies.
+
+    A topology is a connected capacitated graph plus node placement
+    metadata.  Generators mimic the Boston BRITE tool the paper uses:
+    Waxman router-level graphs, Barabási–Albert preferential attachment,
+    and the two-level AS/router hierarchy of Sec. VI. *)
+
+type node_info = {
+  x : float;        (** plane coordinate *)
+  y : float;
+  as_id : int;      (** AS membership; 0 for flat topologies *)
+  is_border : bool; (** true for inter-AS gateway routers *)
+}
+
+type t = {
+  graph : Graph.t;
+  nodes : node_info array;
+}
+
+(** [n_nodes t] and [n_links t] report sizes. *)
+val n_nodes : t -> int
+val n_links : t -> int
+
+(** [set_uniform_capacity t c] overwrites every link capacity (the paper
+    uses a uniform capacity of 100). *)
+val set_uniform_capacity : t -> float -> unit
+
+(** [scale_capacities t ~factor] multiplies all capacities. *)
+val scale_capacities : t -> factor:float -> unit
+
+(** [randomize_capacities t rng ~low ~high] draws each link capacity
+    uniformly from [low, high] — a sensitivity-analysis knob the paper
+    calls out as missing public data. *)
+val randomize_capacities : t -> Rng.t -> low:float -> high:float -> unit
+
+(** [euclidean t u v] is plane distance between two nodes. *)
+val euclidean : t -> int -> int -> float
+
+(** [of_graph g] wraps an existing graph with default placement (all
+    nodes at the origin, AS 0). *)
+val of_graph : Graph.t -> t
+
+(** [check t] validates invariants: connected, positive capacities.
+    Returns an error description or [None]. *)
+val check : t -> string option

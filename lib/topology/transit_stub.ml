@@ -1,0 +1,93 @@
+type params = {
+  transit_nodes : int;
+  transit_m : int;
+  stubs_per_transit : int;
+  stub_size : int;
+  stub_m : int;
+  alpha : float;
+  beta : float;
+  plane : float;
+  capacity : float;
+}
+
+let default_params =
+  {
+    transit_nodes = 8;
+    transit_m = 2;
+    stubs_per_transit = 3;
+    stub_size = 4;
+    stub_m = 1;
+    alpha = 0.15;
+    beta = 0.2;
+    plane = 1000.0;
+    capacity = 100.0;
+  }
+
+let generate rng p =
+  if p.transit_nodes < 2 then invalid_arg "Transit_stub.generate: transit_nodes < 2";
+  if p.stubs_per_transit < 0 then
+    invalid_arg "Transit_stub.generate: negative stubs_per_transit";
+  if p.stubs_per_transit > 0 && p.stub_size < 1 then
+    invalid_arg "Transit_stub.generate: stub_size < 1";
+  let n =
+    p.transit_nodes + (p.transit_nodes * p.stubs_per_transit * p.stub_size)
+  in
+  let graph = Graph.create ~n in
+  let nodes =
+    Array.make n { Topology.x = 0.0; y = 0.0; as_id = 0; is_border = false }
+  in
+  (* backbone: Waxman over the first transit_nodes ids *)
+  let backbone =
+    Waxman.generate rng
+      {
+        Waxman.n = p.transit_nodes;
+        m = p.transit_m;
+        alpha = p.alpha;
+        beta = p.beta;
+        plane = p.plane;
+        capacity = p.capacity;
+      }
+  in
+  Array.iteri
+    (fun i info -> nodes.(i) <- { info with Topology.is_border = true; as_id = 0 })
+    backbone.Topology.nodes;
+  Graph.iter_edges backbone.Topology.graph (fun e ->
+      ignore (Graph.add_edge graph e.Graph.u e.Graph.v ~capacity:p.capacity));
+  (* stubs: small Waxman domains, one uplink each *)
+  let next_id = ref p.transit_nodes in
+  let next_as = ref 1 in
+  for transit = 0 to p.transit_nodes - 1 do
+    for _ = 1 to p.stubs_per_transit do
+      let base = !next_id in
+      let as_id = !next_as in
+      incr next_as;
+      next_id := base + p.stub_size;
+      if p.stub_size = 1 then
+        nodes.(base) <-
+          { Topology.x = 0.0; y = 0.0; as_id; is_border = false }
+      else begin
+        let stub =
+          Waxman.generate rng
+            {
+              Waxman.n = p.stub_size;
+              m = min p.stub_m (p.stub_size - 1);
+              alpha = p.alpha;
+              beta = p.beta;
+              plane = p.plane /. 4.0;
+              capacity = p.capacity;
+            }
+        in
+        Array.iteri
+          (fun i info -> nodes.(base + i) <- { info with Topology.as_id = as_id })
+          stub.Topology.nodes;
+        Graph.iter_edges stub.Topology.graph (fun e ->
+            ignore
+              (Graph.add_edge graph (base + e.Graph.u) (base + e.Graph.v)
+                 ~capacity:p.capacity))
+      end;
+      (* uplink from a random stub router to its transit router *)
+      let gateway = base + Rng.int rng p.stub_size in
+      ignore (Graph.add_edge graph gateway transit ~capacity:p.capacity)
+    done
+  done;
+  { Topology.graph; nodes }

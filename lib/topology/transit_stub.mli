@@ -1,0 +1,28 @@
+(** Transit-stub topology generator (GT-ITM style).
+
+    A third Internet-like family used by the robustness experiments:
+    a Waxman graph of transit routers (the backbone), with several
+    small stub domains hanging off each transit router.  Overlay
+    members land mostly in stubs, so cross-stub traffic funnels through
+    the backbone — a sharper version of the two-level topology's
+    link-correlation structure. *)
+
+type params = {
+  transit_nodes : int;        (** backbone routers *)
+  transit_m : int;            (** Waxman edges per new backbone router *)
+  stubs_per_transit : int;    (** stub domains per backbone router *)
+  stub_size : int;            (** routers per stub domain *)
+  stub_m : int;               (** Waxman edges per new stub router *)
+  alpha : float;
+  beta : float;
+  plane : float;
+  capacity : float;
+}
+
+(** 8 transit routers x 3 stubs x 4 routers = 104 nodes. *)
+val default_params : params
+
+(** [generate rng params] builds a connected transit-stub topology.
+    Backbone routers are nodes [0 .. transit_nodes - 1] and carry
+    [is_border = true]; each stub is one [as_id]. *)
+val generate : Rng.t -> params -> Topology.t

@@ -1,0 +1,89 @@
+type params = {
+  n_as : int;
+  routers_per_as : int;
+  as_m : int;
+  router_m : int;
+  alpha : float;
+  beta : float;
+  plane : float;
+  capacity : float;
+  border_links_per_as_edge : int;
+}
+
+let default_params =
+  {
+    n_as = 10;
+    routers_per_as = 100;
+    as_m = 2;
+    router_m = 2;
+    alpha = 0.15;
+    beta = 0.2;
+    plane = 1000.0;
+    capacity = 100.0;
+    border_links_per_as_edge = 1;
+  }
+
+let small_params ~n_as ~routers_per_as =
+  { default_params with n_as; routers_per_as }
+
+let generate rng p =
+  if p.n_as < 1 then invalid_arg "Two_level.generate: n_as < 1";
+  if p.routers_per_as < 2 then invalid_arg "Two_level.generate: routers_per_as < 2";
+  if p.border_links_per_as_edge < 1 then
+    invalid_arg "Two_level.generate: border_links_per_as_edge < 1";
+  let n = p.n_as * p.routers_per_as in
+  let graph = Graph.create ~n in
+  let nodes =
+    Array.make n { Topology.x = 0.0; y = 0.0; as_id = 0; is_border = false }
+  in
+  (* Router-level Waxman inside each AS, offset into the global id
+     space; AS k's routers are [k * routers_per_as, ...). *)
+  let waxman_params =
+    {
+      Waxman.n = p.routers_per_as;
+      m = p.router_m;
+      alpha = p.alpha;
+      beta = p.beta;
+      plane = p.plane;
+      capacity = p.capacity;
+    }
+  in
+  for k = 0 to p.n_as - 1 do
+    let sub = Waxman.generate rng waxman_params in
+    let base = k * p.routers_per_as in
+    Array.iteri
+      (fun i info ->
+        (* shift each AS onto its own plane tile so distances stay
+           meaningful across the hierarchy *)
+        let tile = float_of_int k *. p.plane *. 1.5 in
+        nodes.(base + i) <-
+          { info with Topology.x = info.Topology.x +. tile; as_id = k })
+      sub.Topology.nodes;
+    Graph.iter_edges sub.Topology.graph (fun e ->
+        ignore
+          (Graph.add_edge graph (base + e.Graph.u) (base + e.Graph.v)
+             ~capacity:p.capacity))
+  done;
+  (* AS-level Waxman-ish attachment: AS k >= 1 connects to min(as_m, k)
+     distinct earlier ASes chosen uniformly (AS centroids carry no
+     geometry of interest after tiling). *)
+  let mark_border v = nodes.(v) <- { (nodes.(v)) with Topology.is_border = true } in
+  let random_router k =
+    (k * p.routers_per_as) + Rng.int rng p.routers_per_as
+  in
+  for k = 1 to p.n_as - 1 do
+    let budget = min p.as_m k in
+    let targets =
+      Rng.sample_without_replacement rng ~n:k ~k:budget
+    in
+    Array.iter
+      (fun other_as ->
+        for _ = 1 to p.border_links_per_as_edge do
+          let u = random_router k and v = random_router other_as in
+          mark_border u;
+          mark_border v;
+          ignore (Graph.add_edge graph u v ~capacity:p.capacity)
+        done)
+      targets
+  done;
+  { Topology.graph; nodes }

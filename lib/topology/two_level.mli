@@ -1,0 +1,32 @@
+(** Two-level AS/router topology of Sec. VI.
+
+    The paper evaluates on "a 10-node AS-level topology, then attach to
+    each AS a 100-node router-level topology".  We mirror BRITE's
+    top-down hierarchy: a Waxman graph over AS centroids, a Waxman
+    router graph inside each AS, and each AS-level edge realized as a
+    physical link between randomly chosen border routers of the two
+    ASes. *)
+
+type params = {
+  n_as : int;             (** number of autonomous systems *)
+  routers_per_as : int;   (** router-level Waxman size per AS *)
+  as_m : int;             (** AS-level Waxman edges per new AS *)
+  router_m : int;         (** router-level Waxman edges per new router *)
+  alpha : float;
+  beta : float;
+  plane : float;
+  capacity : float;       (** uniform capacity for all links *)
+  border_links_per_as_edge : int;  (** parallel inter-AS links (BRITE uses 1) *)
+}
+
+(** Paper setting: 10 ASes x 100 routers, capacity 100. *)
+val default_params : params
+
+(** A scaled-down variant for tests and benches: [n_as] ASes of
+    [routers_per_as] routers. *)
+val small_params : n_as:int -> routers_per_as:int -> params
+
+(** [generate rng params] builds the hierarchical topology; node
+    metadata records AS membership and border status.  The result is
+    connected. *)
+val generate : Rng.t -> params -> Topology.t

@@ -1,0 +1,65 @@
+type params = {
+  n : int;
+  m : int;
+  alpha : float;
+  beta : float;
+  plane : float;
+  capacity : float;
+}
+
+let default_params =
+  { n = 100; m = 2; alpha = 0.15; beta = 0.2; plane = 1000.0; capacity = 100.0 }
+
+let validate p =
+  if p.n < 2 then invalid_arg "Waxman.generate: n < 2";
+  if p.m < 1 then invalid_arg "Waxman.generate: m < 1";
+  if p.alpha <= 0.0 || p.alpha > 1.0 then invalid_arg "Waxman.generate: alpha";
+  if p.beta <= 0.0 || p.beta > 1.0 then invalid_arg "Waxman.generate: beta";
+  if p.plane <= 0.0 then invalid_arg "Waxman.generate: plane";
+  if p.capacity <= 0.0 then invalid_arg "Waxman.generate: capacity"
+
+let generate rng p =
+  validate p;
+  let nodes =
+    Array.init p.n (fun _ ->
+        {
+          Topology.x = Rng.float rng p.plane;
+          y = Rng.float rng p.plane;
+          as_id = 0;
+          is_border = false;
+        })
+  in
+  let graph = Graph.create ~n:p.n in
+  let l_max = p.plane *. sqrt 2.0 in
+  let waxman_weight i j =
+    let a = nodes.(i) and b = nodes.(j) in
+    let dx = a.Topology.x -. b.Topology.x and dy = a.Topology.y -. b.Topology.y in
+    let d = sqrt ((dx *. dx) +. (dy *. dy)) in
+    p.alpha *. exp (-.d /. (p.beta *. l_max))
+  in
+  (* Incremental attachment: node i joins with min(m, i) edges to
+     distinct earlier nodes, drawn by Waxman probability. *)
+  for i = 1 to p.n - 1 do
+    let budget = min p.m i in
+    let chosen = Array.make i false in
+    for _ = 1 to budget do
+      let weights =
+        Array.init i (fun j -> if chosen.(j) then 0.0 else waxman_weight i j)
+      in
+      let total = Array.fold_left ( +. ) 0.0 weights in
+      let j =
+        if total <= 0.0 then begin
+          (* all candidate weights underflowed; fall back to uniform *)
+          let free = ref [] in
+          for j = i - 1 downto 0 do
+            if not chosen.(j) then free := j :: !free
+          done;
+          List.nth !free (Rng.int rng (List.length !free))
+        end
+        else Rng.choose_weighted rng weights
+      in
+      chosen.(j) <- true;
+      ignore (Graph.add_edge graph i j ~capacity:p.capacity)
+    done
+  done;
+  { Topology.graph; nodes }

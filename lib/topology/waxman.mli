@@ -1,0 +1,24 @@
+(** Waxman random-graph generator, matching BRITE's router-level Waxman
+    model: nodes placed uniformly at random on a square plane; node
+    [i >= m] attaches with [m] edges to earlier nodes, picking targets
+    with probability proportional to
+    [alpha * exp (-d / (beta * l_max))] where [d] is plane distance and
+    [l_max] the plane diagonal.  The incremental attachment keeps the
+    graph connected by construction, as BRITE does. *)
+
+type params = {
+  n : int;              (** number of routers *)
+  m : int;              (** edges added per new node (BRITE default 2) *)
+  alpha : float;        (** Waxman alpha, in (0, 1] (BRITE default 0.15) *)
+  beta : float;         (** Waxman beta, in (0, 1] (BRITE default 0.2) *)
+  plane : float;        (** side of the placement square *)
+  capacity : float;     (** uniform link capacity *)
+}
+
+(** Paper setting: 100 nodes, capacity 100. *)
+val default_params : params
+
+(** [generate rng params] builds a connected Waxman topology.  Raises
+    [Invalid_argument] on nonsensical parameters ([n < 2], [m < 1],
+    nonpositive alpha/beta/plane/capacity). *)
+val generate : Rng.t -> params -> Topology.t

@@ -1,0 +1,189 @@
+(* Integration tests for the experiment harness on tiny instances. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let tiny_a () =
+  Setup.make_a ~seed:42
+    { Setup.default_a with Setup.n_nodes = 40; session_sizes = [| 5; 4 |] }
+
+let tiny_grid () =
+  Exp_eval.small_grid ~n_as:2 ~routers:12 ~session_counts:[| 1; 2 |]
+    ~session_sizes:[| 4; 6 |] ~seed:7
+
+let test_setup_a_deterministic () =
+  let a = tiny_a () and b = tiny_a () in
+  checki "same sessions" (Array.length a.Setup.sessions) (Array.length b.Setup.sessions);
+  Alcotest.(check (array int)) "same members" a.Setup.sessions.(0).Session.members
+    b.Setup.sessions.(0).Session.members;
+  checki "same links" (Topology.n_links a.Setup.topology)
+    (Topology.n_links b.Setup.topology)
+
+let test_setup_b_shape () =
+  let s =
+    Setup.make_b ~seed:3
+      { Setup.default_b with Setup.n_as = 2; routers_per_as = 10; n_sessions = 3;
+        session_size = 4 }
+  in
+  checki "nodes" 20 (Topology.n_nodes s.Setup.topology);
+  checki "sessions" 3 (Array.length s.Setup.sessions);
+  checki "session size" 4 (Session.size s.Setup.sessions.(0))
+
+let test_replicated_overlays_mapping () =
+  let s = tiny_a () in
+  let overlays, mapping =
+    Setup.replicated_overlays s Overlay.Ip ~copies:3 ~demand:1.0 ~arrival_seed:5
+  in
+  checki "replica count" 6 (Array.length overlays);
+  checki "mapping arity" 6 (Array.length mapping);
+  (* each original appears exactly `copies` times *)
+  let counts = Array.make 2 0 in
+  Array.iter (fun o -> counts.(o) <- counts.(o) + 1) mapping;
+  Alcotest.(check (array int)) "balanced" [| 3; 3 |] counts;
+  (* replica members match their original *)
+  Array.iteri
+    (fun slot original ->
+      Alcotest.(check (array int)) "members preserved"
+        s.Setup.sessions.(original).Session.members
+        (Overlay.session overlays.(slot)).Session.members)
+    mapping
+
+let test_maxflow_sweep_rows () =
+  let s = tiny_a () in
+  let rows = Exp_tables.maxflow_sweep s ~mode:Overlay.Ip ~ratios:[ 0.90; 0.95 ] in
+  checki "two rows" 2 (List.length rows);
+  List.iter
+    (fun (r : Exp_tables.mf_row) ->
+      checkb "positive throughput" true (r.Exp_tables.throughput > 0.0);
+      checkb "trees found" true (r.Exp_tables.trees1 > 0 && r.Exp_tables.trees2 > 0);
+      checkb "feasible" true
+        (Solution.is_feasible r.Exp_tables.result.Max_flow.solution
+           s.Setup.topology.Topology.graph ~tol:1e-6))
+    rows;
+  let rendered = Exp_tables.render_mf ~title:"test" rows in
+  checkb "rendered" true (String.length rendered > 0)
+
+let test_mcf_sweep_rows () =
+  let s = tiny_a () in
+  let rows =
+    Exp_tables.mcf_sweep s ~mode:Overlay.Ip ~ratios:[ 0.92 ]
+      ~scaling:Max_concurrent_flow.Maxflow_weighted
+  in
+  checki "one row" 1 (List.length rows);
+  let row = List.hd rows in
+  checkb "positive rates" true (row.Exp_tables.rate1 > 0.0 && row.Exp_tables.rate2 > 0.0);
+  checkb "rendered" true
+    (String.length (Exp_tables.render_mcf ~title:"t" rows) > 0)
+
+let test_figure_curves () =
+  let s = tiny_a () in
+  let rows = Exp_tables.maxflow_sweep s ~mode:Overlay.Ip ~ratios:[ 0.92; 0.95 ] in
+  let labelled =
+    List.map
+      (fun (r : Exp_tables.mf_row) ->
+        (r.Exp_tables.ratio, r.Exp_tables.result.Max_flow.solution))
+      rows
+  in
+  let header, data = Exp_figures.tree_rate_distribution labelled ~slot:0 in
+  checki "header arity" 3 (List.length header);
+  checki "20 sample points" 20 (List.length data);
+  List.iter
+    (fun row ->
+      match row with
+      | x :: ys ->
+        checkb "x in (0,1]" true (x > 0.0 && x <= 1.0);
+        List.iter (fun y -> checkb "y in [0,1]" true (y >= 0.0 && y <= 1.0 +. 1e-9)) ys
+      | [] -> Alcotest.fail "empty row")
+    data;
+  (* cdf rows end at 1 *)
+  (match List.rev data with
+   | last :: _ ->
+     List.iteri
+       (fun i y -> if i > 0 then checkb "full mass" true (abs_float (y -. 1.0) < 1e-6))
+       last
+   | [] -> Alcotest.fail "no rows");
+  let uheader, udata = Exp_figures.link_utilization_distribution s ~mode:Overlay.Ip labelled in
+  checki "util header arity" 3 (List.length uheader);
+  checki "util rows" 20 (List.length udata)
+
+let test_random_series_shape () =
+  let s = tiny_a () in
+  let series =
+    Exp_figures.random_series s ~mode:Overlay.Ip ~ratio:0.92 ~tree_limits:[ 1; 5 ]
+      ~repeats:5
+  in
+  checki "two points" 2 (List.length series);
+  let p1 = List.nth series 0 and p5 = List.nth series 1 in
+  checkb "throughput positive" true (p1.Exp_figures.throughput > 0.0);
+  checkb "more trees at 5" true
+    (p5.Exp_figures.distinct_trees.(0) >= p1.Exp_figures.distinct_trees.(0))
+
+let test_online_series_shape () =
+  let s = tiny_a () in
+  let series =
+    Exp_figures.online_series s ~mode:Overlay.Ip ~sigma:20.0 ~tree_limits:[ 2; 6 ]
+      ~repeats:3
+  in
+  checki "two points" 2 (List.length series);
+  List.iter
+    (fun p ->
+      checkb "rates per original" true (Array.length p.Exp_figures.session_rates = 2);
+      checkb "positive throughput" true (p.Exp_figures.throughput > 0.0))
+    series;
+  let txt =
+    Exp_figures.render_limited ~title:"fig5a" ~columns:[ "n"; "online" ]
+      ~metric:(fun p -> p.Exp_figures.throughput)
+      [ series ]
+  in
+  checkb "rendered" true (String.length txt > 0)
+
+let test_eval_cell () =
+  let grid = tiny_grid () in
+  let cell = Exp_eval.run_cell grid ~n_sessions:2 ~session_size:4 in
+  checkb "mf throughput positive" true (cell.Exp_eval.mf_throughput > 0.0);
+  checkb "mcf min rate positive" true (cell.Exp_eval.mcf_min_rate > 0.0);
+  checkb "edges per node positive" true (cell.Exp_eval.edges_per_node > 0.0);
+  checkb "ratio in (0, 1.2]" true
+    (cell.Exp_eval.throughput_ratio > 0.0 && cell.Exp_eval.throughput_ratio <= 1.2)
+
+let test_eval_grid_and_surfaces () =
+  let grid = tiny_grid () in
+  let cells = Exp_eval.run_grid grid in
+  checki "rows" 2 (Array.length cells);
+  checki "cols" 2 (Array.length cells.(0));
+  let s12 =
+    Exp_eval.surface grid cells ~field:(fun c -> c.Exp_eval.mf_throughput)
+      ~title:"fig12"
+  in
+  checkb "surface text" true (String.length s12 > 0);
+  let mcf_txt, mf_txt = Exp_eval.fig14 grid ~n_sessions:2 ~sizes:[| 4; 6 |] in
+  checkb "fig14 rendered" true (String.length mcf_txt > 0 && String.length mf_txt > 0);
+  let f17 = Exp_eval.fig17 grid ~n_sessions:1 ~sizes:[| 4 |] in
+  checkb "fig17 rendered" true (String.length f17 > 0)
+
+let test_online_grid () =
+  let grid = tiny_grid () in
+  let cells = Exp_eval.run_online_grid grid ~tree_limit:3 ~sigma:10.0 ~repeats:2 in
+  checki "rows" 2 (Array.length cells);
+  Array.iter
+    (Array.iter (fun c ->
+         checkb "ratio bounded" true
+           (c.Exp_eval.throughput_ratio_vs_mf >= 0.0
+           && c.Exp_eval.throughput_ratio_vs_mf <= 2.0)))
+    cells
+
+let suite =
+  [
+    Alcotest.test_case "setup A deterministic" `Quick test_setup_a_deterministic;
+    Alcotest.test_case "setup B shape" `Quick test_setup_b_shape;
+    Alcotest.test_case "replicated overlays mapping" `Quick
+      test_replicated_overlays_mapping;
+    Alcotest.test_case "maxflow sweep rows" `Quick test_maxflow_sweep_rows;
+    Alcotest.test_case "mcf sweep rows" `Quick test_mcf_sweep_rows;
+    Alcotest.test_case "figure curves" `Quick test_figure_curves;
+    Alcotest.test_case "random series" `Quick test_random_series_shape;
+    Alcotest.test_case "online series" `Quick test_online_series_shape;
+    Alcotest.test_case "eval cell" `Slow test_eval_cell;
+    Alcotest.test_case "eval grid & surfaces" `Slow test_eval_grid_and_surfaces;
+    Alcotest.test_case "online grid" `Slow test_online_grid;
+  ]

@@ -1,0 +1,149 @@
+(* Tests for the Graph module and traversals. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-9))
+
+let triangle () =
+  Graph.of_edges ~n:3 [ (0, 1, 1.0); (1, 2, 2.0); (2, 0, 3.0) ]
+
+let test_build () =
+  let g = triangle () in
+  checki "vertices" 3 (Graph.n_vertices g);
+  checki "edges" 3 (Graph.n_edges g);
+  checkf "capacity" 2.0 (Graph.capacity g 1);
+  checkf "total capacity" 6.0 (Graph.total_capacity g)
+
+let test_endpoints_other () =
+  let g = triangle () in
+  Alcotest.(check (pair int int)) "endpoints" (0, 1) (Graph.endpoints g 0);
+  checki "other" 1 (Graph.other g 0 0);
+  checki "other'" 0 (Graph.other g 0 1);
+  Alcotest.check_raises "bad endpoint"
+    (Invalid_argument "Graph.other: vertex not an endpoint") (fun () ->
+      ignore (Graph.other g 0 2))
+
+let test_self_loop_rejected () =
+  let g = Graph.create ~n:2 in
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.add_edge: self-loop")
+    (fun () -> ignore (Graph.add_edge g 1 1 ~capacity:1.0))
+
+let test_negative_capacity_rejected () =
+  let g = Graph.create ~n:2 in
+  Alcotest.check_raises "negative capacity"
+    (Invalid_argument "Graph.add_edge: negative capacity") (fun () ->
+      ignore (Graph.add_edge g 0 1 ~capacity:(-1.0)))
+
+let test_parallel_edges () =
+  let g = Graph.create ~n:2 in
+  let a = Graph.add_edge g 0 1 ~capacity:1.0 in
+  let b = Graph.add_edge g 0 1 ~capacity:2.0 in
+  checkb "distinct ids" true (a <> b);
+  checki "degree counts both" 2 (Graph.degree g 0)
+
+let test_neighbors_order () =
+  let g = Graph.create ~n:4 in
+  ignore (Graph.add_edge g 0 1 ~capacity:1.0);
+  ignore (Graph.add_edge g 0 2 ~capacity:1.0);
+  ignore (Graph.add_edge g 0 3 ~capacity:1.0);
+  let ns = Graph.neighbors g 0 in
+  Alcotest.(check (list int)) "insertion order" [ 1; 2; 3 ]
+    (Array.to_list (Array.map fst ns))
+
+let test_find_edge () =
+  let g = triangle () in
+  checkb "found" true (Graph.find_edge g 1 2 = Some 1);
+  checkb "symmetric" true (Graph.find_edge g 2 1 = Some 1);
+  let g2 = Graph.of_edges ~n:3 [ (0, 1, 1.0) ] in
+  checkb "absent" true (Graph.find_edge g2 0 2 = None)
+
+let test_copy_independent () =
+  let g = triangle () in
+  let g2 = Graph.copy g in
+  Graph.set_capacity g2 0 42.0;
+  checkf "original untouched" 1.0 (Graph.capacity g 0);
+  checkf "copy updated" 42.0 (Graph.capacity g2 0)
+
+let test_edge_growth () =
+  (* exercise the doubling edge store *)
+  let g = Graph.create ~n:50 in
+  for i = 0 to 48 do
+    ignore (Graph.add_edge g i (i + 1) ~capacity:(float_of_int i))
+  done;
+  checki "all edges stored" 49 (Graph.n_edges g);
+  checkf "late edge intact" 48.0 (Graph.capacity g 48)
+
+(* --- Traverse --------------------------------------------------------- *)
+
+let test_bfs_distances () =
+  let g = Graph.of_edges ~n:4 [ (0, 1, 1.0); (1, 2, 1.0); (2, 3, 1.0) ] in
+  let d = Traverse.bfs g ~source:0 in
+  Alcotest.(check (array int)) "path distances" [| 0; 1; 2; 3 |] d
+
+let test_connectivity () =
+  let g = Graph.of_edges ~n:4 [ (0, 1, 1.0); (2, 3, 1.0) ] in
+  checkb "disconnected" false (Traverse.is_connected g);
+  let labels, c = Traverse.components g in
+  checki "two components" 2 c;
+  checkb "0-1 together" true (labels.(0) = labels.(1));
+  checkb "0-2 apart" true (labels.(0) <> labels.(2))
+
+let test_spanning_connected () =
+  let g = Graph.of_edges ~n:5 [ (0, 1, 1.0); (1, 2, 1.0); (3, 4, 1.0) ] in
+  checkb "subset connected" true
+    (Traverse.is_spanning_connected g ~vertices:[| 0; 1; 2 |]);
+  checkb "subset disconnected" false
+    (Traverse.is_spanning_connected g ~vertices:[| 0; 3 |])
+
+let qcheck_components_partition =
+  QCheck.Test.make ~name:"components partition the vertex set" ~count:100
+    QCheck.(list (pair (int_range 0 11) (int_range 0 11)))
+    (fun pairs ->
+      let edges =
+        List.filter_map
+          (fun (a, b) -> if a <> b then Some (a, b, 1.0) else None)
+          pairs
+      in
+      let g = Graph.of_edges ~n:12 edges in
+      let labels, c = Traverse.components g in
+      let distinct = Hashtbl.create 8 in
+      Array.iter (fun l -> Hashtbl.replace distinct l ()) labels;
+      Hashtbl.length distinct = c
+      && Array.for_all (fun l -> l >= 0 && l < c) labels)
+
+let qcheck_bfs_neighbors =
+  QCheck.Test.make ~name:"bfs distance differs by <=1 across an edge" ~count:100
+    QCheck.(list (pair (int_range 0 9) (int_range 0 9)))
+    (fun pairs ->
+      let edges =
+        List.filter_map
+          (fun (a, b) -> if a <> b then Some (a, b, 1.0) else None)
+          pairs
+      in
+      let g = Graph.of_edges ~n:10 edges in
+      let d = Traverse.bfs g ~source:0 in
+      Graph.fold_edges g
+        (fun acc e ->
+          acc
+          &&
+          let du = d.(e.Graph.u) and dv = d.(e.Graph.v) in
+          if du >= 0 && dv >= 0 then abs (du - dv) <= 1 else du = dv)
+        true)
+
+let suite =
+  [
+    Alcotest.test_case "build" `Quick test_build;
+    Alcotest.test_case "endpoints/other" `Quick test_endpoints_other;
+    Alcotest.test_case "self-loop rejected" `Quick test_self_loop_rejected;
+    Alcotest.test_case "negative capacity rejected" `Quick test_negative_capacity_rejected;
+    Alcotest.test_case "parallel edges" `Quick test_parallel_edges;
+    Alcotest.test_case "neighbors order" `Quick test_neighbors_order;
+    Alcotest.test_case "find edge" `Quick test_find_edge;
+    Alcotest.test_case "copy independence" `Quick test_copy_independent;
+    Alcotest.test_case "edge store growth" `Quick test_edge_growth;
+    Alcotest.test_case "bfs distances" `Quick test_bfs_distances;
+    Alcotest.test_case "connectivity/components" `Quick test_connectivity;
+    Alcotest.test_case "spanning connected" `Quick test_spanning_connected;
+    QCheck_alcotest.to_alcotest qcheck_components_partition;
+    QCheck_alcotest.to_alcotest qcheck_bfs_neighbors;
+  ]

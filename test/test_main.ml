@@ -1,0 +1,19 @@
+(* Aggregated test entry point: one alcotest run over all suites. *)
+
+let () =
+  Alcotest.run "overlay_capacity"
+    [
+      ("rng", Test_rng.suite);
+      ("prelude-structures", Test_prelude_structs.suite);
+      ("graph", Test_graph.suite);
+      ("paths-trees-flows", Test_paths.suite);
+      ("packing-and-lp", Test_packing_lp.suite);
+      ("topology-and-routing", Test_topology_routing.suite);
+      ("core-types", Test_core_types.suite);
+      ("algorithms", Test_algorithms.suite);
+      ("experiments", Test_experiments.suite);
+      ("extensions", Test_extensions.suite);
+      ("refinement", Test_refinement.suite);
+      ("invariants", Test_invariants.suite);
+      ("io-and-protocols", Test_io_protocol.suite);
+    ]

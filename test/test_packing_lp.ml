@@ -1,0 +1,230 @@
+(* Tests for Tree_packing and the Simplex oracle. *)
+
+let checkb = Alcotest.(check bool)
+let checkf = Alcotest.(check (float 1e-6))
+let checkf3 = Alcotest.(check (float 1e-3))
+
+let k4 capacity =
+  Graph.of_edges ~n:4
+    [
+      (0, 1, capacity); (0, 2, capacity); (0, 3, capacity);
+      (1, 2, capacity); (1, 3, capacity); (2, 3, capacity);
+    ]
+
+(* --- Tree_packing ------------------------------------------------------ *)
+
+let test_strength_k4_unit () =
+  (* K4 with unit capacities: strength = 2 (all-singletons partition
+     gives 6 crossing / 3). *)
+  let strength, witness = Tree_packing.strength_exact (k4 1.0) in
+  checkf "strength" 2.0 strength;
+  checkf "witness evaluates to strength" 2.0
+    (Tree_packing.partition_ratio (k4 1.0) witness)
+
+let test_strength_path () =
+  (* a path with a weak middle edge: strength = weakest edge *)
+  let g = Graph.of_edges ~n:3 [ (0, 1, 5.0); (1, 2, 2.0) ] in
+  let strength, _ = Tree_packing.strength_exact g in
+  checkf "strength = bottleneck" 2.0 strength
+
+let fig1_graph () =
+  (* The paper's Fig. 1 session: 4 nodes with pairwise traffic amounts
+     chosen so the optimum aggregate packing rate is 5. *)
+  Graph.of_edges ~n:4
+    [ (0, 1, 3.0); (0, 2, 3.0); (0, 3, 3.0); (1, 2, 3.0); (1, 3, 2.0); (2, 3, 1.0) ]
+
+let test_strength_fig1 () =
+  let strength, _ = Tree_packing.strength_exact (fig1_graph ()) in
+  checkf "fig1 packs to 5" 5.0 strength
+
+let test_partition_ratio_trivial_rejected () =
+  Alcotest.check_raises "one block"
+    (Invalid_argument "Tree_packing.partition_ratio: trivial partition")
+    (fun () -> ignore (Tree_packing.partition_ratio (k4 1.0) [| 0; 0; 0; 0 |]))
+
+let test_fptas_k4 () =
+  let g = k4 1.0 in
+  let p = Tree_packing.pack_fptas g ~epsilon:0.05 in
+  checkb "feasible" true (Tree_packing.is_feasible g p);
+  checkb "near optimal" true (p.Tree_packing.value >= 0.9 *. 2.0)
+
+let test_fptas_fig1 () =
+  let g = fig1_graph () in
+  let p = Tree_packing.pack_fptas g ~epsilon:0.05 in
+  checkb "feasible" true (Tree_packing.is_feasible g p);
+  checkb "near optimal" true (p.Tree_packing.value >= 0.9 *. 5.0)
+
+let test_greedy_feasible () =
+  let g = fig1_graph () in
+  let p = Tree_packing.pack_greedy g in
+  checkb "feasible" true (Tree_packing.is_feasible g p);
+  checkb "below optimum" true (p.Tree_packing.value <= 5.0 +. 1e-9);
+  checkb "nontrivial" true (p.Tree_packing.value > 0.0)
+
+let random_weighted_complete =
+  QCheck.make
+    QCheck.Gen.(
+      int_range 3 6 >>= fun n ->
+      list_repeat (n * (n - 1) / 2) (float_range 0.5 8.0) >>= fun ws ->
+      return (n, ws))
+
+let qcheck_fptas_within_bound =
+  QCheck.Test.make ~name:"tree packing FPTAS is (1-2eps)-optimal and feasible"
+    ~count:40 random_weighted_complete
+    (fun (n, ws) ->
+      let edges = ref [] in
+      let ws = ref ws in
+      for a = 0 to n - 1 do
+        for b = a + 1 to n - 1 do
+          match !ws with
+          | w :: rest ->
+            edges := (a, b, w) :: !edges;
+            ws := rest
+          | [] -> assert false
+        done
+      done;
+      let g = Graph.of_edges ~n (List.rev !edges) in
+      let exact, _ = Tree_packing.strength_exact g in
+      let epsilon = 0.08 in
+      let p = Tree_packing.pack_fptas g ~epsilon in
+      Tree_packing.is_feasible g p
+      && p.Tree_packing.value >= ((1.0 -. (2.0 *. epsilon)) *. exact) -. 1e-6
+      && p.Tree_packing.value <= exact +. 1e-6)
+
+let qcheck_greedy_vs_exact =
+  QCheck.Test.make ~name:"greedy packing is feasible and below strength"
+    ~count:40 random_weighted_complete
+    (fun (n, ws) ->
+      let edges = ref [] in
+      let ws = ref ws in
+      for a = 0 to n - 1 do
+        for b = a + 1 to n - 1 do
+          match !ws with
+          | w :: rest ->
+            edges := (a, b, w) :: !edges;
+            ws := rest
+          | [] -> assert false
+        done
+      done;
+      let g = Graph.of_edges ~n (List.rev !edges) in
+      let exact, _ = Tree_packing.strength_exact g in
+      let p = Tree_packing.pack_greedy g in
+      Tree_packing.is_feasible g p && p.Tree_packing.value <= exact +. 1e-6)
+
+(* --- Simplex ------------------------------------------------------------ *)
+
+let test_simplex_basic () =
+  (* max x + y, x <= 2, y <= 3, x + y <= 4 -> 4 *)
+  let sol =
+    Simplex.maximize ~c:[| 1.0; 1.0 |]
+      ~a:[| [| 1.0; 0.0 |]; [| 0.0; 1.0 |]; [| 1.0; 1.0 |] |]
+      ~b:[| 2.0; 3.0; 4.0 |]
+  in
+  checkf "objective" 4.0 sol.Simplex.objective;
+  checkb "feasible" true
+    (Simplex.check_feasible
+       ~a:[| [| 1.0; 0.0 |]; [| 0.0; 1.0 |]; [| 1.0; 1.0 |] |]
+       ~b:[| 2.0; 3.0; 4.0 |] sol.Simplex.x ~tol:1e-9)
+
+let test_simplex_weighted () =
+  (* max 3x + 2y, x + y <= 4, x <= 2 -> x=2, y=2, obj=10 *)
+  let sol =
+    Simplex.maximize ~c:[| 3.0; 2.0 |]
+      ~a:[| [| 1.0; 1.0 |]; [| 1.0; 0.0 |] |]
+      ~b:[| 4.0; 2.0 |]
+  in
+  checkf "objective" 10.0 sol.Simplex.objective
+
+let test_simplex_degenerate_zero_rhs () =
+  (* the fairness rows of M2 have b = 0; Bland's rule must not cycle:
+     max f subject to f - x <= 0, x <= 5 -> 5 *)
+  let sol =
+    Simplex.maximize ~c:[| 1.0; 0.0 |]
+      ~a:[| [| 1.0; -1.0 |]; [| 0.0; 1.0 |] |]
+      ~b:[| 0.0; 5.0 |]
+  in
+  checkf "objective" 5.0 sol.Simplex.objective
+
+let test_simplex_unbounded () =
+  Alcotest.check_raises "unbounded" Simplex.Unbounded (fun () ->
+      ignore
+        (Simplex.maximize ~c:[| 1.0; 0.0 |] ~a:[| [| 0.0; 1.0 |] |] ~b:[| 1.0 |]))
+
+let test_simplex_zero_objective () =
+  let sol =
+    Simplex.maximize ~c:[| 0.0 |] ~a:[| [| 1.0 |] |] ~b:[| 3.0 |]
+  in
+  checkf "objective" 0.0 sol.Simplex.objective
+
+let test_simplex_negative_rhs_rejected () =
+  Alcotest.check_raises "negative rhs"
+    (Invalid_argument "Simplex.maximize: negative rhs") (fun () ->
+      ignore (Simplex.maximize ~c:[| 1.0 |] ~a:[| [| 1.0 |] |] ~b:[| -1.0 |]))
+
+let qcheck_simplex_packing_lp =
+  (* random fractional-knapsack-ish LPs where the optimum is known:
+     max sum x_j with per-variable caps and one coupling row *)
+  QCheck.Test.make ~name:"simplex solves diagonal + coupling LPs" ~count:100
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 1 6) (float_range 0.5 5.0))
+        (float_range 0.5 20.0))
+    (fun (caps, budget) ->
+      let n = List.length caps in
+      let caps = Array.of_list caps in
+      let c = Array.make n 1.0 in
+      let a = Array.init (n + 1) (fun i ->
+          Array.init n (fun j ->
+              if i < n then (if i = j then 1.0 else 0.0) else 1.0))
+      in
+      let b = Array.append caps [| budget |] in
+      let sol = Simplex.maximize ~c ~a ~b in
+      let expected = Float.min budget (Array.fold_left ( +. ) 0.0 caps) in
+      abs_float (sol.Simplex.objective -. expected) < 1e-6)
+
+let test_simplex_matches_tree_packing () =
+  (* packing LP over explicitly enumerated spanning trees of Fig. 1
+     equals the strength *)
+  let g = fig1_graph () in
+  let trees = Prufer.enumerate 4 in
+  let pair_edge = Hashtbl.create 6 in
+  Graph.iter_edges g (fun e ->
+      Hashtbl.replace pair_edge (min e.Graph.u e.Graph.v, max e.Graph.u e.Graph.v)
+        e.Graph.id);
+  let nvars = List.length trees in
+  let m = Graph.n_edges g in
+  let a = Array.make_matrix m nvars 0.0 in
+  List.iteri
+    (fun j tree ->
+      List.iter
+        (fun (x, y) ->
+          let id = Hashtbl.find pair_edge (min x y, max x y) in
+          a.(id).(j) <- 1.0)
+        tree)
+    trees;
+  let b = Array.init m (fun id -> Graph.capacity g id) in
+  let sol = Simplex.maximize ~c:(Array.make nvars 1.0) ~a ~b in
+  checkf3 "LP value = strength" 5.0 sol.Simplex.objective
+
+let suite =
+  [
+    Alcotest.test_case "strength K4" `Quick test_strength_k4_unit;
+    Alcotest.test_case "strength path" `Quick test_strength_path;
+    Alcotest.test_case "strength fig1 = 5" `Quick test_strength_fig1;
+    Alcotest.test_case "trivial partition rejected" `Quick
+      test_partition_ratio_trivial_rejected;
+    Alcotest.test_case "fptas K4" `Quick test_fptas_k4;
+    Alcotest.test_case "fptas fig1" `Quick test_fptas_fig1;
+    Alcotest.test_case "greedy feasible" `Quick test_greedy_feasible;
+    QCheck_alcotest.to_alcotest qcheck_fptas_within_bound;
+    QCheck_alcotest.to_alcotest qcheck_greedy_vs_exact;
+    Alcotest.test_case "simplex basic" `Quick test_simplex_basic;
+    Alcotest.test_case "simplex weighted" `Quick test_simplex_weighted;
+    Alcotest.test_case "simplex degenerate rhs" `Quick test_simplex_degenerate_zero_rhs;
+    Alcotest.test_case "simplex unbounded" `Quick test_simplex_unbounded;
+    Alcotest.test_case "simplex zero objective" `Quick test_simplex_zero_objective;
+    Alcotest.test_case "simplex negative rhs" `Quick test_simplex_negative_rhs_rejected;
+    QCheck_alcotest.to_alcotest qcheck_simplex_packing_lp;
+    Alcotest.test_case "simplex = tree packing strength" `Quick
+      test_simplex_matches_tree_packing;
+  ]

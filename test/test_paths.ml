@@ -1,0 +1,258 @@
+(* Tests for Dijkstra, MST, Maxflow, Prufer. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-6))
+
+(* random connected graph generator for property tests: a random
+   spanning tree plus extra random edges, with random weights *)
+let random_connected_graph =
+  let gen =
+    QCheck.Gen.(
+      int_range 2 12 >>= fun n ->
+      int_range 0 (2 * n) >>= fun extra ->
+      let tree_edges =
+        List.init (n - 1) (fun i ->
+            map (fun j -> (i + 1, j mod (i + 1))) (int_range 0 i))
+      in
+      flatten_l tree_edges >>= fun tree ->
+      list_repeat extra (pair (int_range 0 (n - 1)) (int_range 0 (n - 1)))
+      >>= fun more ->
+      let all =
+        tree @ List.filter (fun (a, b) -> a <> b) more
+      in
+      list_repeat (List.length all) (float_range 0.1 10.0) >>= fun ws ->
+      return (n, List.map2 (fun (a, b) w -> (a, b, w)) all ws))
+  in
+  QCheck.make gen
+
+let build (n, edges) = Graph.of_edges ~n edges
+
+(* --- Dijkstra --------------------------------------------------------- *)
+
+let line_graph () =
+  Graph.of_edges ~n:4 [ (0, 1, 1.0); (1, 2, 1.0); (2, 3, 1.0); (0, 3, 1.0) ]
+
+let test_dijkstra_line () =
+  let g = line_graph () in
+  let weights = [| 1.0; 1.0; 1.0; 10.0 |] in
+  let t = Dijkstra.shortest_path_tree g ~length:(fun i -> weights.(i)) ~source:0 in
+  checkf "direct edge too long" 3.0 t.Dijkstra.dist.(3);
+  (match Dijkstra.path_to t 3 with
+   | Some edges -> Alcotest.(check (list int)) "path edges" [ 0; 1; 2 ] edges
+   | None -> Alcotest.fail "unreachable");
+  (match Dijkstra.path_vertices t 3 with
+   | Some vs -> Alcotest.(check (list int)) "path vertices" [ 0; 1; 2; 3 ] vs
+   | None -> Alcotest.fail "unreachable")
+
+let test_dijkstra_unreachable () =
+  let g = Graph.of_edges ~n:3 [ (0, 1, 1.0) ] in
+  let t = Dijkstra.shortest_path_tree g ~length:Dijkstra.hop_length ~source:0 in
+  checkb "unreachable dist" true (t.Dijkstra.dist.(2) = infinity);
+  checkb "no path" true (Dijkstra.path_to t 2 = None)
+
+let test_dijkstra_source_path () =
+  let g = line_graph () in
+  let t = Dijkstra.shortest_path_tree g ~length:Dijkstra.hop_length ~source:2 in
+  checkb "source self path" true (Dijkstra.path_to t 2 = Some [])
+
+let qcheck_dijkstra_vs_bellman_ford =
+  QCheck.Test.make ~name:"dijkstra = bellman-ford" ~count:200
+    random_connected_graph
+    (fun spec ->
+      let g = build spec in
+      let ws = Array.map (fun e -> e.Graph.capacity) (Graph.edges g) in
+      let length i = ws.(i) in
+      let t = Dijkstra.shortest_path_tree g ~length ~source:0 in
+      let reference = Dijkstra.bellman_ford g ~length ~source:0 in
+      Array.for_all2
+        (fun a b -> abs_float (a -. b) < 1e-6 || (a = infinity && b = infinity))
+        t.Dijkstra.dist reference)
+
+let qcheck_dijkstra_path_consistent =
+  QCheck.Test.make ~name:"dijkstra path length equals dist" ~count:200
+    random_connected_graph
+    (fun spec ->
+      let g = build spec in
+      let ws = Array.map (fun e -> e.Graph.capacity) (Graph.edges g) in
+      let length i = ws.(i) in
+      let t = Dijkstra.shortest_path_tree g ~length ~source:0 in
+      let ok = ref true in
+      for v = 0 to Graph.n_vertices g - 1 do
+        match Dijkstra.path_to t v with
+        | None -> if t.Dijkstra.dist.(v) <> infinity then ok := false
+        | Some edges ->
+          let total = List.fold_left (fun acc i -> acc +. length i) 0.0 edges in
+          if abs_float (total -. t.Dijkstra.dist.(v)) > 1e-6 then ok := false
+      done;
+      !ok)
+
+(* --- MST --------------------------------------------------------------- *)
+
+let test_mst_known () =
+  let g =
+    Graph.of_edges ~n:4
+      [ (0, 1, 0.0); (1, 2, 0.0); (2, 3, 0.0); (0, 3, 0.0); (1, 3, 0.0) ]
+  in
+  let weights = [| 1.0; 2.0; 5.0; 4.0; 3.0 |] in
+  let r = Mst.prim g ~length:(fun i -> weights.(i)) in
+  checkf "weight" 6.0 r.Mst.weight;
+  checkb "is spanning tree" true (Mst.is_spanning_tree g r.Mst.edges)
+
+let test_mst_disconnected_fails () =
+  let g = Graph.of_edges ~n:3 [ (0, 1, 1.0) ] in
+  Alcotest.check_raises "prim disconnected"
+    (Failure "Mst.prim: graph is disconnected") (fun () ->
+      ignore (Mst.prim g ~length:Dijkstra.hop_length));
+  Alcotest.check_raises "kruskal disconnected"
+    (Failure "Mst.kruskal: graph is disconnected") (fun () ->
+      ignore (Mst.kruskal g ~length:Dijkstra.hop_length))
+
+let qcheck_prim_equals_kruskal =
+  QCheck.Test.make ~name:"prim and kruskal agree on MST weight" ~count:200
+    random_connected_graph
+    (fun spec ->
+      let g = build spec in
+      let ws = Array.map (fun e -> e.Graph.capacity) (Graph.edges g) in
+      let length i = ws.(i) in
+      let a = Mst.prim g ~length in
+      let b = Mst.kruskal g ~length in
+      abs_float (a.Mst.weight -. b.Mst.weight) < 1e-6
+      && Mst.is_spanning_tree g a.Mst.edges
+      && Mst.is_spanning_tree g b.Mst.edges)
+
+let qcheck_mst_is_minimal_small =
+  QCheck.Test.make ~name:"prim beats every enumerated spanning tree (K4/K5)"
+    ~count:60
+    QCheck.(pair (int_range 4 5) (list_of_size (Gen.return 10) (float_range 0.1 9.0)))
+    (fun (n, ws) ->
+      let pairs = ref [] in
+      for a = 0 to n - 1 do
+        for b = a + 1 to n - 1 do
+          pairs := (a, b) :: !pairs
+        done
+      done;
+      let pairs = List.rev !pairs in
+      let ws = Array.of_list (ws @ [ 1.0; 1.0; 1.0; 1.0; 1.0 ]) in
+      let edges = List.mapi (fun i (a, b) -> (a, b, ws.(i))) pairs in
+      let g = Graph.of_edges ~n edges in
+      let length i = Graph.capacity g i in
+      let mst = Mst.prim g ~length in
+      (* enumerate all labelled trees and check none is lighter *)
+      let pair_index = Hashtbl.create 16 in
+      List.iteri (fun i (a, b) -> Hashtbl.replace pair_index (a, b) i) pairs;
+      let tree_weight tree =
+        List.fold_left
+          (fun acc (a, b) ->
+            let a, b = (min a b, max a b) in
+            acc +. length (Hashtbl.find pair_index (a, b)))
+          0.0 tree
+      in
+      List.for_all
+        (fun tree -> tree_weight tree >= mst.Mst.weight -. 1e-6)
+        (Prufer.enumerate n))
+
+(* --- Maxflow ----------------------------------------------------------- *)
+
+let test_maxflow_simple () =
+  let net = Maxflow.create ~n:4 in
+  ignore (Maxflow.add_arc net 0 1 ~capacity:3.0);
+  ignore (Maxflow.add_arc net 0 2 ~capacity:2.0);
+  ignore (Maxflow.add_arc net 1 3 ~capacity:2.0);
+  ignore (Maxflow.add_arc net 2 3 ~capacity:3.0);
+  ignore (Maxflow.add_arc net 1 2 ~capacity:5.0);
+  checkf "max flow" 5.0 (Maxflow.max_flow net ~source:0 ~sink:3)
+
+let test_maxflow_bottleneck () =
+  let net = Maxflow.create ~n:3 in
+  ignore (Maxflow.add_arc net 0 1 ~capacity:10.0);
+  ignore (Maxflow.add_arc net 1 2 ~capacity:1.0);
+  checkf "bottleneck" 1.0 (Maxflow.max_flow net ~source:0 ~sink:2)
+
+let test_maxflow_reset () =
+  let net = Maxflow.create ~n:2 in
+  ignore (Maxflow.add_arc net 0 1 ~capacity:4.0);
+  checkf "first run" 4.0 (Maxflow.max_flow net ~source:0 ~sink:1);
+  Maxflow.reset net;
+  checkf "after reset" 4.0 (Maxflow.max_flow net ~source:0 ~sink:1)
+
+let cut_capacity g side =
+  Graph.fold_edges g
+    (fun acc e ->
+      if side.(e.Graph.u) <> side.(e.Graph.v) then acc +. e.Graph.capacity
+      else acc)
+    0.0
+
+let qcheck_maxflow_equals_mincut =
+  QCheck.Test.make ~name:"max-flow value = extracted min-cut capacity"
+    ~count:150 random_connected_graph
+    (fun spec ->
+      let g = build spec in
+      let n = Graph.n_vertices g in
+      let net, _ = Maxflow.of_graph g in
+      let value = Maxflow.max_flow net ~source:0 ~sink:(n - 1) in
+      let side = Maxflow.min_cut net ~source:0 in
+      (not side.(n - 1))
+      && abs_float (value -. cut_capacity g side) < 1e-6)
+
+(* --- Prufer ------------------------------------------------------------ *)
+
+let test_prufer_decode_known () =
+  (* sequence [3;3] on 4 vertices: leaves 0,1 attach to 3, then 2-3 *)
+  let tree = Prufer.decode [| 3; 3 |] in
+  checki "3 edges" 3 (List.length tree);
+  let g = Graph.of_edges ~n:4 (List.map (fun (a, b) -> (a, b, 1.0)) tree) in
+  checkb "connected" true (Traverse.is_connected g)
+
+let test_prufer_counts () =
+  checkf "cayley n=4" 16.0 (Prufer.count_trees 4);
+  checkf "cayley n=7" 16807.0 (Prufer.count_trees 7);
+  checki "enumerate 4" 16 (List.length (Prufer.enumerate 4));
+  checki "enumerate 5" 125 (List.length (Prufer.enumerate 5))
+
+let test_prufer_enumerate_distinct () =
+  let trees = Prufer.enumerate 5 in
+  let canon tree = List.sort compare (List.map (fun (a, b) -> (min a b, max a b)) tree) in
+  let keys = List.sort_uniq compare (List.map canon trees) in
+  checki "all distinct" (List.length trees) (List.length keys)
+
+let qcheck_prufer_roundtrip =
+  QCheck.Test.make ~name:"prufer encode . decode = id" ~count:300
+    QCheck.(
+      pair (int_range 3 10) (list_of_size (Gen.return 8) (int_range 0 1000)))
+    (fun (n, raw) ->
+      let seq = Array.of_list (List.filteri (fun i _ -> i < n - 2) raw) in
+      let seq = Array.map (fun x -> x mod n) seq in
+      let tree = Prufer.decode seq in
+      Prufer.encode ~n tree = seq)
+
+let qcheck_prufer_random_is_tree =
+  QCheck.Test.make ~name:"random prufer tree is a spanning tree" ~count:200
+    QCheck.(int_range 2 15)
+    (fun n ->
+      let rng = Rng.create n in
+      let tree = Prufer.random rng n in
+      let g = Graph.of_edges ~n (List.map (fun (a, b) -> (a, b, 1.0)) tree) in
+      List.length tree = n - 1 && Traverse.is_connected g)
+
+let suite =
+  [
+    Alcotest.test_case "dijkstra line" `Quick test_dijkstra_line;
+    Alcotest.test_case "dijkstra unreachable" `Quick test_dijkstra_unreachable;
+    Alcotest.test_case "dijkstra source path" `Quick test_dijkstra_source_path;
+    QCheck_alcotest.to_alcotest qcheck_dijkstra_vs_bellman_ford;
+    QCheck_alcotest.to_alcotest qcheck_dijkstra_path_consistent;
+    Alcotest.test_case "mst known" `Quick test_mst_known;
+    Alcotest.test_case "mst disconnected" `Quick test_mst_disconnected_fails;
+    QCheck_alcotest.to_alcotest qcheck_prim_equals_kruskal;
+    QCheck_alcotest.to_alcotest qcheck_mst_is_minimal_small;
+    Alcotest.test_case "maxflow simple" `Quick test_maxflow_simple;
+    Alcotest.test_case "maxflow bottleneck" `Quick test_maxflow_bottleneck;
+    Alcotest.test_case "maxflow reset" `Quick test_maxflow_reset;
+    QCheck_alcotest.to_alcotest qcheck_maxflow_equals_mincut;
+    Alcotest.test_case "prufer decode known" `Quick test_prufer_decode_known;
+    Alcotest.test_case "prufer counts" `Quick test_prufer_counts;
+    Alcotest.test_case "prufer enumerate distinct" `Quick test_prufer_enumerate_distinct;
+    QCheck_alcotest.to_alcotest qcheck_prufer_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_prufer_random_is_tree;
+  ]

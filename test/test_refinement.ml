@@ -1,0 +1,87 @@
+(* Tests for the iterative refinement heuristic. *)
+
+let checkb = Alcotest.(check bool)
+
+let env seed =
+  let rng = Rng.create seed in
+  let topo = Waxman.generate rng { Waxman.default_params with n = 50 } in
+  let g = topo.Topology.graph in
+  let sessions =
+    Array.init 3 (fun id ->
+        Session.random rng ~id ~topology_size:50 ~size:5 ~demand:10.0)
+  in
+  (g, sessions)
+
+let test_refinement_feasible_and_monotone () =
+  List.iter
+    (fun seed ->
+      let g, sessions = env seed in
+      let overlays = Array.map (Overlay.create g Overlay.Ip) sessions in
+      let r =
+        Refinement.improve g overlays
+          { Refinement.trees_per_session = 4; rounds = 6; sigma = 30.0 }
+      in
+      checkb "feasible" true (Solution.is_feasible r.Refinement.solution g ~tol:1e-6);
+      checkb
+        (Printf.sprintf "objective non-decreasing (%.4f -> %.4f)"
+           r.Refinement.initial_objective r.Refinement.final_objective)
+        true
+        (r.Refinement.final_objective >= r.Refinement.initial_objective -. 1e-9);
+      (* improved flag consistent with objectives *)
+      if r.Refinement.final_objective > r.Refinement.initial_objective +. 1e-9 then
+        checkb "flag set on improvement" true r.Refinement.improved)
+    [ 50; 51; 52 ]
+
+let test_refinement_respects_budget () =
+  let g, sessions = env 53 in
+  let overlays = Array.map (Overlay.create g Overlay.Ip) sessions in
+  let budget = 3 in
+  let r =
+    Refinement.improve g overlays
+      { Refinement.trees_per_session = budget; rounds = 4; sigma = 30.0 }
+  in
+  Array.iteri
+    (fun i _ ->
+      checkb "within budget" true (Solution.n_trees r.Refinement.solution i <= budget);
+      checkb "session served" true (Solution.session_rate r.Refinement.solution i > 0.0))
+    sessions
+
+let test_refinement_zero_rounds_is_greedy () =
+  let g, sessions = env 54 in
+  let overlays = Array.map (Overlay.create g Overlay.Ip) sessions in
+  let r =
+    Refinement.improve g overlays
+      { Refinement.trees_per_session = 2; rounds = 0; sigma = 30.0 }
+  in
+  checkb "no rounds used" true (r.Refinement.rounds_used = 0);
+  checkb "still feasible" true (Solution.is_feasible r.Refinement.solution g ~tol:1e-6)
+
+let test_refinement_vs_fractional_bound () =
+  (* the heuristic cannot exceed the fractional max-min optimum *)
+  let g, sessions = env 55 in
+  let refine_overlays = Array.map (Overlay.create g Overlay.Ip) sessions in
+  let r =
+    Refinement.improve g refine_overlays
+      { Refinement.trees_per_session = 6; rounds = 6; sigma = 30.0 }
+  in
+  let mcf_overlays = Array.map (Overlay.create g Overlay.Ip) sessions in
+  let mcf =
+    Max_concurrent_flow.solve g mcf_overlays ~epsilon:0.03
+      ~scaling:Max_concurrent_flow.Proportional
+  in
+  let heuristic = Solution.concurrent_ratio r.Refinement.solution in
+  let optimum =
+    Solution.concurrent_ratio mcf.Max_concurrent_flow.solution /. (1.0 -. 3.0 *. 0.03)
+  in
+  checkb
+    (Printf.sprintf "heuristic %.4f <= fractional optimum %.4f" heuristic optimum)
+    true
+    (heuristic <= optimum +. 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "feasible & monotone" `Quick test_refinement_feasible_and_monotone;
+    Alcotest.test_case "respects budget" `Quick test_refinement_respects_budget;
+    Alcotest.test_case "zero rounds = greedy" `Quick test_refinement_zero_rounds_is_greedy;
+    Alcotest.test_case "below fractional optimum" `Quick test_refinement_vs_fractional_bound;
+  ]

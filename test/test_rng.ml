@@ -1,0 +1,173 @@
+(* Tests for the deterministic splittable PRNG. *)
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+
+let test_determinism () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create 7 and b = Rng.create 8 in
+  let differs = ref false in
+  for _ = 1 to 16 do
+    if Rng.bits64 a <> Rng.bits64 b then differs := true
+  done;
+  checkb "different seeds diverge" true !differs
+
+let test_copy_preserves_stream () =
+  let a = Rng.create 99 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  for _ = 1 to 50 do
+    check Alcotest.int64 "copy continues identically" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_split_diverges () =
+  let a = Rng.create 123 in
+  let b = Rng.split a in
+  let differs = ref false in
+  for _ = 1 to 16 do
+    if Rng.bits64 a <> Rng.bits64 b then differs := true
+  done;
+  checkb "split stream differs" true !differs
+
+let test_int_bounds () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    checkb "in range" true (v >= 0 && v < 17)
+  done
+
+let test_int_rejects_nonpositive () =
+  let rng = Rng.create 5 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_uniform_range () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 1000 do
+    let u = Rng.uniform rng in
+    checkb "in [0,1)" true (u >= 0.0 && u < 1.0)
+  done
+
+let test_uniform_mean () =
+  let rng = Rng.create 13 in
+  let n = 20000 in
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. Rng.uniform rng
+  done;
+  let mean = !acc /. float_of_int n in
+  checkb "mean near 0.5" true (abs_float (mean -. 0.5) < 0.02)
+
+let test_shuffle_is_permutation () =
+  let rng = Rng.create 3 in
+  let arr = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  check Alcotest.(array int) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_sample_without_replacement () =
+  let rng = Rng.create 17 in
+  for _ = 1 to 50 do
+    let s = Rng.sample_without_replacement rng ~n:30 ~k:10 in
+    check Alcotest.int "k elements" 10 (Array.length s);
+    let seen = Hashtbl.create 10 in
+    Array.iter
+      (fun v ->
+        checkb "in range" true (v >= 0 && v < 30);
+        checkb "distinct" false (Hashtbl.mem seen v);
+        Hashtbl.replace seen v ())
+      s
+  done
+
+let test_sample_full () =
+  let rng = Rng.create 19 in
+  let s = Rng.sample_without_replacement rng ~n:8 ~k:8 in
+  let sorted = Array.copy s in
+  Array.sort compare sorted;
+  check Alcotest.(array int) "full sample is a permutation"
+    (Array.init 8 (fun i -> i)) sorted
+
+let test_sample_rejects_k_gt_n () =
+  let rng = Rng.create 19 in
+  Alcotest.check_raises "k > n"
+    (Invalid_argument "Rng.sample_without_replacement: k > n") (fun () ->
+      ignore (Rng.sample_without_replacement rng ~n:3 ~k:4))
+
+let test_choose_weighted_support () =
+  let rng = Rng.create 23 in
+  let weights = [| 0.0; 2.0; 0.0; 1.0 |] in
+  for _ = 1 to 500 do
+    let i = Rng.choose_weighted rng weights in
+    checkb "only positive-weight indices" true (i = 1 || i = 3)
+  done
+
+let test_choose_weighted_proportions () =
+  let rng = Rng.create 29 in
+  let weights = [| 1.0; 3.0 |] in
+  let counts = [| 0; 0 |] in
+  let n = 20000 in
+  for _ = 1 to n do
+    let i = Rng.choose_weighted rng weights in
+    counts.(i) <- counts.(i) + 1
+  done;
+  let p1 = float_of_int counts.(1) /. float_of_int n in
+  checkb "roughly 3/4" true (abs_float (p1 -. 0.75) < 0.02)
+
+let test_choose_weighted_rejects_zero () =
+  let rng = Rng.create 29 in
+  Alcotest.check_raises "all zero"
+    (Invalid_argument "Rng.choose_weighted: all weights zero") (fun () ->
+      ignore (Rng.choose_weighted rng [| 0.0; 0.0 |]))
+
+let test_exponential_positive () =
+  let rng = Rng.create 31 in
+  for _ = 1 to 1000 do
+    checkb "nonnegative" true (Rng.exponential rng ~mean:2.0 >= 0.0)
+  done
+
+let test_pick () =
+  let rng = Rng.create 37 in
+  let arr = [| "a"; "b"; "c" |] in
+  for _ = 1 to 100 do
+    let x = Rng.pick rng arr in
+    checkb "member" true (Array.exists (fun y -> y = x) arr)
+  done
+
+let qcheck_int_uniformish =
+  QCheck.Test.make ~name:"rng int covers all residues" ~count:50
+    QCheck.(int_range 2 20)
+    (fun bound ->
+      let rng = Rng.create bound in
+      let seen = Array.make bound false in
+      for _ = 1 to bound * 200 do
+        seen.(Rng.int rng bound) <- true
+      done;
+      Array.for_all (fun b -> b) seen)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "copy preserves stream" `Quick test_copy_preserves_stream;
+    Alcotest.test_case "split diverges" `Quick test_split_diverges;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int rejects nonpositive" `Quick test_int_rejects_nonpositive;
+    Alcotest.test_case "uniform range" `Quick test_uniform_range;
+    Alcotest.test_case "uniform mean" `Quick test_uniform_mean;
+    Alcotest.test_case "shuffle permutation" `Quick test_shuffle_is_permutation;
+    Alcotest.test_case "sample without replacement" `Quick test_sample_without_replacement;
+    Alcotest.test_case "full sample" `Quick test_sample_full;
+    Alcotest.test_case "sample rejects k>n" `Quick test_sample_rejects_k_gt_n;
+    Alcotest.test_case "weighted support" `Quick test_choose_weighted_support;
+    Alcotest.test_case "weighted proportions" `Quick test_choose_weighted_proportions;
+    Alcotest.test_case "weighted rejects zero" `Quick test_choose_weighted_rejects_zero;
+    Alcotest.test_case "exponential positive" `Quick test_exponential_positive;
+    Alcotest.test_case "pick member" `Quick test_pick;
+    QCheck_alcotest.to_alcotest qcheck_int_uniformish;
+  ]
