@@ -496,7 +496,158 @@ let run_bechamel () =
     (List.sort compare !rows);
   Tableau.print t
 
+(* ------------------------------------------------------------- *)
+(* Incremental overlay-length engine: MST micro-bench + JSON      *)
+(* ------------------------------------------------------------- *)
+
+(* Drives [min_spanning_tree] under a solver-like update schedule —
+   every run grows a handful of covered-edge lengths (with the engine
+   notified) and recomputes the tree.  [incremental] selects cached
+   (engine on) vs scratch (engine off) weighing. *)
+let mst_workload ~incremental =
+  let g = setup_a.Setup.topology.Topology.graph in
+  let o = Overlay.create g Overlay.Ip setup_a.Setup.sessions.(0) in
+  let covered = Overlay.covered_edges o in
+  let nc = Array.length covered in
+  let m = Graph.n_edges g in
+  let lens = Array.make m 1.0 in
+  let length i = lens.(i) in
+  if incremental then Overlay.begin_incremental o;
+  let step = ref 0 in
+  fun () ->
+    incr step;
+    for j = 0 to 4 do
+      let e = covered.(((!step * 7) + (j * 13)) mod nc) in
+      lens.(e) <- lens.(e) *. 1.01;
+      if incremental then Overlay.notify_length_increase o e
+    done;
+    (* keep magnitudes bounded over arbitrarily many timed runs, the
+       same way the solvers renormalize *)
+    if !step mod 4096 = 0 then begin
+      Array.iteri (fun i v -> lens.(i) <- v *. 1e-30) lens;
+      if incremental then Overlay.notify_rescale o
+    end;
+    ignore (Overlay.min_spanning_tree o ~length)
+
+(* Exact solver-output equality: same per-session rates and the same
+   (tree, rate) multiset. *)
+let same_solver_output a b =
+  let sols = (a.Max_flow.solution, b.Max_flow.solution) in
+  let sa, sb = sols in
+  let k = Array.length (Solution.sessions sa) in
+  let tree_list s i =
+    Solution.trees s i
+    |> List.map (fun (t, rate) -> (Otree.key t, rate))
+    |> List.sort (fun (ka, _) (kb, _) -> String.compare ka kb)
+  in
+  a.Max_flow.iterations = b.Max_flow.iterations
+  && Solution.rates sa = Solution.rates sb
+  &&
+  let rec loop i =
+    i >= k || (tree_list sa i = tree_list sb i && loop (i + 1))
+  in
+  loop 0
+
+let run_mst_bench () =
+  section "Incremental overlay-length engine: cached vs scratch MST";
+  let open Bechamel in
+  let open Toolkit in
+  let tests =
+    [
+      Test.make ~name:"mst-ip-cached" (Staged.stage (mst_workload ~incremental:true));
+      Test.make ~name:"mst-ip-scratch" (Staged.stage (mst_workload ~incremental:false));
+    ]
+  in
+  let grouped = Test.make_grouped ~name:"mst" tests in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] grouped in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let timings = ref [] in
+  Hashtbl.iter
+    (fun name est ->
+      match Analyze.OLS.estimates est with
+      | Some [ ns ] -> timings := (name, ns) :: !timings
+      | _ -> ())
+    results;
+  let timings = List.sort compare !timings in
+  let t = Tableau.create ~title:"MST micro-bench" [ "kernel"; "us/iter"; "iter/s" ] in
+  List.iter
+    (fun (name, ns) ->
+      Tableau.add_row t
+        [ name; Printf.sprintf "%.2f" (ns /. 1e3); Printf.sprintf "%.0f" (1e9 /. ns) ])
+    timings;
+  Tableau.print t;
+  (* Acceptance run: MaxFlow on Setup A at ratio 0.95 (IP), engine on vs
+     off — the tree sequence and rates must be identical and the engine
+     must spend >= 3x fewer per-overlay-edge weight recomputations. *)
+  let g = setup_a.Setup.topology.Topology.graph in
+  let epsilon = Max_flow.ratio_to_epsilon 0.95 in
+  let solve ~incremental =
+    let overlays = Setup.overlays setup_a Overlay.Ip in
+    let r, dt = elapsed (fun () -> Max_flow.solve ~incremental g overlays ~epsilon) in
+    (r, Overlay.total_weight_operations overlays, dt)
+  in
+  let inc, inc_ops, inc_dt = solve ~incremental:true in
+  let scr, scr_ops, scr_dt = solve ~incremental:false in
+  let per_iter ops r =
+    float_of_int ops /. float_of_int (max 1 r.Max_flow.iterations)
+  in
+  let inc_per_iter = per_iter inc_ops inc in
+  let scr_per_iter = per_iter scr_ops scr in
+  let reduction = scr_per_iter /. inc_per_iter in
+  let equal_output = same_solver_output inc scr in
+  Printf.printf
+    "MaxFlow Setup A (ratio 0.95, IP): %d iterations\n\
+    \  weight ops: engine %d (%.2f/iter, %.2fs)  scratch %d (%.2f/iter, %.2fs)\n\
+    \  reduction %.2fx  equal_output=%b\n"
+    inc.Max_flow.iterations inc_ops inc_per_iter inc_dt scr_ops scr_per_iter
+    scr_dt reduction equal_output;
+  let json =
+    Json_export.Object_
+      [
+        ( "setup",
+          Json_export.String
+            "Setup A: 100-node Waxman, sessions of 7 and 5, ratio 0.95, IP mode"
+        );
+        ("ratio", Json_export.Number 0.95);
+        ("epsilon", Json_export.Number epsilon);
+        ("iterations", Json_export.Number (float_of_int inc.Max_flow.iterations));
+        ( "weight_ops",
+          Json_export.Object_
+            [
+              ("incremental", Json_export.Number (float_of_int inc_ops));
+              ("scratch", Json_export.Number (float_of_int scr_ops));
+              ("incremental_per_iteration", Json_export.Number inc_per_iter);
+              ("scratch_per_iteration", Json_export.Number scr_per_iter);
+              ("reduction", Json_export.Number reduction);
+            ] );
+        ("equal_output", Json_export.Bool equal_output);
+        ( "microbench",
+          Json_export.Array_
+            (List.map
+               (fun (name, ns) ->
+                 Json_export.Object_
+                   [
+                     ("name", Json_export.String name);
+                     ("us_per_iteration", Json_export.Number (ns /. 1e3));
+                     ("iterations_per_sec", Json_export.Number (1e9 /. ns));
+                   ])
+               timings) );
+      ]
+  in
+  Json_export.to_file "BENCH_mst.json" json;
+  Printf.printf "wrote BENCH_mst.json\n"
+
+let mst_only = Array.exists (fun a -> a = "--mst") Sys.argv
+
 let () =
+  if mst_only then begin
+    run_mst_bench ();
+    exit 0
+  end;
   Printf.printf
     "overlay_capacity benchmark harness (%s scale)\n\
      Reproduces every table and figure of Cui, Li, Nahrstedt (SPAA 2004).\n"
@@ -522,6 +673,7 @@ let () =
         run_ablation_fleischer ();
         run_protocol_comparison ();
         run_robustness ();
-        run_bechamel ())
+        run_bechamel ();
+        run_mst_bench ())
   in
   Printf.printf "\nTotal bench time: %.1fs\n" dt

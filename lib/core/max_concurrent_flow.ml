@@ -56,16 +56,17 @@ let refresh_dual st =
 
 let dual_reached_one st = log st.s_cache +. st.ln_base >= 0.0
 
-let renorm st =
+let renorm st overlays =
   let scale = 1.0 /. renorm_threshold in
   for id = 0 to st.m - 1 do
     if st.lens.(id) < infinity then st.lens.(id) <- st.lens.(id) *. scale
   done;
+  Array.iter Overlay.notify_rescale overlays;
   st.s_cache <- st.s_cache *. scale;
   st.ln_base <- st.ln_base +. log renorm_threshold
 
 (* Route [c] units along [tree], updating lengths and the dual sum. *)
-let route st solution tree c =
+let route st overlays solution tree c =
   Solution.add solution tree c;
   let needs_renorm = ref false in
   Otree.iter_usage tree (fun id count ->
@@ -76,10 +77,12 @@ let route st solution tree c =
           before *. (1.0 +. (st.epsilon *. float_of_int count *. c /. ce))
         in
         st.lens.(id) <- after;
+        (* after >= before always: the monotone fast path applies *)
+        Array.iter (fun o -> Overlay.notify_length_increase o id) overlays;
         st.s_cache <- st.s_cache +. (ce *. (after -. before));
         if after > renorm_threshold then needs_renorm := true
       end);
-  if !needs_renorm then renorm st
+  if !needs_renorm then renorm st overlays
 
 (* ln of the tree's real length (weight in lens units times base). *)
 let ln_tree_length st tree =
@@ -112,7 +115,7 @@ let run_paper st overlays working solution =
         let c = Float.min !remaining bottleneck in
         if c <= 0.0 || c = infinity then remaining := 0.0
         else begin
-          route st solution tree c;
+          route st overlays solution tree c;
           remaining := !remaining -. c;
           if dual_reached_one st then finished := true
         end
@@ -175,7 +178,7 @@ let run_fleischer st overlays working solution =
           let c = Float.min remaining.(i) bottleneck in
           if c <= 0.0 || c = infinity then commodity_done := true
           else begin
-            route st solution tree c;
+            route st overlays solution tree c;
             remaining.(i) <- remaining.(i) -. c;
             if remaining.(i) <= 1e-15 then
               (* full demand routed once more; start the next round *)
@@ -192,7 +195,7 @@ let run_fleischer st overlays working solution =
 
 (* --- common driver --------------------------------------------------- *)
 
-let solve ?(variant = Paper) graph overlays ~epsilon ~scaling =
+let solve ?(variant = Paper) ?(incremental = true) graph overlays ~epsilon ~scaling =
   if epsilon <= 0.0 || epsilon >= 1.0 /. 3.0 then
     invalid_arg "Max_concurrent_flow.solve: epsilon out of (0, 1/3)";
   let k = Array.length overlays in
@@ -208,7 +211,7 @@ let solve ?(variant = Paper) graph overlays ~epsilon ~scaling =
   let zetas =
     Array.map
       (fun o ->
-        let rate, _ = Max_flow.solve_single graph o ~epsilon in
+        let rate, _ = Max_flow.solve_single ~incremental graph o ~epsilon in
         rate)
       overlays
   in
@@ -229,10 +232,15 @@ let solve ?(variant = Paper) graph overlays ~epsilon ~scaling =
   in
   let st = make_state graph ~epsilon in
   let solution = Solution.create sessions in
+  if incremental then Array.iter Overlay.begin_incremental overlays;
   let phases =
-    match variant with
-    | Paper -> run_paper st overlays working solution
-    | Fleischer -> run_fleischer st overlays working solution
+    Fun.protect
+      ~finally:(fun () ->
+        if incremental then Array.iter Overlay.end_incremental overlays)
+      (fun () ->
+        match variant with
+        | Paper -> run_paper st overlays working solution
+        | Fleischer -> run_fleischer st overlays working solution)
   in
   (* Scale by log_{1+eps} (1/delta) for feasibility, then guard against
      the partial final phase with an explicit congestion check. *)

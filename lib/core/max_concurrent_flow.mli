@@ -52,9 +52,14 @@ val ratio_to_epsilon : float -> float
 (** [solve ?variant graph overlays ~epsilon ~scaling] runs the
     algorithm ([variant] defaults to [Paper]).  [result.phases] counts
     demand phases in [Paper] mode and alpha-steps in [Fleischer] mode.
-    Raises [Invalid_argument] for [epsilon] outside (0, 1/3). *)
+    [incremental] (default [true]) drives the overlays' incremental
+    length engine in both the MaxFlow preprocessing and the main loop;
+    [~incremental:false] forces from-scratch weight recomputation (same
+    output bit for bit).  Raises [Invalid_argument] for [epsilon]
+    outside (0, 1/3). *)
 val solve :
   ?variant:variant ->
+  ?incremental:bool ->
   Graph.t ->
   Overlay.t array ->
   epsilon:float ->

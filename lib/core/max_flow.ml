@@ -16,7 +16,7 @@ let ratio_to_epsilon r =
 
 let renorm_threshold = 1e150
 
-let solve graph overlays ~epsilon =
+let solve ?(incremental = true) graph overlays ~epsilon =
   if epsilon <= 0.0 || epsilon >= 0.5 then
     invalid_arg "Max_flow.solve: epsilon out of (0, 0.5)";
   let k = Array.length overlays in
@@ -46,47 +46,92 @@ let solve graph overlays ~epsilon =
   let normalizer i =
     smax /. float_of_int (Session.receivers sessions.(i))
   in
-  let stop = ref false in
-  while not !stop do
-    (* minimum normalized-length tree across sessions *)
-    let best = ref None in
-    Array.iteri
-      (fun i o ->
-        let tree = Overlay.min_spanning_tree o ~length in
-        let w = Otree.weight tree ~length *. normalizer i in
-        match !best with
-        | Some (_, bw) when bw <= w -> ()
-        | _ -> best := Some (tree, w))
-      overlays;
-    match !best with
-    | None -> stop := true
-    | Some (tree, w) ->
-      (* normalized length in real units: w * exp(ln_base) >= 1 ? *)
-      if w <= 0.0 || log w +. !ln_base >= 0.0 then stop := true
-      else begin
-        incr iterations;
-        let c = Otree.bottleneck tree ~capacity:(Graph.capacity graph) in
-        if c <= 0.0 || c = infinity then stop := true
-        else begin
-          Solution.add solution tree c;
-          let needs_renorm = ref false in
-          Otree.iter_usage tree (fun id count ->
-              let ce = Graph.capacity graph id in
-              let growth =
-                1.0 +. (epsilon *. float_of_int count *. c /. ce)
-              in
-              lens.(id) <- lens.(id) *. growth;
-              if lens.(id) > renorm_threshold then needs_renorm := true);
-          if !needs_renorm then begin
-            let scale = 1.0 /. renorm_threshold in
-            for id = 0 to m - 1 do
-              lens.(id) <- lens.(id) *. scale
-            done;
-            ln_base := !ln_base +. log renorm_threshold
+  if incremental then Array.iter Overlay.begin_incremental overlays;
+  Fun.protect
+    ~finally:(fun () ->
+      if incremental then Array.iter Overlay.end_incremental overlays)
+    (fun () ->
+      let stop = ref false in
+      (* Lazy winner selection: dual lengths only grow between rescales,
+         so each session's normalized MST weight is non-decreasing and
+         its last computed value is a valid lower bound.  A session whose
+         bound already reaches the running best cannot win (ties keep the
+         earlier session), so its MST call — and the weight refreshes it
+         would trigger — is skipped until the best weight catches up.
+         Bounds reset on rescale (all lengths shrink).  The selection
+         sequence is bit-identical to the eager loop. *)
+      let low_w = Array.make k neg_infinity in
+      let order = Array.init k (fun i -> i) in
+      while not !stop do
+        (* minimum normalized-length tree across sessions, as the eager
+           loop computes it: argmin of (w_i, i) lexicographic.  Sessions
+           are visited in ascending bound order so the likely winner is
+           resolved first; a session whose bound already loses to the
+           current exact best is skipped outright. *)
+        Array.sort
+          (fun a b ->
+            match Float.compare low_w.(a) low_w.(b) with
+            | 0 -> Int.compare a b
+            | c -> c)
+          order;
+        let best = ref None in
+        Array.iter
+          (fun i ->
+            let skip =
+              incremental
+              &&
+              match !best with
+              | Some (_, bw, bi) ->
+                low_w.(i) > bw || (low_w.(i) >= bw && i > bi)
+              | None -> false
+            in
+            if not skip then begin
+              let tree = Overlay.min_spanning_tree overlays.(i) ~length in
+              let w = Otree.weight tree ~length *. normalizer i in
+              low_w.(i) <- w;
+              match !best with
+              | Some (_, bw, bi) when bw < w || (bw <= w && bi < i) -> ()
+              | _ -> best := Some (tree, w, i)
+            end)
+          order;
+        let best =
+          match !best with None -> None | Some (tree, w, _) -> Some (tree, w)
+        in
+        match best with
+        | None -> stop := true
+        | Some (tree, w) ->
+          (* normalized length in real units: w * exp(ln_base) >= 1 ? *)
+          if w <= 0.0 || log w +. !ln_base >= 0.0 then stop := true
+          else begin
+            incr iterations;
+            let c = Otree.bottleneck tree ~capacity:(Graph.capacity graph) in
+            if c <= 0.0 || c = infinity then stop := true
+            else begin
+              Solution.add solution tree c;
+              let needs_renorm = ref false in
+              Otree.iter_usage tree (fun id count ->
+                  let ce = Graph.capacity graph id in
+                  let growth =
+                    1.0 +. (epsilon *. float_of_int count *. c /. ce)
+                  in
+                  lens.(id) <- lens.(id) *. growth;
+                  for s = 0 to k - 1 do
+                    (* growth > 1 always: the monotone fast path applies *)
+                    Overlay.notify_length_increase overlays.(s) id
+                  done;
+                  if lens.(id) > renorm_threshold then needs_renorm := true);
+              if !needs_renorm then begin
+                let scale = 1.0 /. renorm_threshold in
+                for id = 0 to m - 1 do
+                  lens.(id) <- lens.(id) *. scale
+                done;
+                Array.iter Overlay.notify_rescale overlays;
+                Array.fill low_w 0 k neg_infinity;
+                ln_base := !ln_base +. log renorm_threshold
+              end
+            end
           end
-        end
-      end
-  done;
+      done);
   (* Feasibility scaling: divide by log_{1+eps} ((1+eps)/delta). *)
   let scale_factor =
     (log (1.0 +. epsilon) -. ln_delta) /. log (1.0 +. epsilon)
@@ -99,8 +144,8 @@ let solve graph overlays ~epsilon =
     epsilon;
   }
 
-let solve_single graph overlay ~epsilon =
-  let result = solve graph [| overlay |] ~epsilon in
+let solve_single ?incremental graph overlay ~epsilon =
+  let result = solve ?incremental graph [| overlay |] ~epsilon in
   (* the single session keeps its own id; rate lookup goes through the
      session array of the fresh solution, which has exactly one slot *)
   let sessions = Solution.sessions result.solution in

@@ -27,11 +27,18 @@ val ratio_to_epsilon : float -> float
 
 (** [solve graph overlays ~epsilon] runs MaxFlow over sessions sharing
     one physical graph.  All overlays must be built on [graph].
-    Raises [Invalid_argument] for [epsilon] outside (0, 0.5). *)
-val solve : Graph.t -> Overlay.t array -> epsilon:float -> result
+    [incremental] (default [true]) drives the overlays' incremental
+    length engine — dual-length updates are pushed through the
+    edge->route incidence index so each iteration only re-weighs the
+    overlay edges its winning tree touched; [~incremental:false] forces
+    the from-scratch recompute path (same output bit for bit, used by
+    the bench to measure the engine).  Raises [Invalid_argument] for
+    [epsilon] outside (0, 0.5). *)
+val solve : ?incremental:bool -> Graph.t -> Overlay.t array -> epsilon:float -> result
 
 (** [solve_single graph overlay ~epsilon] runs the single-session
     special case and returns the session's maximum flow rate (the
     [zeta_i] of the concurrent-flow preprocessing) along with the full
     result. *)
-val solve_single : Graph.t -> Overlay.t -> epsilon:float -> float * result
+val solve_single :
+  ?incremental:bool -> Graph.t -> Overlay.t -> epsilon:float -> float * result

@@ -1,14 +1,59 @@
 type mode = Ip | Arbitrary
 
+(* Incremental overlay-length engine (IP mode).
+
+   Invariant: for every overlay edge [oe] with [dirty.(oe) = false] and
+   [all_dirty = false], [cached_w.(oe) = Route.weight oroutes.(oe)
+   ~length] under the caller's current length function.  Length changes
+   are announced through [notify_length_update]; the incidence index
+   maps the changed physical edge to the overlay edges whose cached
+   weight it invalidates.  Dirty weights are refreshed lazily at the
+   next [min_spanning_tree] call with [Route.weight] itself, so cached
+   weights are bit-identical to a from-scratch recomputation (same fold,
+   same operand order) and the Prim tie-breaking — hence the tree
+   sequence of the FPTAS solvers — cannot drift. *)
+type ip_engine = {
+  table : Ip_routing.t;
+  oroutes : Route.t array;     (* overlay edge id -> fixed route (slot a < b) *)
+  incidence : Incidence.t;     (* physical edge -> incident overlay edges *)
+  cached_w : float array;      (* overlay edge id -> cached Route.weight *)
+  dirty : bool array;
+  mutable all_dirty : bool;
+  mutable incremental : bool;  (* engine active: caller promises notifications *)
+  (* Monotone fast path: when every stale weight comes from a length
+     {e increase} (the only update the Garg-Koenemann solvers perform
+     between rescales), an increase on an overlay edge outside the
+     current MST cannot change the MST (cycle property), so the refresh
+     and the Prim run are skipped entirely until some MST edge goes
+     dirty.  [skip_valid] drops to false on a generic (possibly
+     decreasing) update. *)
+  mutable skip_valid : bool;
+  mutable prev_tree : Otree.t option;  (* tree of the last Prim run *)
+  in_prev_mst : bool array;            (* overlay edge -> in prev_tree *)
+}
+
 type t = {
   session : Session.t;
   graph : Graph.t;
   mode : mode;
-  ip_table : Ip_routing.t option;      (* Some iff mode = Ip *)
+  ip : ip_engine option;                       (* Some iff mode = Ip *)
+  dyn_ws : Dynamic_routing.workspace option;   (* Some iff mode = Arbitrary *)
   overlay_graph : Graph.t;             (* complete graph on member slots *)
   pair_of_oedge : (int * int) array;   (* overlay edge id -> member slots *)
   mutable ops : int;
+  mutable weight_ops : int;
 }
+
+(* Debug cross-check: every incremental MST recomputes all weights from
+   scratch and fails loudly on any divergence from the cache. *)
+let cross_check =
+  ref
+    (match Sys.getenv_opt "OVERLAY_CROSS_CHECK" with
+    | Some ("1" | "true" | "yes") -> true
+    | _ -> false)
+
+let set_cross_check enabled = cross_check := enabled
+let cross_check_enabled () = !cross_check
 
 let build_complete k =
   let g = Graph.create ~n:k in
@@ -25,21 +70,77 @@ let create graph mode session =
   let members = session.Session.members in
   if not (Traverse.is_spanning_connected graph ~vertices:members) then
     failwith "Overlay.create: session members are disconnected";
-  let ip_table =
-    match mode with
-    | Ip -> Some (Ip_routing.compute graph ~members)
-    | Arbitrary -> None
-  in
   let overlay_graph, pair_of_oedge = build_complete (Array.length members) in
-  { session; graph; mode; ip_table; overlay_graph; pair_of_oedge; ops = 0 }
+  let ip =
+    match mode with
+    | Arbitrary -> None
+    | Ip ->
+      let table = Ip_routing.compute graph ~members in
+      let oroutes =
+        Array.map
+          (fun (a, b) -> Ip_routing.route table members.(a) members.(b))
+          pair_of_oedge
+      in
+      let incidence = Incidence.build ~n_edges:(Graph.n_edges graph) oroutes in
+      Some
+        {
+          table;
+          oroutes;
+          incidence;
+          cached_w = Array.make (Array.length pair_of_oedge) 0.0;
+          dirty = Array.make (Array.length pair_of_oedge) true;
+          all_dirty = true;
+          incremental = false;
+          skip_valid = true;
+          prev_tree = None;
+          in_prev_mst = Array.make (Array.length pair_of_oedge) false;
+        }
+  in
+  let dyn_ws =
+    match mode with
+    | Ip -> None
+    | Arbitrary -> Some (Dynamic_routing.workspace graph)
+  in
+  {
+    session;
+    graph;
+    mode;
+    ip;
+    dyn_ws;
+    overlay_graph;
+    pair_of_oedge;
+    ops = 0;
+    weight_ops = 0;
+  }
+
+let same_int_array a b =
+  Array.length a = Array.length b
+  &&
+  let rec eq i = i >= Array.length a || (a.(i) = b.(i) && eq (i + 1)) in
+  eq 0
 
 let with_session t session =
-  if
-    Array.length session.Session.members
-    <> Array.length t.session.Session.members
-    || session.Session.members <> t.session.Session.members
+  if not (same_int_array session.Session.members t.session.Session.members)
   then invalid_arg "Overlay.with_session: member sets differ";
-  { t with session; ops = 0 }
+  (* the route table, fixed routes and incidence index are immutable and
+     shared; the weight cache and counters are per-copy *)
+  let ip =
+    match t.ip with
+    | None -> None
+    | Some eng ->
+      Some
+        {
+          eng with
+          cached_w = Array.make (Array.length eng.cached_w) 0.0;
+          dirty = Array.make (Array.length eng.dirty) true;
+          all_dirty = true;
+          incremental = false;
+          skip_valid = true;
+          prev_tree = None;
+          in_prev_mst = Array.make (Array.length eng.in_prev_mst) false;
+        }
+  in
+  { t with session; ip; ops = 0; weight_ops = 0 }
 
 let session t = t.session
 let mode t = t.mode
@@ -48,14 +149,124 @@ let graph t = t.graph
 let members t = t.session.Session.members
 
 let fixed_route t a b =
-  match t.ip_table with
-  | Some table -> Ip_routing.route table (members t).(a) (members t).(b)
+  match t.ip with
+  | Some eng -> Ip_routing.route eng.table (members t).(a) (members t).(b)
   | None -> assert false
 
-let mst_from_weights_and_routes t weights routes =
+(* --- incremental engine control ------------------------------------- *)
+
+let begin_incremental t =
+  match t.ip with
+  | None -> ()
+  | Some eng ->
+    eng.incremental <- true;
+    eng.all_dirty <- true;
+    eng.skip_valid <- true;
+    eng.prev_tree <- None
+
+let end_incremental t =
+  match t.ip with
+  | None -> ()
+  | Some eng -> eng.incremental <- false
+
+let incremental_active t =
+  match t.ip with Some eng -> eng.incremental | None -> false
+
+let mark_incident eng edge =
+  if not eng.all_dirty then
+    Incidence.iter_incident eng.incidence edge (fun oe _mult ->
+        eng.dirty.(oe) <- true)
+
+let notify_length_increase t edge =
+  match t.ip with
+  | None -> ()
+  | Some eng -> if eng.incremental then mark_incident eng edge
+
+let notify_length_update t edge =
+  match t.ip with
+  | None -> ()
+  | Some eng ->
+    if eng.incremental then begin
+      mark_incident eng edge;
+      (* direction unknown: a decrease can pull an outside edge into the
+         MST, so the monotone skip is off until the next full refresh *)
+      eng.skip_valid <- false
+    end
+
+let notify_rescale t =
+  match t.ip with
+  | None -> ()
+  | Some eng ->
+    (* cached_w *. scale would diverge from a fresh [Route.weight] fold
+       in the last ulp; re-derive everything instead (rescales are rare) *)
+    if eng.incremental then eng.all_dirty <- true
+
+(* --- weight refresh --------------------------------------------------- *)
+
+let refresh_all t eng ~length =
+  let n = Array.length eng.cached_w in
+  for oe = 0 to n - 1 do
+    eng.cached_w.(oe) <- Route.weight eng.oroutes.(oe) ~length;
+    eng.dirty.(oe) <- false
+  done;
+  eng.all_dirty <- false;
+  t.weight_ops <- t.weight_ops + n
+
+let refresh_dirty t eng ~length =
+  let n = Array.length eng.cached_w in
+  for oe = 0 to n - 1 do
+    if eng.dirty.(oe) then begin
+      eng.cached_w.(oe) <- Route.weight eng.oroutes.(oe) ~length;
+      eng.dirty.(oe) <- false;
+      t.weight_ops <- t.weight_ops + 1
+    end
+  done
+
+let run_cross_check eng ~length =
+  Array.iteri
+    (fun oe route ->
+      let fresh = Route.weight route ~length in
+      if fresh <> eng.cached_w.(oe) then
+        failwith
+          (Printf.sprintf
+             "Overlay cross-check: cached weight %.17g <> fresh %.17g on \
+              overlay edge %d (missed notify_length_update?)"
+             eng.cached_w.(oe) fresh oe))
+    eng.oroutes
+
+let ip_weights t eng ~length =
+  if eng.incremental then begin
+    if eng.all_dirty then refresh_all t eng ~length
+    else refresh_dirty t eng ~length;
+    if !cross_check then run_cross_check eng ~length
+  end
+  else refresh_all t eng ~length;
+  eng.cached_w
+
+(* The monotone skip applies when the engine is on, every stale weight
+   stems from an increase, a previous tree exists, and no overlay edge of
+   that tree is stale.  Cross-check mode disables it so each call
+   verifies the full cache. *)
+let can_skip_mst eng =
+  eng.incremental && eng.skip_valid && (not eng.all_dirty)
+  && (not !cross_check)
+  &&
+  match eng.prev_tree with
+  | None -> false
+  | Some _ ->
+    let n = Array.length eng.dirty in
+    let rec clean oe =
+      oe >= n || ((not (eng.dirty.(oe) && eng.in_prev_mst.(oe))) && clean (oe + 1))
+    in
+    clean 0
+
+let mst_oedges t weights =
   let olength id = weights.(id) in
   let mst = Mst.prim t.overlay_graph ~length:olength in
-  let oedges = Array.of_list mst.Mst.edges in
+  Array.of_list mst.Mst.edges
+
+let mst_from_weights_and_routes t weights routes =
+  let oedges = mst_oedges t weights in
   let pairs = Array.map (fun id -> t.pair_of_oedge.(id)) oedges in
   let tree_routes = Array.map (fun id -> routes id) oedges in
   Otree.build ~session_id:t.session.Session.id ~pairs ~routes:tree_routes
@@ -64,17 +275,54 @@ let min_spanning_tree t ~length =
   t.ops <- t.ops + 1;
   match t.mode with
   | Ip ->
-    let weights =
-      Array.mapi
-        (fun _id (a, b) -> Route.weight (fixed_route t a b) ~length)
-        t.pair_of_oedge
-    in
-    mst_from_weights_and_routes t weights (fun id ->
-        let a, b = t.pair_of_oedge.(id) in
-        fixed_route t a b)
+    let eng = Option.get t.ip in
+    if can_skip_mst eng then Option.get eng.prev_tree
+    else begin
+      (* Under increase-only staleness a stale cached weight is a lower
+         bound on the true weight, so Prim can consult it first and
+         refresh an overlay edge only when it is actually competitive —
+         edges whose stale weight already loses are never re-walked and
+         simply stay dirty.  [prim_lazy]'s trajectory is identical to
+         the eager run, so the tree sequence cannot drift.  Cross-check
+         mode keeps the eager path (it verifies the full cache). *)
+      let lazy_bounds =
+        eng.incremental && eng.skip_valid && (not eng.all_dirty)
+        && not !cross_check
+      in
+      let mst =
+        if lazy_bounds then
+          Mst.prim_lazy t.overlay_graph
+            ~lower:(fun oe -> eng.cached_w.(oe))
+            ~exact:(fun oe ->
+              if eng.dirty.(oe) then begin
+                eng.cached_w.(oe) <- Route.weight eng.oroutes.(oe) ~length;
+                eng.dirty.(oe) <- false;
+                t.weight_ops <- t.weight_ops + 1
+              end;
+              eng.cached_w.(oe))
+        else begin
+          let weights = ip_weights t eng ~length in
+          Mst.prim t.overlay_graph ~length:(fun oe -> weights.(oe))
+        end
+      in
+      let oedges = Array.of_list mst.Mst.edges in
+      let pairs = Array.map (fun id -> t.pair_of_oedge.(id)) oedges in
+      let tree_routes = Array.map (fun id -> eng.oroutes.(id)) oedges in
+      let tree =
+        Otree.build ~session_id:t.session.Session.id ~pairs ~routes:tree_routes
+      in
+      if eng.incremental then begin
+        Array.fill eng.in_prev_mst 0 (Array.length eng.in_prev_mst) false;
+        Array.iter (fun oe -> eng.in_prev_mst.(oe) <- true) oedges;
+        eng.prev_tree <- Some tree;
+        eng.skip_valid <- true
+      end;
+      tree
+    end
   | Arbitrary ->
+    let ws = Option.get t.dyn_ws in
     let snapshot =
-      Dynamic_routing.routes t.graph ~members:(members t) ~length
+      Dynamic_routing.routes_ws ws t.graph ~members:(members t) ~length
     in
     let ms = members t in
     let weights =
@@ -82,6 +330,7 @@ let min_spanning_tree t ~length =
         (fun (a, b) -> Dynamic_routing.distance snapshot ms.(a) ms.(b))
         t.pair_of_oedge
     in
+    t.weight_ops <- t.weight_ops + Array.length weights;
     mst_from_weights_and_routes t weights (fun id ->
         let a, b = t.pair_of_oedge.(id) in
         Dynamic_routing.route snapshot ms.(a) ms.(b))
@@ -93,20 +342,21 @@ let tree_of_pairs t ~pairs ~length =
     let routes = Array.map (fun (a, b) -> fixed_route t a b) pairs in
     Otree.build ~session_id:t.session.Session.id ~pairs ~routes
   | Arbitrary ->
-    let snapshot = Dynamic_routing.routes t.graph ~members:ms ~length in
+    let ws = Option.get t.dyn_ws in
+    let snapshot = Dynamic_routing.routes_ws ws t.graph ~members:ms ~length in
     let routes =
       Array.map (fun (a, b) -> Dynamic_routing.route snapshot ms.(a) ms.(b)) pairs
     in
     Otree.build ~session_id:t.session.Session.id ~pairs ~routes
 
 let max_route_hops t =
-  match t.ip_table with
-  | Some table -> Ip_routing.max_hops table
+  match t.ip with
+  | Some eng -> Ip_routing.max_hops eng.table
   | None -> Graph.n_vertices t.graph - 1
 
 let covered_edges t =
-  match t.ip_table with
-  | Some table -> Ip_routing.covered_edges table
+  match t.ip with
+  | Some eng -> Ip_routing.covered_edges eng.table
   | None -> Array.init (Graph.n_edges t.graph) (fun i -> i)
 
 let mst_operations t = t.ops
@@ -114,3 +364,9 @@ let reset_mst_operations t = t.ops <- 0
 
 let total_mst_operations ts =
   Array.fold_left (fun acc t -> acc + t.ops) 0 ts
+
+let weight_operations t = t.weight_ops
+let reset_weight_operations t = t.weight_ops <- 0
+
+let total_weight_operations ts =
+  Array.fold_left (fun acc t -> acc + t.weight_ops) 0 ts

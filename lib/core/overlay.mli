@@ -8,23 +8,42 @@
       the sum of [d_e] along that fixed route.
     - [Arbitrary]: every overlay edge is the shortest path under the
       {e current} [d_e], recomputed on each query (one Dijkstra per
-      member, the [|S_i| * T_spt] overhead of Sec. V-B). *)
+      member, the [|S_i| * T_spt] overhead of Sec. V-B) on a reusable
+      workspace.
+
+    {1 Incremental overlay-length engine (IP mode)}
+
+    The FPTAS solvers change only the few dual lengths on the winning
+    tree per iteration, yet a naive MST recomputes all O(k^2) overlay
+    edge weights [sum_e n_e * d_e] by re-walking every fixed route.  The
+    engine keeps a per-overlay-edge weight cache plus an inverted
+    edge->route incidence index ({!Incidence}); solvers activate it with
+    {!begin_incremental} and then announce every length change through
+    {!notify_length_update} (or {!notify_rescale} after a global
+    renormalization), so an MST call only re-walks the routes actually
+    invalidated.  Refreshes use [Route.weight] itself, so cached weights
+    stay bit-identical to a from-scratch recomputation and the solver's
+    tree sequence is unchanged.  A debug cross-check mode
+    ({!set_cross_check}, or environment variable [OVERLAY_CROSS_CHECK=1])
+    verifies that invariant on every MST call. *)
 
 type mode = Ip | Arbitrary
 
 type t
 
 (** [create graph mode session] builds the context.  In [Ip] mode the
-    route table is computed here (shortest-hop, deterministic).  Raises
-    [Failure] when members are disconnected. *)
+    route table, the per-overlay-edge fixed routes and the edge->route
+    incidence index are computed here (shortest-hop, deterministic).
+    Raises [Failure] when members are disconnected. *)
 val create : Graph.t -> mode -> Session.t -> t
 
 (** [with_session t session] reuses [t]'s routing state (the IP route
-    table in [Ip] mode) for a replica session with the {e same} member
-    array — the online experiments replicate sessions many times and
-    recomputing identical route tables dominates otherwise.  The copy
-    has its own MST-operation counter.  Raises [Invalid_argument] when
-    the member arrays differ. *)
+    table, fixed routes and incidence index in [Ip] mode) for a replica
+    session with the {e same} member array — the online experiments
+    replicate sessions many times and recomputing identical route tables
+    dominates otherwise.  The copy has its own operation counters and
+    weight cache, with the incremental engine off.  Raises
+    [Invalid_argument] when the member arrays differ. *)
 val with_session : t -> Session.t -> t
 
 val session : t -> Session.t
@@ -33,7 +52,9 @@ val graph : t -> Graph.t
 
 (** [min_spanning_tree t ~length] computes the minimum overlay spanning
     tree under the physical edge length function, as an overlay tree
-    with realized routes.  Each call counts as one MST operation. *)
+    with realized routes.  Each call counts as one MST operation.  With
+    the incremental engine active, only overlay edges invalidated since
+    the previous call are re-weighed. *)
 val min_spanning_tree : t -> length:(int -> float) -> Otree.t
 
 (** [tree_of_pairs t ~pairs ~length] realizes an arbitrary overlay
@@ -41,6 +62,58 @@ val min_spanning_tree : t -> length:(int -> float) -> Otree.t
     mode; used by baselines and enumeration oracles.  [length] only
     matters in [Arbitrary] mode. *)
 val tree_of_pairs : t -> pairs:(int * int) array -> length:(int -> float) -> Otree.t
+
+(** {2 Incremental engine control} *)
+
+(** [begin_incremental t] activates the weight cache: from now until
+    {!end_incremental}, the caller promises to announce every change to
+    the length function it passes to {!min_spanning_tree} via
+    {!notify_length_update} / {!notify_rescale}.  All cached weights are
+    invalidated on activation, so any previous length state is
+    forgotten.  No-op in [Arbitrary] mode. *)
+val begin_incremental : t -> unit
+
+(** [end_incremental t] deactivates the engine; subsequent MST calls
+    recompute every overlay edge weight from scratch (the pre-engine
+    behaviour). *)
+val end_incremental : t -> unit
+
+(** [incremental_active t] reports whether the engine is on. *)
+val incremental_active : t -> bool
+
+(** [notify_length_update t edge] marks the overlay edges whose fixed
+    route traverses physical [edge] as stale — O(incident overlay
+    edges) via the incidence index.  No-op when the engine is off or in
+    [Arbitrary] mode. *)
+val notify_length_update : t -> int -> unit
+
+(** [notify_length_increase t edge] is {!notify_length_update} with the
+    additional promise that the length of [edge] did not decrease.  The
+    Garg–Könemann solvers only ever grow dual lengths between rescales,
+    and under increase-only staleness the engine can skip both the
+    refresh and the Prim run entirely while no overlay edge of the
+    previously returned tree is stale (cycle property: increasing the
+    weight of a non-tree edge never changes the MST).  Using this for a
+    decrease silently corrupts the returned trees — when in doubt, call
+    {!notify_length_update}. *)
+val notify_length_increase : t -> int -> unit
+
+(** [notify_rescale t] invalidates the whole cache; used after a global
+    multiplicative renormalization of the length function (scaling a
+    cached float would diverge from a fresh summation in the last ulp,
+    so the engine re-derives instead — rescales are rare). *)
+val notify_rescale : t -> unit
+
+(** [set_cross_check enabled] toggles the debug mode in which every
+    incremental MST call re-derives all weights from scratch and raises
+    [Failure] on any divergence from the cache (i.e. a missed
+    notification).  Also enabled by [OVERLAY_CROSS_CHECK=1] in the
+    environment.  Global to the process. *)
+val set_cross_check : bool -> unit
+
+val cross_check_enabled : unit -> bool
+
+(** {2 Bounds and counters} *)
 
 (** [max_route_hops t] is an upper bound on the hop length of any
     unicast route the context can produce — the paper's [U].  Exact for
@@ -61,3 +134,14 @@ val reset_mst_operations : t -> unit
 
 (** [total_mst_operations ts] sums the counters. *)
 val total_mst_operations : t array -> int
+
+(** [weight_operations t] counts per-overlay-edge weight computations
+    (one full route re-walk, or one snapshot distance read in
+    [Arbitrary] mode) — the unit the incremental engine reduces.
+    [reset_weight_operations] clears it. *)
+val weight_operations : t -> int
+
+val reset_weight_operations : t -> unit
+
+(** [total_weight_operations ts] sums the counters. *)
+val total_weight_operations : t array -> int

@@ -5,27 +5,80 @@ type tree = {
   parent_edge : int array;
 }
 
-let shortest_path_tree g ~length ~source =
+(* Reusable single-source state.  Arrays are reset lazily: [touched]
+   records which vertices the previous run wrote, so starting a new run
+   costs O(previously touched) instead of O(n) fresh allocations.  The
+   heap is drained by every run, so it needs no reset. *)
+type workspace = {
+  ws_dist : float array;
+  ws_parent_vertex : int array;
+  ws_parent_edge : int array;
+  ws_settled : bool array;
+  ws_heap : Indexed_heap.t;
+  ws_touched : int array;
+  mutable ws_n_touched : int;
+}
+
+let workspace ~n =
+  if n < 0 then invalid_arg "Dijkstra.workspace: negative size";
+  {
+    ws_dist = Array.make (max n 1) infinity;
+    ws_parent_vertex = Array.make (max n 1) (-1);
+    ws_parent_edge = Array.make (max n 1) (-1);
+    ws_settled = Array.make (max n 1) false;
+    ws_heap = Indexed_heap.create n;
+    ws_touched = Array.make (max n 1) 0;
+    ws_n_touched = 0;
+  }
+
+let workspace_size ws = Array.length ws.ws_dist
+
+let validate_lengths g ~length =
+  Graph.iter_edges g (fun e ->
+      let w = length e.Graph.id in
+      if w < 0.0 then
+        invalid_arg
+          (Printf.sprintf "Dijkstra: negative length %g on edge %d" w
+             e.Graph.id))
+
+let run ws g ~length ~source =
   let n = Graph.n_vertices g in
   if source < 0 || source >= n then
     invalid_arg "Dijkstra.shortest_path_tree: source out of range";
-  let dist = Array.make n infinity in
-  let parent_vertex = Array.make n (-1) in
-  let parent_edge = Array.make n (-1) in
-  let settled = Array.make n false in
-  let heap = Indexed_heap.create n in
+  if n > workspace_size ws then
+    invalid_arg "Dijkstra: workspace smaller than graph";
+  (* wipe the footprint of the previous run *)
+  for i = 0 to ws.ws_n_touched - 1 do
+    let v = ws.ws_touched.(i) in
+    ws.ws_dist.(v) <- infinity;
+    ws.ws_parent_vertex.(v) <- -1;
+    ws.ws_parent_edge.(v) <- -1;
+    ws.ws_settled.(v) <- false
+  done;
+  ws.ws_n_touched <- 0;
+  let dist = ws.ws_dist
+  and parent_vertex = ws.ws_parent_vertex
+  and parent_edge = ws.ws_parent_edge
+  and settled = ws.ws_settled
+  and heap = ws.ws_heap in
   dist.(source) <- 0.0;
+  ws.ws_touched.(ws.ws_n_touched) <- source;
+  ws.ws_n_touched <- ws.ws_n_touched + 1;
   Indexed_heap.insert heap source 0.0;
+  (* Lengths are validated up front (once per call or per batch), not in
+     the relaxation loop. *)
   while not (Indexed_heap.is_empty heap) do
     let u, du = Indexed_heap.pop_min heap in
     if not settled.(u) then begin
       settled.(u) <- true;
       Graph.iter_neighbors g u (fun v id ->
           if not settled.(v) then begin
-            let w = length id in
-            if w < 0.0 then invalid_arg "Dijkstra: negative edge length";
-            let candidate = du +. w in
+            let candidate = du +. length id in
             if candidate < dist.(v) then begin
+              if dist.(v) = infinity then begin
+                ws.ws_touched.(ws.ws_n_touched) <- v;
+                ws.ws_n_touched <- ws.ws_n_touched + 1
+              end;
               dist.(v) <- candidate;
               parent_vertex.(v) <- u;
               parent_edge.(v) <- id;
@@ -35,6 +88,14 @@ let shortest_path_tree g ~length ~source =
     end
   done;
   { source; dist; parent_vertex; parent_edge }
+
+let shortest_path_tree_ws ?(validate = false) ws g ~length ~source =
+  if validate then validate_lengths g ~length;
+  run ws g ~length ~source
+
+let shortest_path_tree g ~length ~source =
+  validate_lengths g ~length;
+  run (workspace ~n:(Graph.n_vertices g)) g ~length ~source
 
 let path_to tree v =
   if v = tree.source then Some []

@@ -3,7 +3,11 @@
     The overlay algorithms re-run shortest paths constantly with lengths
     given by the dual variables [d_e], so lengths are supplied as a
     function of edge id rather than stored in the graph.  Lengths must be
-    nonnegative; [infinity] disables an edge. *)
+    nonnegative; [infinity] disables an edge.
+
+    Negative lengths are rejected by a single validation pass per call
+    (or per batch, via {!validate_lengths}), keeping the relaxation loop
+    branch-free. *)
 
 type tree = {
   source : int;
@@ -12,12 +16,40 @@ type tree = {
   parent_edge : int array;      (** edge id into [v] from its predecessor, [-1] at source/unreachable *)
 }
 
+(** Preallocated single-source state (distance/parent/settled arrays and
+    the heap), reusable across runs.  Resetting between runs costs
+    O(vertices touched by the previous run), with no allocation — the
+    repeated-Dijkstra paths (arbitrary-routing snapshots, route tables)
+    run many sources over the same graph and would otherwise allocate
+    O(n) fresh state per source. *)
+type workspace
+
+(** [workspace ~n] builds a workspace for graphs with at most [n]
+    vertices. *)
+val workspace : n:int -> workspace
+
+(** [validate_lengths g ~length] raises [Invalid_argument] if any edge
+    has negative length.  Called once per {!shortest_path_tree}; callers
+    running many sources under one fixed length function should call it
+    once and use [shortest_path_tree_ws ~validate:false]. *)
+val validate_lengths : Graph.t -> length:(int -> float) -> unit
+
 (** [shortest_path_tree g ~length ~source] runs Dijkstra with an indexed
     heap; O((n + m) log n).  Tie-breaking is deterministic (first
     relaxation wins), so repeated runs return identical routes — the
     fixed-IP-routing substrate depends on this. *)
 val shortest_path_tree :
   Graph.t -> length:(int -> float) -> source:int -> tree
+
+(** [shortest_path_tree_ws ws g ~length ~source] is
+    {!shortest_path_tree} on a reusable workspace: no allocation beyond
+    the returned record.  The tree {e aliases} the workspace arrays and
+    is only valid until the next run on the same workspace.  [validate]
+    (default [false]) re-checks lengths; when omitted the caller must
+    have validated the length function itself (see
+    {!validate_lengths}). *)
+val shortest_path_tree_ws :
+  ?validate:bool -> workspace -> Graph.t -> length:(int -> float) -> source:int -> tree
 
 (** [path_to tree v] returns the edge ids from the source to [v] in path
     order, or [None] when [v] is unreachable. The source itself yields

@@ -15,6 +15,17 @@ type result = { edges : int list; weight : float }
     the earliest-relaxed wins. *)
 val prim : Graph.t -> length:(int -> float) -> result
 
+(** [prim_lazy g ~lower ~exact] is [prim g ~length:exact] computed
+    lazily: a relaxation consults the cheap [lower] bound first and only
+    evaluates [exact id] when the bound beats the current candidate key.
+    Requires [lower id <= exact id] for every edge; under that contract
+    the returned tree is identical (same trajectory, same tie-breaks) to
+    the eager run, while [exact] is never called for edges whose bound
+    already loses.  Negative lengths are detected only on edges whose
+    exact length is demanded. *)
+val prim_lazy :
+  Graph.t -> lower:(int -> float) -> exact:(int -> float) -> result
+
 (** [kruskal g ~length] computes an MST via sorting + union-find;
     O(m log m). Raises [Failure] when disconnected. Ties break on lower
     edge id, so results are deterministic (possibly a different — equally

@@ -1,20 +1,52 @@
 type snapshot = {
   member_list : int array;
-  index : (int, int) Hashtbl.t;
+  slot_of : int array;  (* vertex -> member slot, -1 for non-members *)
   routes : Route.t option array array;  (* upper triangle *)
   dists : float array array;
 }
 
-let routes g ~members ~length =
+(* Reusable snapshot-construction state: one Dijkstra workspace plus the
+   dense vertex->slot array.  The arbitrary-routing mode rebuilds a
+   snapshot per MST operation (k Dijkstras), so the O(n) scratch state
+   is hoisted out of the per-operation path. *)
+type workspace = {
+  dij : Dijkstra.workspace;
+  slots : int array;
+  mutable installed : int array;  (* members whose slots are currently set *)
+}
+
+let workspace g =
+  let n = Graph.n_vertices g in
+  {
+    dij = Dijkstra.workspace ~n;
+    slots = Array.make (max n 1) (-1);
+    installed = [||];
+  }
+
+let routes_ws ws g ~members ~length =
   let k = Array.length members in
-  let index = Hashtbl.create k in
-  Array.iteri (fun i v -> Hashtbl.replace index v i) members;
-  if Hashtbl.length index <> k then
-    invalid_arg "Dynamic_routing.routes: duplicate members";
+  if Array.length ws.slots < Graph.n_vertices g then
+    invalid_arg "Dynamic_routing.routes_ws: workspace built for a smaller graph";
+  (* clear the previous member set, install the new one *)
+  Array.iter (fun v -> ws.slots.(v) <- -1) ws.installed;
+  Array.iteri
+    (fun i v ->
+      if v < 0 || v >= Array.length ws.slots then
+        invalid_arg
+          (Printf.sprintf "Dynamic_routing.routes: member %d out of range" v);
+      if ws.slots.(v) >= 0 then
+        invalid_arg "Dynamic_routing.routes: duplicate members";
+      ws.slots.(v) <- i)
+    members;
+  ws.installed <- Array.copy members;
+  (* one validation pass for the whole snapshot, not one per source *)
+  Dijkstra.validate_lengths g ~length;
   let routes = Array.make_matrix k k None in
   let dists = Array.make_matrix k k 0.0 in
   for i = 0 to k - 1 do
-    let tree = Dijkstra.shortest_path_tree g ~length ~source:members.(i) in
+    let tree =
+      Dijkstra.shortest_path_tree_ws ws.dij g ~length ~source:members.(i)
+    in
     for j = i + 1 to k - 1 do
       match Dijkstra.path_to tree members.(j) with
       | None -> failwith "Dynamic_routing.routes: member pair disconnected"
@@ -25,9 +57,23 @@ let routes g ~members ~length =
         dists.(j).(i) <- dists.(i).(j)
     done
   done;
-  { member_list = Array.copy members; index; routes; dists }
+  (* the snapshot borrows [ws.slots]; it stays correct until the next
+     [routes_ws] on the same workspace *)
+  { member_list = Array.copy members; slot_of = ws.slots; routes; dists }
 
-let slot s v = try Hashtbl.find s.index v with Not_found -> raise Not_found
+let routes g ~members ~length = routes_ws (workspace g) g ~members ~length
+
+let slot s v =
+  if v < 0 || v >= Array.length s.slot_of then
+    invalid_arg
+      (Printf.sprintf "Dynamic_routing: vertex %d outside the snapshot's graph"
+         v)
+  else
+    match s.slot_of.(v) with
+    | -1 ->
+      invalid_arg
+        (Printf.sprintf "Dynamic_routing: vertex %d is not a session member" v)
+    | i -> i
 
 let route s u v =
   let i = slot s u and j = slot s v in
@@ -35,7 +81,7 @@ let route s u v =
   else begin
     let a, b = if i < j then (i, j) else (j, i) in
     match s.routes.(a).(b) with
-    | None -> raise Not_found
+    | None -> assert false (* [routes] fills the whole upper triangle *)
     | Some r -> if i < j then r else Route.reverse r
   end
 

@@ -1,0 +1,74 @@
+type t = {
+  n_edges : int;
+  oedges : int array array;  (* physical edge id -> incident overlay edge ids *)
+  mults : int array array;   (* aligned multiplicities n_e *)
+}
+
+let build ~n_edges routes =
+  if n_edges < 0 then invalid_arg "Incidence.build: negative edge count";
+  (* first pass: collect (overlay edge) occurrences per physical edge;
+     iterating overlay edges in id order keeps each bucket sorted *)
+  let buckets = Array.make n_edges [] in
+  Array.iteri
+    (fun oid route ->
+      Route.iter_edges route (fun e ->
+          if e < 0 || e >= n_edges then
+            invalid_arg
+              (Printf.sprintf "Incidence.build: route uses edge %d out of range"
+                 e);
+          buckets.(e) <- oid :: buckets.(e)))
+    routes;
+  (* second pass: compress runs of the same overlay edge into
+     multiplicities (a simple path visits an edge once, but overlay
+     routes are not required to be simple) *)
+  let oedges = Array.make n_edges [||] in
+  let mults = Array.make n_edges [||] in
+  for e = 0 to n_edges - 1 do
+    match buckets.(e) with
+    | [] -> ()
+    | occurrences ->
+      let sorted = List.sort Int.compare occurrences in
+      let rec compress acc = function
+        | [] -> List.rev acc
+        | oid :: rest ->
+          (match acc with
+          | (prev, count) :: tail when prev = oid ->
+            compress ((prev, count + 1) :: tail) rest
+          | _ -> compress ((oid, 1) :: acc) rest)
+      in
+      let pairs = compress [] sorted in
+      oedges.(e) <- Array.of_list (List.map fst pairs);
+      mults.(e) <- Array.of_list (List.map snd pairs)
+  done;
+  { n_edges; oedges; mults }
+
+let check_edge t e =
+  if e < 0 || e >= t.n_edges then
+    invalid_arg (Printf.sprintf "Incidence: edge id %d out of range" e)
+
+let incident t e =
+  check_edge t e;
+  Array.copy t.oedges.(e)
+
+let degree t e =
+  check_edge t e;
+  Array.length t.oedges.(e)
+
+let iter_incident t e f =
+  check_edge t e;
+  let oedges = t.oedges.(e) and mults = t.mults.(e) in
+  for i = 0 to Array.length oedges - 1 do
+    f oedges.(i) mults.(i)
+  done
+
+let multiplicity t e oid =
+  check_edge t e;
+  let oedges = t.oedges.(e) and mults = t.mults.(e) in
+  let rec find i =
+    if i >= Array.length oedges then 0
+    else if oedges.(i) = oid then mults.(i)
+    else find (i + 1)
+  in
+  find 0
+
+let n_edges t = t.n_edges

@@ -11,9 +11,13 @@ let compute_with_metric g ~members ~metric =
   if Hashtbl.length index <> k then
     invalid_arg "Ip_routing.compute: duplicate members";
   let routes = Array.make_matrix k k None in
+  (* one reusable Dijkstra workspace and one length validation for the
+     whole table, instead of fresh O(n) state per member *)
+  let ws = Dijkstra.workspace ~n:(Graph.n_vertices g) in
+  Dijkstra.validate_lengths g ~length:metric;
   for i = 0 to k - 1 do
     let tree =
-      Dijkstra.shortest_path_tree g ~length:metric ~source:members.(i)
+      Dijkstra.shortest_path_tree_ws ws g ~length:metric ~source:members.(i)
     in
     for j = i + 1 to k - 1 do
       match Dijkstra.path_to tree members.(j) with
@@ -21,10 +25,12 @@ let compute_with_metric g ~members ~metric =
       | Some edges ->
         (* Keep the route computed from the lower-indexed member so both
            directions agree on one path. *)
-        if routes.(i).(j) = None then
+        (match routes.(i).(j) with
+        | Some _ -> ()
+        | None ->
           routes.(i).(j) <-
             Some (Route.make ~src:members.(i) ~dst:members.(j)
-                    (Array.of_list edges))
+                    (Array.of_list edges)))
     done
   done;
   { member_list = Array.copy members; index; routes }
@@ -41,14 +47,21 @@ let compute_randomized g rng ~members =
   in
   compute_with_metric g ~members ~metric:(fun id -> 1.0 +. jitter.(id))
 
+let slot t v =
+  match Hashtbl.find_opt t.index v with
+  | Some i -> i
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Ip_routing.route: vertex %d is not a session member" v)
+
 let route t u v =
-  let i = try Hashtbl.find t.index u with Not_found -> raise Not_found in
-  let j = try Hashtbl.find t.index v with Not_found -> raise Not_found in
+  let i = slot t u in
+  let j = slot t v in
   if i = j then Route.make ~src:u ~dst:v [||]
   else begin
     let a, b = if i < j then (i, j) else (j, i) in
     match t.routes.(a).(b) with
-    | None -> raise Not_found
+    | None -> assert false (* [compute] fills the whole upper triangle *)
     | Some r -> if i < j then r else Route.reverse r
   end
 
@@ -77,5 +90,5 @@ let covered_edges t =
   in
   let ids = Hashtbl.fold (fun id () acc -> id :: acc) seen [] in
   let arr = Array.of_list ids in
-  Array.sort compare arr;
+  Array.sort Int.compare arr;
   arr

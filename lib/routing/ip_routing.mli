@@ -27,7 +27,8 @@ val compute_with_metric : Graph.t -> members:int array -> metric:(int -> float) 
 val compute_randomized : Graph.t -> Rng.t -> members:int array -> t
 
 (** [route t u v] returns the fixed route between two member vertices.
-    Raises [Not_found] if either vertex is not a member. *)
+    Raises [Invalid_argument] naming the vertex if either vertex is not
+    a member. *)
 val route : t -> int -> int -> Route.t
 
 (** [members t] is the member vertex set (a fresh copy). *)

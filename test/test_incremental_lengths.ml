@@ -1,0 +1,220 @@
+(* Property tests for the incremental overlay-length engine: after N
+   random multiplicative length updates plus renormalizations pushed
+   through [Overlay.notify_length_update] / [notify_rescale], the cached
+   overlay weights and the chosen MST must match a from-scratch
+   [Route.weight] recomputation — in both Ip and Arbitrary modes. *)
+
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+let checkf = Alcotest.(check (float 0.0))  (* exact equality *)
+
+(* Two mathematically equal sums computed in different association
+   orders (per-distinct-edge n_e * d_e vs per-route folds) may differ in
+   the last ulps; everything computed through the same fold must be
+   exactly equal and is checked with [checkf] instead. *)
+let check_close msg expected actual =
+  let scale = Float.max 1.0 (Float.max (abs_float expected) (abs_float actual)) in
+  checkb
+    (Printf.sprintf "%s (%.17g vs %.17g)" msg expected actual)
+    true
+    (abs_float (expected -. actual) <= 1e-9 *. scale)
+
+let instance seed =
+  let rng = Rng.create seed in
+  let topo = Waxman.generate rng { Waxman.default_params with Waxman.n = 40 } in
+  let g = topo.Topology.graph in
+  let size = 5 + (seed mod 3) in
+  let session =
+    Session.random rng ~id:0 ~topology_size:(Topology.n_nodes topo) ~size
+      ~demand:10.0
+  in
+  (rng, g, session)
+
+(* Sum of fresh [Route.weight]s over the tree's routes — the from-scratch
+   value the engine must reproduce exactly. *)
+let scratch_tree_weight tree ~length =
+  Array.fold_left
+    (fun acc r -> acc +. Route.weight r ~length)
+    0.0 tree.Otree.routes
+
+(* Drive one random update schedule against a notified (incremental)
+   overlay and a scratch overlay, asserting identical trees throughout.
+
+   [cross_check] validates every cached weight on every call (but
+   disables the monotone Prim skip, which by design leaves non-tree
+   weights stale).  [monotone] announces updates through
+   [notify_length_increase] (all growths here are >= 1), exercising the
+   skip; otherwise the generic [notify_length_update] path — and, with
+   [decreases], update factors that may shrink a length — is tested. *)
+let run_ip_schedule ~cross_check ~monotone ?(decreases = false) seed =
+  let rng, g, session = instance seed in
+  let inc = Overlay.create g Overlay.Ip session in
+  let scr = Overlay.create g Overlay.Ip session in
+  let m = Graph.n_edges g in
+  let lens = Array.make m 1.0 in
+  let length id = lens.(id) in
+  Overlay.begin_incremental inc;
+  let was_cross_check = Overlay.cross_check_enabled () in
+  Overlay.set_cross_check cross_check;
+  Fun.protect
+    ~finally:(fun () ->
+      Overlay.set_cross_check was_cross_check;
+      Overlay.end_incremental inc)
+    (fun () ->
+      for step = 1 to 40 do
+        (* a handful of multiplicative updates, like one FPTAS iteration *)
+        let touched = 1 + Rng.int rng 6 in
+        for _ = 1 to touched do
+          let e = Rng.int rng m in
+          let factor =
+            if decreases then 0.25 +. Rng.float rng 2.0
+            else 1.0 +. Rng.float rng 1.5
+          in
+          lens.(e) <- lens.(e) *. factor;
+          if monotone then Overlay.notify_length_increase inc e
+          else Overlay.notify_length_update inc e
+        done;
+        (* occasional global renormalization, as the solvers do *)
+        if step mod 9 = 0 then begin
+          for e = 0 to m - 1 do
+            lens.(e) <- lens.(e) *. 0.125
+          done;
+          Overlay.notify_rescale inc
+        end;
+        (* cross-check mode already validates every cached weight against
+           a fresh Route.weight inside this call; it raises on mismatch *)
+        let t_inc = Overlay.min_spanning_tree inc ~length in
+        let t_scr = Overlay.min_spanning_tree scr ~length in
+        checks
+          (Printf.sprintf "seed %d step %d: same tree" seed step)
+          (Otree.key t_scr) (Otree.key t_inc);
+        checkf
+          (Printf.sprintf "seed %d step %d: same tree weight" seed step)
+          (Otree.weight t_scr ~length)
+          (Otree.weight t_inc ~length);
+        check_close
+          (Printf.sprintf "seed %d step %d: tree weight vs scratch" seed step)
+          (scratch_tree_weight t_scr ~length)
+          (Otree.weight t_inc ~length)
+      done;
+      (* the engine must also have done strictly less re-weighing *)
+      checkb
+        (Printf.sprintf "seed %d: fewer weight ops (%d < %d)" seed
+           (Overlay.weight_operations inc)
+           (Overlay.weight_operations scr))
+        true
+        (Overlay.weight_operations inc < Overlay.weight_operations scr))
+
+let test_ip_incremental_matches_scratch () =
+  List.iter
+    (run_ip_schedule ~cross_check:true ~monotone:false)
+    [ 1; 2; 3; 7; 11 ]
+
+let test_ip_monotone_skip_matches_scratch () =
+  List.iter (run_ip_schedule ~cross_check:false ~monotone:true) [ 1; 2; 3; 7; 11 ]
+
+let test_ip_decreasing_updates_match_scratch () =
+  List.iter
+    (run_ip_schedule ~cross_check:false ~monotone:false ~decreases:true)
+    [ 1; 2; 3 ]
+
+(* Arbitrary mode has no weight cache, but shares the reusable Dijkstra
+   workspace path: repeated snapshots must keep producing the same trees
+   as an independent context, and tree weights must equal fresh
+   Route.weight sums. *)
+let run_arbitrary_schedule seed =
+  let rng, g, session = instance seed in
+  let o1 = Overlay.create g Overlay.Arbitrary session in
+  let o2 = Overlay.create g Overlay.Arbitrary session in
+  let m = Graph.n_edges g in
+  let lens = Array.make m 1.0 in
+  let length id = lens.(id) in
+  for step = 1 to 15 do
+    let touched = 1 + Rng.int rng 6 in
+    for _ = 1 to touched do
+      let e = Rng.int rng m in
+      lens.(e) <- lens.(e) *. (1.0 +. Rng.float rng 1.5)
+    done;
+    if step mod 6 = 0 then
+      for e = 0 to m - 1 do
+        lens.(e) <- lens.(e) *. 0.125
+      done;
+    let t1 = Overlay.min_spanning_tree o1 ~length in
+    let t2 = Overlay.min_spanning_tree o2 ~length in
+    checks
+      (Printf.sprintf "seed %d step %d: same arbitrary tree" seed step)
+      (Otree.key t1) (Otree.key t2);
+    checkf
+      (Printf.sprintf "seed %d step %d: same arbitrary weight" seed step)
+      (Otree.weight t1 ~length) (Otree.weight t2 ~length);
+    check_close
+      (Printf.sprintf "seed %d step %d: arbitrary weight vs scratch" seed step)
+      (scratch_tree_weight t1 ~length)
+      (Otree.weight t1 ~length)
+  done
+
+let test_arbitrary_workspace_matches_scratch () =
+  List.iter run_arbitrary_schedule [ 1; 4; 9 ]
+
+(* A missed notification must be caught by the cross-check mode. *)
+let test_cross_check_catches_missed_notification () =
+  let _rng, g, session = instance 5 in
+  let o = Overlay.create g Overlay.Ip session in
+  let m = Graph.n_edges g in
+  let lens = Array.make m 1.0 in
+  let length id = lens.(id) in
+  Overlay.begin_incremental o;
+  let was = Overlay.cross_check_enabled () in
+  Overlay.set_cross_check true;
+  Fun.protect
+    ~finally:(fun () ->
+      Overlay.set_cross_check was;
+      Overlay.end_incremental o)
+    (fun () ->
+      ignore (Overlay.min_spanning_tree o ~length);
+      (* mutate a covered edge without notifying *)
+      let covered = Overlay.covered_edges o in
+      lens.(covered.(0)) <- 42.0;
+      let raised =
+        try
+          ignore (Overlay.min_spanning_tree o ~length);
+          false
+        with Failure _ -> true
+      in
+      checkb "cross-check detects stale cache" true raised)
+
+(* The solvers must produce identical output with the engine on or off. *)
+let test_solver_output_invariant () =
+  let _rng, g, session = instance 13 in
+  let solve ~incremental =
+    let o = Overlay.create g Overlay.Ip session in
+    Max_flow.solve ~incremental g [| o |] ~epsilon:0.05
+  in
+  let a = solve ~incremental:true in
+  let b = solve ~incremental:false in
+  Alcotest.(check int) "same iterations" b.Max_flow.iterations a.Max_flow.iterations;
+  checkf "same rate"
+    (Solution.session_rate b.Max_flow.solution 0)
+    (Solution.session_rate a.Max_flow.solution 0);
+  let trees r =
+    Solution.trees r.Max_flow.solution 0
+    |> List.map (fun (t, rate) -> (Otree.key t, rate))
+    |> List.sort (fun (ka, _) (kb, _) -> String.compare ka kb)
+  in
+  checkb "same trees and rates" true (trees a = trees b)
+
+let suite =
+  [
+    Alcotest.test_case "ip incremental = scratch (property)" `Quick
+      test_ip_incremental_matches_scratch;
+    Alcotest.test_case "ip monotone skip = scratch (property)" `Quick
+      test_ip_monotone_skip_matches_scratch;
+    Alcotest.test_case "ip decreasing updates = scratch (property)" `Quick
+      test_ip_decreasing_updates_match_scratch;
+    Alcotest.test_case "arbitrary workspace = scratch (property)" `Quick
+      test_arbitrary_workspace_matches_scratch;
+    Alcotest.test_case "cross-check catches missed notification" `Quick
+      test_cross_check_catches_missed_notification;
+    Alcotest.test_case "solver output independent of engine" `Quick
+      test_solver_output_invariant;
+  ]

@@ -15,5 +15,6 @@ let () =
       ("extensions", Test_extensions.suite);
       ("refinement", Test_refinement.suite);
       ("invariants", Test_invariants.suite);
+      ("incremental-lengths", Test_incremental_lengths.suite);
       ("io-and-protocols", Test_io_protocol.suite);
     ]

@@ -162,8 +162,9 @@ let test_ip_max_hops_and_coverage () =
 let test_ip_non_member_raises () =
   let g = grid_graph () in
   let table = Ip_routing.compute g ~members:[| 0; 5 |] in
-  Alcotest.check_raises "non-member" Not_found (fun () ->
-      ignore (Ip_routing.route table 0 4))
+  Alcotest.check_raises "non-member"
+    (Invalid_argument "Ip_routing.route: vertex 4 is not a session member")
+    (fun () -> ignore (Ip_routing.route table 0 4))
 
 let test_ip_disconnected_fails () =
   let g = Graph.of_edges ~n:4 [ (0, 1, 1.0); (2, 3, 1.0) ] in
