@@ -234,10 +234,22 @@ let eval_cmd =
 (* --- solve: ad-hoc instances ------------------------------------------------ *)
 
 let solve_cmd =
-  let run seed nodes sizes demand mode algorithm ratio sigma =
+  let run seed nodes sizes demand mode algorithm ratio sigma trace =
     let setup = make_setup seed nodes sizes demand in
     let g = setup.Setup.topology.Topology.graph in
     let overlays = Setup.overlays setup mode in
+    let tr = Option.map (fun _ -> Obs.Trace.create ()) trace in
+    let obs =
+      match tr with Some t -> Obs.Trace.sink t | None -> Obs.Sink.null
+    in
+    let write_trace () =
+      match (trace, tr) with
+      | Some path, Some t ->
+        Obs_export.trace_to_file path t;
+        Printf.printf "wrote trace to %s (%d events recorded, %d dropped)\n"
+          path (Obs.Trace.recorded t) (Obs.Trace.dropped t)
+      | _ -> ()
+    in
     let describe sol =
       let t =
         Tableau.create ~title:"solution"
@@ -261,15 +273,17 @@ let solve_cmd =
         (Metrics.fairness_index sol)
         (Solution.is_feasible sol g ~tol:1e-6)
     in
-    match algorithm with
+    (match algorithm with
     | "maxflow" ->
-      let r = Max_flow.solve g overlays ~epsilon:(Max_flow.ratio_to_epsilon ratio) in
+      let r =
+        Max_flow.solve ~obs g overlays ~epsilon:(Max_flow.ratio_to_epsilon ratio)
+      in
       Printf.printf "MaxFlow: %d iterations, %d MST operations\n"
         r.Max_flow.iterations r.Max_flow.mst_operations;
       describe r.Max_flow.solution
     | "mcf" ->
       let r =
-        Max_concurrent_flow.solve g overlays
+        Max_concurrent_flow.solve ~obs g overlays
           ~epsilon:(Max_concurrent_flow.ratio_to_epsilon ratio)
           ~scaling:Max_concurrent_flow.Maxflow_weighted
       in
@@ -278,14 +292,15 @@ let solve_cmd =
         r.Max_concurrent_flow.pre_mst_operations;
       describe r.Max_concurrent_flow.solution
     | "online" ->
-      let r = Online.solve g overlays ~sigma in
+      let r = Online.solve ~obs g overlays ~sigma in
       Printf.printf "Online: lmax %.3f\n" r.Online.lmax;
       describe r.Online.solution
     | "single-tree" ->
       let r = Baseline.single_tree g overlays in
       Printf.printf "Single tree baseline: lmax %.3f\n" r.Baseline.lmax;
       describe r.Baseline.solution
-    | other -> Printf.eprintf "unknown algorithm %S\n" other
+    | other -> Printf.eprintf "unknown algorithm %S\n" other);
+    write_trace ()
   in
   let algorithm =
     Arg.(
@@ -303,11 +318,21 @@ let solve_cmd =
       value & opt float 30.0
       & info [ "sigma" ] ~docv:"S" ~doc:"Online algorithm step size.")
   in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record the solver's telemetry event trace and write it as JSON \
+             to $(docv) (schema overlay-obs-trace/1, see OBSERVABILITY.md).")
+  in
   let doc = "Solve one instance and print per-session rates." in
   Cmd.v
     (Cmd.info "solve" ~doc)
     Term.(
-      const run $ seed $ nodes $ sizes $ demand $ mode $ algorithm $ ratio $ sigma)
+      const run $ seed $ nodes $ sizes $ demand $ mode $ algorithm $ ratio
+      $ sigma $ trace)
 
 (* --- export: dump an instance + solution to files --------------------------- *)
 

@@ -16,6 +16,23 @@ let ratio_to_epsilon r =
 
 let renorm_threshold = 1e150
 
+let run_name = Obs.Name.intern "mcf"
+let preprocess_span = Obs.Span.make "mcf.preprocess"
+let main_span = Obs.Span.make "mcf.main"
+
+let c_runs = Obs.Counter.make ~doc:"MaxConcurrentFlow solver runs" "mcf.runs"
+
+let c_phases =
+  Obs.Counter.make ~doc:"MaxConcurrentFlow phases / alpha-steps" "mcf.phases"
+
+let c_doublings =
+  Obs.Counter.make ~doc:"demand doublings at the T-horizon (Lemma 6)"
+    "mcf.demand_doublings"
+
+let c_rescales =
+  Obs.Counter.make ~doc:"MaxConcurrentFlow dual-length renormalizations"
+    "mcf.rescales"
+
 (* Shared state of one run: lengths in log-space plus the incremental
    dual objective. *)
 type state = {
@@ -56,17 +73,19 @@ let refresh_dual st =
 
 let dual_reached_one st = log st.s_cache +. st.ln_base >= 0.0
 
-let renorm st overlays =
+let renorm obs st overlays =
   let scale = 1.0 /. renorm_threshold in
   for id = 0 to st.m - 1 do
     if st.lens.(id) < infinity then st.lens.(id) <- st.lens.(id) *. scale
   done;
   Array.iter Overlay.notify_rescale overlays;
   st.s_cache <- st.s_cache *. scale;
-  st.ln_base <- st.ln_base +. log renorm_threshold
+  st.ln_base <- st.ln_base +. log renorm_threshold;
+  Obs.Counter.incr c_rescales;
+  Obs.Sink.emit obs Obs.Rescale ~session:(-1) ~a:st.ln_base ~b:0.0
 
 (* Route [c] units along [tree], updating lengths and the dual sum. *)
-let route st overlays solution tree c =
+let route obs st overlays solution tree c =
   Solution.add solution tree c;
   let needs_renorm = ref false in
   Otree.iter_usage tree (fun id count ->
@@ -82,7 +101,7 @@ let route st overlays solution tree c =
         st.s_cache <- st.s_cache +. (ce *. (after -. before));
         if after > renorm_threshold then needs_renorm := true
       end);
-  if !needs_renorm then renorm st overlays
+  if !needs_renorm then renorm obs st overlays
 
 (* ln of the tree's real length (weight in lens units times base). *)
 let ln_tree_length st tree =
@@ -91,7 +110,7 @@ let ln_tree_length st tree =
 
 (* --- the paper's Table III main loop ------------------------------- *)
 
-let run_paper st overlays working solution =
+let run_paper obs st overlays working solution =
   let k = Array.length overlays in
   let length id = st.lens.(id) in
   let phases = ref 0 in
@@ -107,6 +126,9 @@ let run_paper st overlays working solution =
   let finished = ref (dual_reached_one st) in
   while not !finished do
     incr phases;
+    Obs.Counter.incr c_phases;
+    Obs.Sink.emit obs Obs.Phase_start ~session:(-1) ~a:(float_of_int !phases)
+      ~b:0.0;
     for i = 0 to k - 1 do
       let remaining = ref working.(i) in
       while (not !finished) && !remaining > 1e-15 do
@@ -115,17 +137,23 @@ let run_paper st overlays working solution =
         let c = Float.min !remaining bottleneck in
         if c <= 0.0 || c = infinity then remaining := 0.0
         else begin
-          route st overlays solution tree c;
+          route obs st overlays solution tree c;
           remaining := !remaining -. c;
           if dual_reached_one st then finished := true
         end
       done
     done;
     refresh_dual st;
-    if (not !finished) && !phases mod t_horizon = 0 then
+    Obs.Sink.emit obs Obs.Phase_end ~session:(-1) ~a:(float_of_int !phases)
+      ~b:0.0;
+    if (not !finished) && !phases mod t_horizon = 0 then begin
       for i = 0 to k - 1 do
         working.(i) <- working.(i) *. 2.0
-      done
+      done;
+      Obs.Counter.incr c_doublings;
+      Obs.Sink.emit obs Obs.Demand_double ~session:(-1)
+        ~a:(float_of_int !phases) ~b:0.0
+    end
   done;
   !phases
 
@@ -137,7 +165,7 @@ let run_paper st overlays working solution =
    the per-step MST from the inner loop.  alpha is tracked in log space
    like the lengths. *)
 
-let run_fleischer st overlays working solution =
+let run_fleischer obs st overlays working solution =
   let k = Array.length overlays in
   let length id = st.lens.(id) in
   let cached : Otree.t option array = Array.make k None in
@@ -156,6 +184,9 @@ let run_fleischer st overlays working solution =
   let finished = ref (dual_reached_one st) in
   while not !finished && !ln_alpha < 0.0 do
     incr alpha_steps;
+    Obs.Counter.incr c_phases;
+    Obs.Sink.emit obs Obs.Phase_start ~session:(-1)
+      ~a:(float_of_int !alpha_steps) ~b:!ln_alpha;
     (* sweep commodities, routing while some tree is within alpha(1+eps) *)
     for i = 0 to k - 1 do
       let commodity_done = ref false in
@@ -178,7 +209,7 @@ let run_fleischer st overlays working solution =
           let c = Float.min remaining.(i) bottleneck in
           if c <= 0.0 || c = infinity then commodity_done := true
           else begin
-            route st overlays solution tree c;
+            route obs st overlays solution tree c;
             remaining.(i) <- remaining.(i) -. c;
             if remaining.(i) <= 1e-15 then
               (* full demand routed once more; start the next round *)
@@ -188,6 +219,8 @@ let run_fleischer st overlays working solution =
       done
     done;
     refresh_dual st;
+    Obs.Sink.emit obs Obs.Phase_end ~session:(-1)
+      ~a:(float_of_int !alpha_steps) ~b:!ln_alpha;
     if dual_reached_one st then finished := true
     else ln_alpha := !ln_alpha +. ln_one_plus_eps
   done;
@@ -195,7 +228,8 @@ let run_fleischer st overlays working solution =
 
 (* --- common driver --------------------------------------------------- *)
 
-let solve ?(variant = Paper) ?(incremental = true) graph overlays ~epsilon ~scaling =
+let solve ?(variant = Paper) ?(incremental = true) ?(obs = Obs.Sink.null) graph
+    overlays ~epsilon ~scaling =
   if epsilon <= 0.0 || epsilon >= 1.0 /. 3.0 then
     invalid_arg "Max_concurrent_flow.solve: epsilon out of (0, 1/3)";
   let k = Array.length overlays in
@@ -207,13 +241,18 @@ let solve ?(variant = Paper) ?(incremental = true) graph overlays ~epsilon ~scal
     overlays;
   let sessions = Array.map Overlay.session overlays in
   Array.iter Overlay.reset_mst_operations overlays;
-  (* Preprocessing: standalone maximum flow per session. *)
+  Obs.Counter.incr c_runs;
+  Obs.Sink.emit obs Obs.Run_start ~session:run_name ~a:(float_of_int k)
+    ~b:epsilon;
+  (* Preprocessing: standalone maximum flow per session.  The nested
+     MaxFlow runs emit their own Run_start/Run_end inside this span. *)
   let zetas =
-    Array.map
-      (fun o ->
-        let rate, _ = Max_flow.solve_single ~incremental graph o ~epsilon in
-        rate)
-      overlays
+    Obs.Span.with_ obs preprocess_span (fun () ->
+        Array.map
+          (fun o ->
+            let rate, _ = Max_flow.solve_single ~incremental ~obs graph o ~epsilon in
+            rate)
+          overlays)
   in
   let pre_mst_operations = Overlay.total_mst_operations overlays in
   Array.iter Overlay.reset_mst_operations overlays;
@@ -232,15 +271,19 @@ let solve ?(variant = Paper) ?(incremental = true) graph overlays ~epsilon ~scal
   in
   let st = make_state graph ~epsilon in
   let solution = Solution.create sessions in
+  if Obs.Sink.enabled obs then
+    Array.iter (fun o -> Overlay.set_sink o obs) overlays;
   if incremental then Array.iter Overlay.begin_incremental overlays;
   let phases =
     Fun.protect
       ~finally:(fun () ->
-        if incremental then Array.iter Overlay.end_incremental overlays)
+        if incremental then Array.iter Overlay.end_incremental overlays;
+        if Obs.Sink.enabled obs then Array.iter Overlay.clear_sink overlays)
       (fun () ->
-        match variant with
-        | Paper -> run_paper st overlays working solution
-        | Fleischer -> run_fleischer st overlays working solution)
+        Obs.Span.with_ obs main_span (fun () ->
+            match variant with
+            | Paper -> run_paper obs st overlays working solution
+            | Fleischer -> run_fleischer obs st overlays working solution))
   in
   (* Scale by log_{1+eps} (1/delta) for feasibility, then guard against
      the partial final phase with an explicit congestion check. *)
@@ -248,6 +291,16 @@ let solve ?(variant = Paper) ?(incremental = true) graph overlays ~epsilon ~scal
   if scale_factor > 0.0 then Solution.scale solution (1.0 /. scale_factor);
   let congestion = Solution.max_congestion solution graph in
   if congestion > 1.0 then Solution.scale solution (1.0 /. congestion);
+  if Obs.Sink.enabled obs then begin
+    Array.iteri
+      (fun slot _ ->
+        Obs.Sink.emit obs Obs.Session_rate ~session:slot
+          ~a:(Solution.session_rate solution slot)
+          ~b:0.0)
+      sessions;
+    Obs.Sink.emit obs Obs.Run_end ~session:run_name ~a:(float_of_int phases)
+      ~b:(Solution.concurrent_ratio solution)
+  end;
   {
     solution;
     phases;

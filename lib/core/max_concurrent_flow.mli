@@ -55,11 +55,27 @@ val ratio_to_epsilon : float -> float
     [incremental] (default [true]) drives the overlays' incremental
     length engine in both the MaxFlow preprocessing and the main loop;
     [~incremental:false] forces from-scratch weight recomputation (same
-    output bit for bit).  Raises [Invalid_argument] for [epsilon]
-    outside (0, 1/3). *)
+    output bit for bit).
+
+    [obs] (default [Obs.Sink.null]) receives the run's event trace:
+    [Run_start] (run name ["mcf"], [a] = session count, [b] = epsilon);
+    a [Span_open]/[Span_close] pair named ["mcf.preprocess"] enclosing
+    the per-session MaxFlow runs (which emit their own nested traces);
+    a ["mcf.main"] span enclosing the main loop, inside which each
+    phase/alpha-step is bracketed by [Phase_start]/[Phase_end]
+    ([a] = 1-based phase index; [b] = the running [ln alpha] in
+    [Fleischer] mode, [0] in [Paper] mode), with [Rescale] on dual
+    renormalization and [Demand_double] when the [T]-horizon doubles
+    the working demands ([a] = phase index at the doubling); then one
+    [Session_rate] per slot and a final [Run_end] ([a] = phases,
+    [b] = concurrent ratio).  With the null sink the solver output is
+    bit-identical to an uninstrumented run.
+
+    Raises [Invalid_argument] for [epsilon] outside (0, 1/3). *)
 val solve :
   ?variant:variant ->
   ?incremental:bool ->
+  ?obs:Obs.Sink.t ->
   Graph.t ->
   Overlay.t array ->
   epsilon:float ->

@@ -16,7 +16,18 @@ let ratio_to_epsilon r =
 
 let renorm_threshold = 1e150
 
-let solve ?(incremental = true) graph overlays ~epsilon =
+let run_name = Obs.Name.intern "maxflow"
+
+let c_runs = Obs.Counter.make ~doc:"MaxFlow solver runs" "maxflow.runs"
+
+let c_iterations =
+  Obs.Counter.make ~doc:"MaxFlow augmentations (winning-tree routings)"
+    "maxflow.iterations"
+
+let c_rescales =
+  Obs.Counter.make ~doc:"MaxFlow dual-length renormalizations" "maxflow.rescales"
+
+let solve ?(incremental = true) ?(obs = Obs.Sink.null) graph overlays ~epsilon =
   if epsilon <= 0.0 || epsilon >= 0.5 then
     invalid_arg "Max_flow.solve: epsilon out of (0, 0.5)";
   let k = Array.length overlays in
@@ -46,10 +57,16 @@ let solve ?(incremental = true) graph overlays ~epsilon =
   let normalizer i =
     smax /. float_of_int (Session.receivers sessions.(i))
   in
+  Obs.Counter.incr c_runs;
+  Obs.Sink.emit obs Obs.Run_start ~session:run_name ~a:(float_of_int k)
+    ~b:epsilon;
+  if Obs.Sink.enabled obs then
+    Array.iter (fun o -> Overlay.set_sink o obs) overlays;
   if incremental then Array.iter Overlay.begin_incremental overlays;
   Fun.protect
     ~finally:(fun () ->
-      if incremental then Array.iter Overlay.end_incremental overlays)
+      if incremental then Array.iter Overlay.end_incremental overlays;
+      if Obs.Sink.enabled obs then Array.iter Overlay.clear_sink overlays)
     (fun () ->
       let stop = ref false in
       (* Lazy winner selection: dual lengths only grow between rescales,
@@ -94,16 +111,16 @@ let solve ?(incremental = true) graph overlays ~epsilon =
               | _ -> best := Some (tree, w, i)
             end)
           order;
-        let best =
-          match !best with None -> None | Some (tree, w, _) -> Some (tree, w)
-        in
-        match best with
+        match !best with
         | None -> stop := true
-        | Some (tree, w) ->
+        | Some (tree, w, winner) ->
           (* normalized length in real units: w * exp(ln_base) >= 1 ? *)
           if w <= 0.0 || log w +. !ln_base >= 0.0 then stop := true
           else begin
             incr iterations;
+            Obs.Counter.incr c_iterations;
+            Obs.Sink.emit obs Obs.Iter_start ~session:winner
+              ~a:(float_of_int !iterations) ~b:0.0;
             let c = Otree.bottleneck tree ~capacity:(Graph.capacity graph) in
             if c <= 0.0 || c = infinity then stop := true
             else begin
@@ -127,8 +144,12 @@ let solve ?(incremental = true) graph overlays ~epsilon =
                 done;
                 Array.iter Overlay.notify_rescale overlays;
                 Array.fill low_w 0 k neg_infinity;
-                ln_base := !ln_base +. log renorm_threshold
-              end
+                ln_base := !ln_base +. log renorm_threshold;
+                Obs.Counter.incr c_rescales;
+                Obs.Sink.emit obs Obs.Rescale ~session:(-1) ~a:!ln_base ~b:0.0
+              end;
+              Obs.Sink.emit obs Obs.Iter_end ~session:winner
+                ~a:(float_of_int !iterations) ~b:c
             end
           end
       done);
@@ -137,6 +158,17 @@ let solve ?(incremental = true) graph overlays ~epsilon =
     (log (1.0 +. epsilon) -. ln_delta) /. log (1.0 +. epsilon)
   in
   if scale_factor > 0.0 then Solution.scale solution (1.0 /. scale_factor);
+  if Obs.Sink.enabled obs then begin
+    Array.iteri
+      (fun slot _ ->
+        Obs.Sink.emit obs Obs.Session_rate ~session:slot
+          ~a:(Solution.session_rate solution slot)
+          ~b:0.0)
+      sessions;
+    Obs.Sink.emit obs Obs.Run_end ~session:run_name
+      ~a:(float_of_int !iterations)
+      ~b:(Solution.overall_throughput solution)
+  end;
   {
     solution;
     iterations = !iterations;
@@ -144,8 +176,8 @@ let solve ?(incremental = true) graph overlays ~epsilon =
     epsilon;
   }
 
-let solve_single ?incremental graph overlay ~epsilon =
-  let result = solve ?incremental graph [| overlay |] ~epsilon in
+let solve_single ?incremental ?obs graph overlay ~epsilon =
+  let result = solve ?incremental ?obs graph [| overlay |] ~epsilon in
   (* the single session keeps its own id; rate lookup goes through the
      session array of the fresh solution, which has exactly one slot *)
   let sessions = Solution.sessions result.solution in

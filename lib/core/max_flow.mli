@@ -18,7 +18,7 @@ type result = {
   solution : Solution.t;      (** feasible multi-tree flow, already scaled *)
   iterations : int;           (** augmentation count *)
   mst_operations : int;       (** total minimum-overlay-spanning-tree computations *)
-  epsilon : float;
+  epsilon : float;            (** the [eps] the run was solved with *)
 }
 
 (** [ratio_to_epsilon r] maps a target approximation ratio [r] (e.g.
@@ -32,13 +32,34 @@ val ratio_to_epsilon : float -> float
     edge->route incidence index so each iteration only re-weighs the
     overlay edges its winning tree touched; [~incremental:false] forces
     the from-scratch recompute path (same output bit for bit, used by
-    the bench to measure the engine).  Raises [Invalid_argument] for
-    [epsilon] outside (0, 0.5). *)
-val solve : ?incremental:bool -> Graph.t -> Overlay.t array -> epsilon:float -> result
+    the bench to measure the engine).
+
+    [obs] (default [Obs.Sink.null]) receives the run's event trace:
+    [Run_start] (run name ["maxflow"], [a] = session count, [b] =
+    epsilon), one [Iter_start]/[Iter_end] pair per accepted augmentation
+    ([session] = winning slot, [a] = 1-based iteration index, [b] on
+    [Iter_end] = flow routed), [Rescale] on renormalization, the
+    overlays' [Mst_recompute]/[Mst_lazy_skip] events, then one
+    [Session_rate] per slot and a final [Run_end] ([a] = iterations,
+    [b] = overall throughput).  With the null sink the solver output is
+    bit-identical to an uninstrumented run.  Raises [Invalid_argument]
+    for [epsilon] outside (0, 0.5). *)
+val solve :
+  ?incremental:bool ->
+  ?obs:Obs.Sink.t ->
+  Graph.t ->
+  Overlay.t array ->
+  epsilon:float ->
+  result
 
 (** [solve_single graph overlay ~epsilon] runs the single-session
     special case and returns the session's maximum flow rate (the
     [zeta_i] of the concurrent-flow preprocessing) along with the full
-    result. *)
+    result.  [obs] as in {!solve}. *)
 val solve_single :
-  ?incremental:bool -> Graph.t -> Overlay.t -> epsilon:float -> float * result
+  ?incremental:bool ->
+  ?obs:Obs.Sink.t ->
+  Graph.t ->
+  Overlay.t ->
+  epsilon:float ->
+  float * result

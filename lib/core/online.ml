@@ -5,7 +5,15 @@ type result = {
   trees : Otree.t array;
 }
 
-let solve graph overlays ~sigma =
+let run_name = Obs.Name.intern "online"
+
+let c_runs = Obs.Counter.make ~doc:"Online-MinCongestion runs" "online.runs"
+
+let c_arrivals =
+  Obs.Counter.make ~doc:"sessions routed by Online-MinCongestion"
+    "online.arrivals"
+
+let solve ?(obs = Obs.Sink.null) graph overlays ~sigma =
   if sigma <= 0.0 then invalid_arg "Online.solve: sigma must be positive";
   let k = Array.length overlays in
   if k = 0 then invalid_arg "Online.solve: no sessions";
@@ -17,20 +25,34 @@ let solve graph overlays ~sigma =
         lens.(e.Graph.id) <- sigma /. e.Graph.capacity);
   let congestion = Array.make m 0.0 in
   let length id = lens.(id) in
+  Obs.Counter.incr c_runs;
+  Obs.Sink.emit obs Obs.Run_start ~session:run_name ~a:(float_of_int k)
+    ~b:sigma;
+  if Obs.Sink.enabled obs then
+    Array.iter (fun o -> Overlay.set_sink o obs) overlays;
   let trees =
-    Array.mapi
-      (fun i overlay ->
-        let tree = Overlay.min_spanning_tree overlay ~length in
-        let demand = sessions.(i).Session.demand in
-        Otree.iter_usage tree (fun id count ->
-            let ce = Graph.capacity graph id in
-            if ce > 0.0 then begin
-              let unit = float_of_int count *. demand /. ce in
-              lens.(id) <- lens.(id) *. (1.0 +. (sigma *. unit));
-              congestion.(id) <- congestion.(id) +. unit
-            end);
-        tree)
-      overlays
+    Fun.protect
+      ~finally:(fun () ->
+        if Obs.Sink.enabled obs then Array.iter Overlay.clear_sink overlays)
+      (fun () ->
+        Array.mapi
+          (fun i overlay ->
+            Obs.Counter.incr c_arrivals;
+            Obs.Sink.emit obs Obs.Iter_start ~session:i
+              ~a:(float_of_int (i + 1)) ~b:0.0;
+            let tree = Overlay.min_spanning_tree overlay ~length in
+            let demand = sessions.(i).Session.demand in
+            Otree.iter_usage tree (fun id count ->
+                let ce = Graph.capacity graph id in
+                if ce > 0.0 then begin
+                  let unit = float_of_int count *. demand /. ce in
+                  lens.(id) <- lens.(id) *. (1.0 +. (sigma *. unit));
+                  congestion.(id) <- congestion.(id) +. unit
+                end);
+            Obs.Sink.emit obs Obs.Iter_end ~session:i
+              ~a:(float_of_int (i + 1)) ~b:demand;
+            tree)
+          overlays)
   in
   (* Congestion indicators are read after all sessions have been routed
      (Table VI lines 8-10). *)
@@ -51,6 +73,16 @@ let solve graph overlays ~sigma =
       let scale = if li > 0.0 then 1.0 /. li else 1.0 in
       Solution.add solution tree (sessions.(i).Session.demand *. scale))
     trees;
+  if Obs.Sink.enabled obs then begin
+    Array.iteri
+      (fun slot _ ->
+        Obs.Sink.emit obs Obs.Session_rate ~session:slot
+          ~a:(Solution.session_rate solution slot)
+          ~b:per_session_lmax.(slot))
+      sessions;
+    Obs.Sink.emit obs Obs.Run_end ~session:run_name ~a:(float_of_int k)
+      ~b:lmax
+  end;
   { solution; lmax; per_session_lmax; trees }
 
 let scale_demands_for_no_bottleneck graph overlays =

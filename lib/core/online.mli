@@ -21,8 +21,18 @@ type result = {
 
 (** [solve graph overlays ~sigma] routes the sessions in array order.
     [sigma] is the multiplicative step size (the paper sweeps 10..200).
+
+    [obs] (default [Obs.Sink.null]) receives the run's event trace:
+    [Run_start] (run name ["online"], [a] = session count,
+    [b] = sigma), one [Iter_start]/[Iter_end] pair per arriving session
+    ([session] = slot, [a] = 1-based arrival index, [b] on [Iter_end] =
+    the demand routed), then one [Session_rate] per slot ([a] = scaled
+    rate, [b] = the session's [l^i_max]) and a final [Run_end]
+    ([a] = session count, [b] = [lmax]).  With the null sink the output
+    is bit-identical to an uninstrumented run.
+
     Raises [Invalid_argument] for non-positive [sigma]. *)
-val solve : Graph.t -> Overlay.t array -> sigma:float -> result
+val solve : ?obs:Obs.Sink.t -> Graph.t -> Overlay.t array -> sigma:float -> result
 
 (** [scale_demands_for_no_bottleneck overlays ~graph] returns the factor
     that rescales all demands so that

@@ -42,18 +42,43 @@ type t = {
   pair_of_oedge : (int * int) array;   (* overlay edge id -> member slots *)
   mutable ops : int;
   mutable weight_ops : int;
+  mutable sink : Obs.Sink.t;           (* trace destination; null by default *)
 }
 
 (* Debug cross-check: every incremental MST recomputes all weights from
-   scratch and fails loudly on any divergence from the cache. *)
-let cross_check =
-  ref
-    (match Sys.getenv_opt "OVERLAY_CROSS_CHECK" with
-    | Some ("1" | "true" | "yes") -> true
-    | _ -> false)
+   scratch and fails loudly on any divergence from the cache.  Routed
+   through Obs.Debug_flags so the toggle is discoverable alongside every
+   other debug switch. *)
+let cross_check_flag =
+  Obs.Debug_flags.register ~env:"OVERLAY_CROSS_CHECK"
+    ~doc:
+      "re-derive all overlay edge weights on every incremental MST call and \
+       fail on any divergence from the cache (disables the lazy paths)"
+    "overlay.cross_check"
 
-let set_cross_check enabled = cross_check := enabled
-let cross_check_enabled () = !cross_check
+let cross_check () = Obs.Debug_flags.enabled cross_check_flag
+let set_cross_check enabled = Obs.Debug_flags.set cross_check_flag enabled
+let cross_check_enabled = cross_check
+
+(* Registry counters: process-wide tallies mirroring the per-instance
+   counters below, so benches and traces can read solver cost without
+   holding the overlay values. *)
+let c_mst_ops =
+  Obs.Counter.make ~doc:"Overlay.min_spanning_tree calls (the paper's runtime metric)"
+    "overlay.mst_ops"
+
+let c_weight_ops =
+  Obs.Counter.make
+    ~doc:"per-overlay-edge weight computations (route re-walks / snapshot reads)"
+    "overlay.weight_ops"
+
+let c_lazy_skips =
+  Obs.Counter.make
+    ~doc:"MST calls answered from the previous tree without running Prim"
+    "overlay.mst_lazy_skips"
+
+let c_recomputes =
+  Obs.Counter.make ~doc:"MST calls that ran Prim" "overlay.mst_recomputes"
 
 let build_complete k =
   let g = Graph.create ~n:k in
@@ -111,6 +136,7 @@ let create graph mode session =
     pair_of_oedge;
     ops = 0;
     weight_ops = 0;
+    sink = Obs.Sink.null;
   }
 
 let same_int_array a b =
@@ -140,11 +166,14 @@ let with_session t session =
           in_prev_mst = Array.make (Array.length eng.in_prev_mst) false;
         }
   in
-  { t with session; ip; ops = 0; weight_ops = 0 }
+  { t with session; ip; ops = 0; weight_ops = 0; sink = Obs.Sink.null }
 
 let session t = t.session
 let mode t = t.mode
 let graph t = t.graph
+
+let set_sink t sink = t.sink <- sink
+let clear_sink t = t.sink <- Obs.Sink.null
 
 let members t = t.session.Session.members
 
@@ -203,6 +232,13 @@ let notify_rescale t =
 
 (* --- weight refresh --------------------------------------------------- *)
 
+(* every per-overlay-edge weight computation is tallied twice: in the
+   per-instance counter (solver results report it) and in the process
+   registry (benches and traces read it) *)
+let count_weight_ops t n =
+  t.weight_ops <- t.weight_ops + n;
+  Obs.Counter.add c_weight_ops n
+
 let refresh_all t eng ~length =
   let n = Array.length eng.cached_w in
   for oe = 0 to n - 1 do
@@ -210,7 +246,7 @@ let refresh_all t eng ~length =
     eng.dirty.(oe) <- false
   done;
   eng.all_dirty <- false;
-  t.weight_ops <- t.weight_ops + n
+  count_weight_ops t n
 
 let refresh_dirty t eng ~length =
   let n = Array.length eng.cached_w in
@@ -218,7 +254,7 @@ let refresh_dirty t eng ~length =
     if eng.dirty.(oe) then begin
       eng.cached_w.(oe) <- Route.weight eng.oroutes.(oe) ~length;
       eng.dirty.(oe) <- false;
-      t.weight_ops <- t.weight_ops + 1
+      count_weight_ops t 1
     end
   done
 
@@ -238,7 +274,7 @@ let ip_weights t eng ~length =
   if eng.incremental then begin
     if eng.all_dirty then refresh_all t eng ~length
     else refresh_dirty t eng ~length;
-    if !cross_check then run_cross_check eng ~length
+    if cross_check () then run_cross_check eng ~length
   end
   else refresh_all t eng ~length;
   eng.cached_w
@@ -249,7 +285,7 @@ let ip_weights t eng ~length =
    verifies the full cache. *)
 let can_skip_mst eng =
   eng.incremental && eng.skip_valid && (not eng.all_dirty)
-  && (not !cross_check)
+  && (not (cross_check ()))
   &&
   match eng.prev_tree with
   | None -> false
@@ -273,10 +309,16 @@ let mst_from_weights_and_routes t weights routes =
 
 let min_spanning_tree t ~length =
   t.ops <- t.ops + 1;
+  Obs.Counter.incr c_mst_ops;
   match t.mode with
   | Ip ->
     let eng = Option.get t.ip in
-    if can_skip_mst eng then Option.get eng.prev_tree
+    if can_skip_mst eng then begin
+      Obs.Counter.incr c_lazy_skips;
+      Obs.Sink.emit t.sink Obs.Mst_lazy_skip ~session:t.session.Session.id
+        ~a:0.0 ~b:0.0;
+      Option.get eng.prev_tree
+    end
     else begin
       (* Under increase-only staleness a stale cached weight is a lower
          bound on the true weight, so Prim can consult it first and
@@ -287,8 +329,9 @@ let min_spanning_tree t ~length =
          mode keeps the eager path (it verifies the full cache). *)
       let lazy_bounds =
         eng.incremental && eng.skip_valid && (not eng.all_dirty)
-        && not !cross_check
+        && not (cross_check ())
       in
+      let ops_before = t.weight_ops in
       let mst =
         if lazy_bounds then
           Mst.prim_lazy t.overlay_graph
@@ -297,7 +340,7 @@ let min_spanning_tree t ~length =
               if eng.dirty.(oe) then begin
                 eng.cached_w.(oe) <- Route.weight eng.oroutes.(oe) ~length;
                 eng.dirty.(oe) <- false;
-                t.weight_ops <- t.weight_ops + 1
+                count_weight_ops t 1
               end;
               eng.cached_w.(oe))
         else begin
@@ -317,6 +360,10 @@ let min_spanning_tree t ~length =
         eng.prev_tree <- Some tree;
         eng.skip_valid <- true
       end;
+      Obs.Counter.incr c_recomputes;
+      Obs.Sink.emit t.sink Obs.Mst_recompute ~session:t.session.Session.id
+        ~a:(float_of_int (t.weight_ops - ops_before))
+        ~b:(if lazy_bounds then 1.0 else 0.0);
       tree
     end
   | Arbitrary ->
@@ -330,7 +377,11 @@ let min_spanning_tree t ~length =
         (fun (a, b) -> Dynamic_routing.distance snapshot ms.(a) ms.(b))
         t.pair_of_oedge
     in
-    t.weight_ops <- t.weight_ops + Array.length weights;
+    count_weight_ops t (Array.length weights);
+    Obs.Counter.incr c_recomputes;
+    Obs.Sink.emit t.sink Obs.Mst_recompute ~session:t.session.Session.id
+      ~a:(float_of_int (Array.length weights))
+      ~b:0.0;
     mst_from_weights_and_routes t weights (fun id ->
         let a, b = t.pair_of_oedge.(id) in
         Dynamic_routing.route snapshot ms.(a) ms.(b))

@@ -46,9 +46,30 @@ val create : Graph.t -> mode -> Session.t -> t
     [Invalid_argument] when the member arrays differ. *)
 val with_session : t -> Session.t -> t
 
+(** [session t] is the session the context was built for. *)
 val session : t -> Session.t
+
+(** [mode t] is the routing mode fixed at {!create}. *)
 val mode : t -> mode
+
+(** [graph t] is the physical graph the context was built on. *)
 val graph : t -> Graph.t
+
+(** {2 Telemetry} *)
+
+(** [set_sink t sink] directs this context's trace events
+    ([Mst_recompute] with the weight re-walks spent, [Mst_lazy_skip]
+    when the monotone skip answers from the previous tree — see
+    {!Obs.kind}) to [sink].  The solvers install their sink for the
+    duration of a run; the default is [Obs.Sink.null], under which
+    emission costs one branch.  Registry counters ([overlay.mst_ops],
+    [overlay.weight_ops], [overlay.mst_recomputes],
+    [overlay.mst_lazy_skips]) are always maintained regardless of the
+    sink. *)
+val set_sink : t -> Obs.Sink.t -> unit
+
+(** [clear_sink t] resets the sink to [Obs.Sink.null]. *)
+val clear_sink : t -> unit
 
 (** [min_spanning_tree t ~length] computes the minimum overlay spanning
     tree under the physical edge length function, as an overlay tree
@@ -107,10 +128,14 @@ val notify_rescale : t -> unit
 (** [set_cross_check enabled] toggles the debug mode in which every
     incremental MST call re-derives all weights from scratch and raises
     [Failure] on any divergence from the cache (i.e. a missed
-    notification).  Also enabled by [OVERLAY_CROSS_CHECK=1] in the
-    environment.  Global to the process. *)
+    notification).  The toggle is the [overlay.cross_check] entry of
+    {!Obs.Debug_flags} (environment variable [OVERLAY_CROSS_CHECK=1]),
+    so it is discoverable with every other debug flag through
+    [Obs.Debug_flags.all].  Global to the process. *)
 val set_cross_check : bool -> unit
 
+(** [cross_check_enabled ()] reads the current state of the
+    [overlay.cross_check] debug flag. *)
 val cross_check_enabled : unit -> bool
 
 (** {2 Bounds and counters} *)

@@ -5,13 +5,22 @@ type result = {
   distinct_trees : int array;
 }
 
-let round rng graph ~fractional ~trees_per_session =
+let run_name = Obs.Name.intern "rounding"
+
+let c_rounds =
+  Obs.Counter.make ~doc:"Random-MinCongestion rounding passes"
+    "rounding.rounds"
+
+let round ?(obs = Obs.Sink.null) rng graph ~fractional ~trees_per_session =
   if trees_per_session < 1 then
     invalid_arg "Random_rounding.round: trees_per_session < 1";
   let sessions = Solution.sessions fractional in
   let k = Array.length sessions in
   let m = Graph.n_edges graph in
   let congestion = Array.make m 0.0 in
+  Obs.Counter.incr c_rounds;
+  Obs.Sink.emit obs Obs.Run_start ~session:run_name ~a:(float_of_int k)
+    ~b:(float_of_int trees_per_session);
   (* chosen.(i) = list of (tree, multiplicity) drawn for session i *)
   let chosen = Array.make k [] in
   Array.iteri
@@ -68,9 +77,19 @@ let round rng graph ~fractional ~trees_per_session =
         chosen.(i))
     sessions;
   let distinct_trees = Array.mapi (fun i _ -> Solution.n_trees solution i) sessions in
+  if Obs.Sink.enabled obs then begin
+    Array.iteri
+      (fun slot _ ->
+        Obs.Sink.emit obs Obs.Session_rate ~session:slot
+          ~a:(Solution.session_rate solution slot)
+          ~b:per_session_lmax.(slot))
+      sessions;
+    Obs.Sink.emit obs Obs.Run_end ~session:run_name ~a:(float_of_int k)
+      ~b:lmax
+  end;
   { solution; lmax; per_session_lmax; distinct_trees }
 
-let round_average rng graph ~fractional ~trees_per_session ~repeats =
+let round_average ?obs rng graph ~fractional ~trees_per_session ~repeats =
   if repeats < 1 then invalid_arg "Random_rounding.round_average: repeats < 1";
   let sessions = Solution.sessions fractional in
   let k = Array.length sessions in
@@ -78,7 +97,7 @@ let round_average rng graph ~fractional ~trees_per_session ~repeats =
   let tree_sum = Array.make k 0.0 in
   let throughput_sum = ref 0.0 in
   for _ = 1 to repeats do
-    let r = round rng graph ~fractional ~trees_per_session in
+    let r = round ?obs rng graph ~fractional ~trees_per_session in
     for i = 0 to k - 1 do
       rate_sum.(i) <- rate_sum.(i) +. Solution.session_rate r.solution i;
       tree_sum.(i) <- tree_sum.(i) +. float_of_int r.distinct_trees.(i)

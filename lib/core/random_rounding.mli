@@ -23,8 +23,17 @@ type result = {
     tree may be selected more than once, as the paper notes) from the
     fractional solution and returns the scaled integral solution.
     Sessions whose fractional rate is zero are skipped (rate 0).
+
+    [obs] (default [Obs.Sink.null]) receives [Run_start] (run name
+    ["rounding"], [a] = session count, [b] = trees per session), one
+    [Session_rate] per slot ([a] = rounded rate, [b] = the session's
+    [l^i_max]) and [Run_end] ([a] = session count, [b] = [lmax]).  With
+    the null sink the output is bit-identical to an uninstrumented run
+    (in particular the RNG stream is untouched).
+
     Raises [Invalid_argument] if [trees_per_session < 1]. *)
 val round :
+  ?obs:Obs.Sink.t ->
   Rng.t ->
   Graph.t ->
   fractional:Solution.t ->
@@ -35,8 +44,9 @@ val round :
     repeats the rounding and averages session rates, overall throughput
     and distinct-tree counts — the paper reports 100-run averages.
     Returns (mean session rates, mean overall throughput, mean distinct
-    trees per session). *)
+    trees per session).  [obs] is passed to every {!round}. *)
 val round_average :
+  ?obs:Obs.Sink.t ->
   Rng.t ->
   Graph.t ->
   fractional:Solution.t ->

@@ -41,7 +41,12 @@ let validate_lengths g ~length =
           (Printf.sprintf "Dijkstra: negative length %g on edge %d" w
              e.Graph.id))
 
+let c_runs =
+  Obs.Counter.make ~doc:"single-source shortest-path tree computations"
+    "graph.dijkstra_runs"
+
 let run ws g ~length ~source =
+  Obs.Counter.incr c_runs;
   let n = Graph.n_vertices g in
   if source < 0 || source >= n then
     invalid_arg "Dijkstra.shortest_path_tree: source out of range";

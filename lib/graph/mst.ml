@@ -1,6 +1,15 @@
 type result = { edges : int list; weight : float }
 
+let c_prim = Obs.Counter.make ~doc:"eager Prim MST runs" "graph.prim_runs"
+
+let c_prim_lazy =
+  Obs.Counter.make ~doc:"lazy-bound Prim MST runs (stale lower bounds consulted)"
+    "graph.prim_lazy_runs"
+
+let c_kruskal = Obs.Counter.make ~doc:"Kruskal MST runs" "graph.kruskal_runs"
+
 let prim g ~length =
+  Obs.Counter.incr c_prim;
   let n = Graph.n_vertices g in
   if n = 0 then { edges = []; weight = 0.0 }
   else begin
@@ -47,6 +56,7 @@ let prim_lazy g ~lower ~exact =
      bound that already loses (lower >= key) implies the exact length
      loses too, so skipping it cannot change any decision — the result
      is identical to the eager run, bit for bit. *)
+  Obs.Counter.incr c_prim_lazy;
   let n = Graph.n_vertices g in
   if n = 0 then { edges = []; weight = 0.0 }
   else begin
@@ -95,6 +105,7 @@ let prim_lazy g ~lower ~exact =
   end
 
 let kruskal g ~length =
+  Obs.Counter.incr c_kruskal;
   let n = Graph.n_vertices g in
   if n = 0 then { edges = []; weight = 0.0 }
   else begin

@@ -1,0 +1,101 @@
+let schema = "overlay-obs-trace/1"
+
+(* These kinds carry an interned name in [session]; everything else
+   carries a session slot / id (or -1). *)
+let named_kind = function
+  | Obs.Run_start | Obs.Run_end | Obs.Span_open | Obs.Span_close -> true
+  | _ -> false
+
+let event (e : Obs.Event.t) =
+  let open Json_export in
+  let ident =
+    if named_kind e.kind then ("name", String (Obs.Name.to_string e.session))
+    else ("session", Number (float_of_int e.session))
+  in
+  Object_
+    [
+      ("seq", Number (float_of_int e.seq));
+      ("t", Number e.time);
+      ("kind", String (Obs.kind_name e.kind));
+      ident;
+      ("a", Number e.a);
+      ("b", Number e.b);
+    ]
+
+let trace t =
+  let open Json_export in
+  let events = List.map event (Obs.Trace.events t) in
+  Object_
+    [
+      ("schema", String schema);
+      ("capacity", Number (float_of_int (Obs.Trace.capacity t)));
+      ("emitted", Number (float_of_int (Obs.Trace.emitted t)));
+      ("recorded", Number (float_of_int (Obs.Trace.recorded t)));
+      ("dropped", Number (float_of_int (Obs.Trace.dropped t)));
+      ("events", Array_ events);
+    ]
+
+let registry () =
+  let open Json_export in
+  let counters =
+    List.map
+      (fun (name, doc, value) ->
+        Object_
+          [
+            ("name", String name);
+            ("doc", String doc);
+            ("value", Number (float_of_int value));
+          ])
+      (Obs.Registry.counters ())
+  in
+  let gauges =
+    List.map
+      (fun (name, doc, value) ->
+        Object_
+          [ ("name", String name); ("doc", String doc); ("value", Number value) ])
+      (Obs.Registry.gauges ())
+  in
+  let flags =
+    List.map
+      (fun (name, env, doc, enabled) ->
+        Object_
+          [
+            ("name", String name);
+            ("env", String env);
+            ("doc", String doc);
+            ("enabled", Bool enabled);
+          ])
+      (Obs.Debug_flags.all ())
+  in
+  Object_
+    [
+      ("counters", Array_ counters);
+      ("gauges", Array_ gauges);
+      ("debug_flags", Array_ flags);
+    ]
+
+let trace_csv t =
+  let rows = ref [] in
+  Obs.Trace.iter t (fun (e : Obs.Event.t) ->
+      let name, session =
+        if named_kind e.kind then (Obs.Name.to_string e.session, "")
+        else ("", string_of_int e.session)
+      in
+      rows :=
+        [
+          string_of_int e.seq;
+          Printf.sprintf "%.9f" e.time;
+          Obs.kind_name e.kind;
+          session;
+          name;
+          Printf.sprintf "%.12g" e.a;
+          Printf.sprintf "%.12g" e.b;
+        ]
+        :: !rows);
+  Csv_export.render
+    ~header:[ "seq"; "time"; "kind"; "session"; "name"; "a"; "b" ]
+    (List.rev !rows)
+
+let trace_to_file path t = Json_export.to_file path (trace t)
+
+let registry_to_file path = Json_export.to_file path (registry ())

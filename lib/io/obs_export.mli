@@ -1,0 +1,31 @@
+(** JSON/CSV emitters for the telemetry layer ([lib/obs]): trace rings
+    and the metric registry, in the formats documented in
+    OBSERVABILITY.md (schema [overlay-obs-trace/1]). *)
+
+(** [event e] encodes one trace event.  Fields: [seq], [t] (seconds,
+    {!Obs.now}-based), [kind] (wire name per {!Obs.kind_name}), [a],
+    [b]; plus either [name] (the resolved interned string, for
+    [run_start]/[run_end]/[span_open]/[span_close]) or [session] (the
+    integer slot / session id, for every other kind). *)
+val event : Obs.Event.t -> Json_export.t
+
+(** [trace t] encodes the whole ring: an object with [schema],
+    [capacity], [emitted], [recorded], [dropped] and the retained
+    [events] oldest-first. *)
+val trace : Obs.Trace.t -> Json_export.t
+
+(** [registry ()] encodes the process-wide metric registry: [counters]
+    and [gauges] as [{name, doc, value}] sorted by name, and
+    [debug_flags] as [{name, env, doc, enabled}]. *)
+val registry : unit -> Json_export.t
+
+(** [trace_csv t] renders the retained events as CSV with header
+    [seq,time,kind,session,name,a,b] ([name] is empty for kinds whose
+    [session] field is a slot rather than an interned name). *)
+val trace_csv : Obs.Trace.t -> string
+
+(** [trace_to_file path t] writes {!trace} as JSON to [path]. *)
+val trace_to_file : string -> Obs.Trace.t -> unit
+
+(** [registry_to_file path] writes {!registry} as JSON to [path]. *)
+val registry_to_file : string -> unit

@@ -1,0 +1,364 @@
+(* Telemetry substrate.  Two design rules govern everything here:
+   (1) nothing in this module may influence solver arithmetic — sinks
+   and counters are write-only from the solvers' point of view; and
+   (2) the disabled path must stay branch-cheap, because the solvers
+   carry their instrumentation unconditionally. *)
+
+(* --- monotonic clock -------------------------------------------------- *)
+
+let t_origin = Unix.gettimeofday ()
+
+(* gettimeofday is wall time and may step backwards (NTP); clamping
+   against the previous reading restores monotonicity, which the trace
+   format promises. *)
+let last_now = ref 0.0
+
+let now () =
+  let t = Unix.gettimeofday () -. t_origin in
+  if t > !last_now then last_now := t;
+  !last_now
+
+(* --- interned names --------------------------------------------------- *)
+
+module Name = struct
+  let by_string : (string, int) Hashtbl.t = Hashtbl.create 64
+  let by_id : string array ref = ref (Array.make 16 "")
+  let next = ref 0
+
+  let intern s =
+    match Hashtbl.find_opt by_string s with
+    | Some id -> id
+    | None ->
+      let id = !next in
+      incr next;
+      if id >= Array.length !by_id then begin
+        let grown = Array.make (2 * Array.length !by_id) "" in
+        Array.blit !by_id 0 grown 0 (Array.length !by_id);
+        by_id := grown
+      end;
+      !by_id.(id) <- s;
+      Hashtbl.add by_string s id;
+      id
+
+  let to_string id =
+    if id < 0 || id >= !next then
+      invalid_arg (Printf.sprintf "Obs.Name.to_string: unknown id %d" id)
+    else !by_id.(id)
+end
+
+(* --- counters, gauges, registry --------------------------------------- *)
+
+module Counter = struct
+  type t = { name : string; mutable doc : string; mutable n : int }
+
+  let table : (string, t) Hashtbl.t = Hashtbl.create 64
+
+  let make ?doc name =
+    match Hashtbl.find_opt table name with
+    | Some c ->
+      (match doc with
+      | Some d when c.doc = "" -> c.doc <- d
+      | _ -> ());
+      c
+    | None ->
+      let c = { name; doc = Option.value doc ~default:""; n = 0 } in
+      Hashtbl.add table name c;
+      c
+
+  let name c = c.name
+  let incr c = c.n <- c.n + 1
+
+  let add c n =
+    if n < 0 then invalid_arg "Obs.Counter.add: negative delta";
+    c.n <- c.n + n
+
+  let value c = c.n
+  let reset c = c.n <- 0
+end
+
+module Gauge = struct
+  type t = { name : string; mutable doc : string; mutable v : float }
+
+  let table : (string, t) Hashtbl.t = Hashtbl.create 16
+
+  let make ?doc name =
+    match Hashtbl.find_opt table name with
+    | Some g ->
+      (match doc with
+      | Some d when g.doc = "" -> g.doc <- d
+      | _ -> ());
+      g
+    | None ->
+      let g = { name; doc = Option.value doc ~default:""; v = 0.0 } in
+      Hashtbl.add table name g;
+      g
+
+  let name g = g.name
+  let set g v = g.v <- v
+  let value g = g.v
+end
+
+module Registry = struct
+  let counters () =
+    Hashtbl.fold
+      (fun _ (c : Counter.t) acc -> (c.Counter.name, c.Counter.doc, c.Counter.n) :: acc)
+      Counter.table []
+    |> List.sort compare
+
+  let gauges () =
+    Hashtbl.fold
+      (fun _ (g : Gauge.t) acc -> (g.Gauge.name, g.Gauge.doc, g.Gauge.v) :: acc)
+      Gauge.table []
+    |> List.sort compare
+
+  let find_counter name = Hashtbl.find_opt Counter.table name
+  let find_gauge name = Hashtbl.find_opt Gauge.table name
+
+  let reset_all () =
+    Hashtbl.iter (fun _ c -> Counter.reset c) Counter.table;
+    Hashtbl.iter (fun _ (g : Gauge.t) -> g.Gauge.v <- 0.0) Gauge.table
+end
+
+(* --- debug flags ------------------------------------------------------- *)
+
+module Debug_flags = struct
+  type t = {
+    name : string;
+    env : string;
+    doc : string;
+    mutable value : bool;
+  }
+
+  let table : (string, t) Hashtbl.t = Hashtbl.create 8
+
+  let env_truthy env =
+    match Sys.getenv_opt env with
+    | Some ("1" | "true" | "yes") -> true
+    | _ -> false
+
+  let register ~env ?(doc = "") name =
+    match Hashtbl.find_opt table name with
+    | Some f -> f
+    | None ->
+      let f = { name; env; doc; value = env_truthy env } in
+      Hashtbl.add table name f;
+      f
+
+  let enabled f = f.value
+  let set f b = f.value <- b
+
+  let all () =
+    Hashtbl.fold (fun _ f acc -> (f.name, f.env, f.doc, f.value) :: acc) table []
+    |> List.sort compare
+end
+
+(* --- events ------------------------------------------------------------ *)
+
+type kind =
+  | Run_start
+  | Run_end
+  | Iter_start
+  | Iter_end
+  | Phase_start
+  | Phase_end
+  | Demand_double
+  | Rescale
+  | Mst_recompute
+  | Mst_lazy_skip
+  | Session_rate
+  | Span_open
+  | Span_close
+
+let kind_name = function
+  | Run_start -> "run_start"
+  | Run_end -> "run_end"
+  | Iter_start -> "iter_start"
+  | Iter_end -> "iter_end"
+  | Phase_start -> "phase_start"
+  | Phase_end -> "phase_end"
+  | Demand_double -> "demand_double"
+  | Rescale -> "rescale"
+  | Mst_recompute -> "mst_recompute"
+  | Mst_lazy_skip -> "mst_lazy_skip"
+  | Session_rate -> "session_rate"
+  | Span_open -> "span_open"
+  | Span_close -> "span_close"
+
+let all_kinds =
+  [
+    Run_start; Run_end; Iter_start; Iter_end; Phase_start; Phase_end;
+    Demand_double; Rescale; Mst_recompute; Mst_lazy_skip; Session_rate;
+    Span_open; Span_close;
+  ]
+
+let kind_of_name s = List.find_opt (fun k -> kind_name k = s) all_kinds
+
+(* dense codes for the ring's int array *)
+let kind_code = function
+  | Run_start -> 0
+  | Run_end -> 1
+  | Iter_start -> 2
+  | Iter_end -> 3
+  | Phase_start -> 4
+  | Phase_end -> 5
+  | Demand_double -> 6
+  | Rescale -> 7
+  | Mst_recompute -> 8
+  | Mst_lazy_skip -> 9
+  | Session_rate -> 10
+  | Span_open -> 11
+  | Span_close -> 12
+
+let kind_of_code = function
+  | 0 -> Run_start
+  | 1 -> Run_end
+  | 2 -> Iter_start
+  | 3 -> Iter_end
+  | 4 -> Phase_start
+  | 5 -> Phase_end
+  | 6 -> Demand_double
+  | 7 -> Rescale
+  | 8 -> Mst_recompute
+  | 9 -> Mst_lazy_skip
+  | 10 -> Session_rate
+  | 11 -> Span_open
+  | 12 -> Span_close
+  | c -> invalid_arg (Printf.sprintf "Obs.kind_of_code: %d" c)
+
+module Event = struct
+  type t = {
+    seq : int;
+    time : float;
+    kind : kind;
+    session : int;
+    a : float;
+    b : float;
+  }
+end
+
+(* --- sinks ------------------------------------------------------------- *)
+
+module Sink = struct
+  type t = {
+    on : bool;
+    write : kind -> int -> float -> float -> unit;
+  }
+
+  let null = { on = false; write = (fun _ _ _ _ -> ()) }
+  let enabled s = s.on
+  let emit s kind ~session ~a ~b = if s.on then s.write kind session a b
+  let make f = { on = true; write = (fun k s a b -> f k ~session:s ~a ~b) }
+end
+
+(* --- ring-buffer trace -------------------------------------------------- *)
+
+module Trace = struct
+  (* Preallocated scalar ring: recording an event is a handful of
+     unboxed stores plus a clock read — no allocation, no boxing of the
+     payload.  The float payload (time, a, b) and the int payload
+     (kind, session) are each packed contiguously per event so a write
+     touches two cache lines instead of five. *)
+  type t = {
+    cap : int;
+    floats : float array;  (* stride 3: time, a, b *)
+    ints : int array;      (* stride 2: kind code, session *)
+    mutable n : int;       (* total emissions since clear *)
+    mutable pos : int;     (* n mod cap, maintained by wrapping *)
+    mutable depth : int;   (* current span-nesting depth *)
+    mutable as_sink : Sink.t;
+  }
+
+  let create ?(capacity = 65536) () =
+    if capacity <= 0 then invalid_arg "Obs.Trace.create: capacity must be > 0";
+    let t =
+      {
+        cap = capacity;
+        floats = Array.make (3 * capacity) 0.0;
+        ints = Array.make (2 * capacity) (-1);
+        n = 0;
+        pos = 0;
+        depth = 0;
+        as_sink = Sink.null;
+      }
+    in
+    let write kind session a b =
+      (* span depth bookkeeping lives here so any sink user gets
+         consistent nesting for free *)
+      let b =
+        match kind with
+        | Span_open ->
+          let d = float_of_int t.depth in
+          t.depth <- t.depth + 1;
+          d
+        | Span_close ->
+          t.depth <- max 0 (t.depth - 1);
+          float_of_int t.depth
+        | _ -> b
+      in
+      let i = t.pos in
+      let fb = 3 * i in
+      t.floats.(fb) <- now ();
+      t.floats.(fb + 1) <- a;
+      t.floats.(fb + 2) <- b;
+      let ib = 2 * i in
+      t.ints.(ib) <- kind_code kind;
+      t.ints.(ib + 1) <- session;
+      t.n <- t.n + 1;
+      let p = i + 1 in
+      t.pos <- (if p = t.cap then 0 else p)
+    in
+    t.as_sink <- { Sink.on = true; write };
+    t
+
+  let sink t = t.as_sink
+  let capacity t = t.cap
+  let recorded t = min t.n t.cap
+  let emitted t = t.n
+  let dropped t = max 0 (t.n - t.cap)
+
+  let iter t f =
+    let first = dropped t in
+    for seq = first to t.n - 1 do
+      let i = seq mod t.cap in
+      f
+        {
+          Event.seq;
+          time = t.floats.(3 * i);
+          kind = kind_of_code t.ints.(2 * i);
+          session = t.ints.((2 * i) + 1);
+          a = t.floats.((3 * i) + 1);
+          b = t.floats.((3 * i) + 2);
+        }
+    done
+
+  let events t =
+    let acc = ref [] in
+    iter t (fun e -> acc := e :: !acc);
+    List.rev !acc
+
+  let clear t =
+    t.n <- 0;
+    t.pos <- 0;
+    t.depth <- 0
+end
+
+(* --- spans -------------------------------------------------------------- *)
+
+module Span = struct
+  type id = int
+
+  let make = Name.intern
+  let name = Name.to_string
+
+  let enter sink id =
+    let t0 = now () in
+    Sink.emit sink Span_open ~session:id ~a:0.0 ~b:0.0;
+    t0
+
+  let exit sink id t0 =
+    Sink.emit sink Span_close ~session:id ~a:(now () -. t0) ~b:0.0
+
+  let with_ sink id f =
+    let t0 = enter sink id in
+    Fun.protect ~finally:(fun () -> exit sink id t0) f
+end

@@ -1,0 +1,333 @@
+(** Solver telemetry: a zero-dependency, low-overhead observability layer.
+
+    Every long-running algorithm in this repository (the Garg–Könemann
+    FPTAS loops of [Max_flow] and [Max_concurrent_flow], the online and
+    rounding algorithms, the incremental overlay-length engine of
+    [Overlay]) reports what it is doing through this module, in three
+    complementary forms:
+
+    - {b Named counters and gauges} ({!Counter}, {!Gauge}) registered in
+      a process-wide {!Registry} — cheap monotone tallies (MST
+      recomputations, per-overlay-edge weight re-walks, Dijkstra runs)
+      that are {e always on}: an increment is one integer store, so the
+      hot paths carry them unconditionally.
+    - {b A structured event trace} ({!Trace}) — per-run sequences of
+      typed events (iteration start/end, phase boundaries,
+      demand-doubling, dual rescales, MST recompute vs lazy skip,
+      per-session rates) captured into a preallocated ring buffer with
+      monotonic timestamps.  Recording is opt-in per solver run through
+      the {!Sink} interface; the default {!Sink.null} sink compiles an
+      emission down to one boolean load and branch.
+    - {b Span timers} ({!Span}) — named begin/end intervals (e.g. the
+      MaxFlow preprocessing inside MaxConcurrentFlow) recorded into the
+      same trace with durations and nesting depth.
+
+    The cardinal rule, inherited from the incremental engine of
+    DESIGN.md §5: {b instrumentation must never perturb solver output}.
+    No function in this module influences any floating-point computation;
+    with {!Sink.null} every solver produces bit-identical rates and trees
+    to an uninstrumented build, and [test/test_obs.ml] asserts it.
+
+    Naming convention for counters, gauges, spans and run names:
+    [<area>.<noun>[_<unit>]], lowercase, dot-separated area, underscore
+    words — e.g. [overlay.weight_ops], [graph.prim_runs],
+    [mcf.preprocess].  OBSERVABILITY.md documents the live inventory,
+    the JSON trace schema and a worked convergence-trace walkthrough. *)
+
+(** {1 Monotonic clock} *)
+
+(** [now ()] is the seconds elapsed since the process loaded this
+    module, guaranteed non-decreasing across calls (wall-clock
+    readings are clamped so a system clock step can never produce a
+    backwards timestamp).  All trace events are stamped with it. *)
+val now : unit -> float
+
+(** {1 Interned names}
+
+    Event payloads are flat scalars (see {!Event}); strings — run
+    names, span labels — are interned once and carried as small
+    integer ids. *)
+
+module Name : sig
+  (** [intern s] returns the id of [s], allocating a fresh id on first
+      use.  Interning the same string twice yields the same id. *)
+  val intern : string -> int
+
+  (** [to_string id] recovers the interned string.  Raises
+      [Invalid_argument] on an id no {!intern} call returned. *)
+  val to_string : int -> string
+end
+
+(** {1 Counters, gauges, and the registry} *)
+
+module Counter : sig
+  (** A named monotone integer counter, registered globally.  Cheap
+      enough for hot loops: {!incr} is a single unboxed store. *)
+  type t
+
+  (** [make ?doc name] returns the registered counter called [name],
+      creating it (initialized to 0) on first use.  Two [make] calls
+      with the same name return the {e same} counter, so independent
+      modules can declare their counters at initialization without
+      coordination.  [doc] is kept from the first call that supplies
+      it. *)
+  val make : ?doc:string -> string -> t
+
+  val name : t -> string
+
+  (** [incr c] adds 1. *)
+  val incr : t -> unit
+
+  (** [add c n] adds [n] ([n >= 0]; negative deltas raise
+      [Invalid_argument] — counters are monotone between resets). *)
+  val add : t -> int -> unit
+
+  (** [value c] reads the current tally. *)
+  val value : t -> int
+
+  (** [reset c] sets the tally back to 0 (benchmarks snapshot deltas
+      instead where possible; reset exists for test isolation). *)
+  val reset : t -> unit
+end
+
+module Gauge : sig
+  (** A named instantaneous float value (last write wins), registered
+      globally. *)
+  type t
+
+  (** [make ?doc name] — same idempotent-by-name semantics as
+      {!Counter.make}. *)
+  val make : ?doc:string -> string -> t
+
+  val name : t -> string
+
+  (** [set g v] records the latest value. *)
+  val set : t -> float -> unit
+
+  (** [value g] reads the latest value (0.0 before any {!set}). *)
+  val value : t -> float
+end
+
+module Registry : sig
+  (** Read-side of the process-wide metric registry: everything
+      {!Counter.make} and {!Gauge.make} ever created, for dumping into
+      bench reports ([Obs_export.registry] in [lib/io]). *)
+
+  (** [counters ()] lists [(name, doc, value)] sorted by name. *)
+  val counters : unit -> (string * string * int) list
+
+  (** [gauges ()] lists [(name, doc, value)] sorted by name. *)
+  val gauges : unit -> (string * string * float) list
+
+  (** [find_counter name] looks a counter up without creating it. *)
+  val find_counter : string -> Counter.t option
+
+  (** [find_gauge name] looks a gauge up without creating it. *)
+  val find_gauge : string -> Gauge.t option
+
+  (** [reset_all ()] zeroes every counter and gauge — test isolation
+      only; benches prefer before/after snapshots. *)
+  val reset_all : unit -> unit
+end
+
+(** {1 Debug flags}
+
+    All environment-driven debug toggles go through this table so they
+    are discoverable in one place ([Debug_flags.all]) instead of as bare
+    [Sys.getenv_opt] calls scattered through the code.  A flag is
+    enabled by setting its environment variable to [1], [true] or [yes]
+    (anything else, or unset, leaves it off), and can be flipped at
+    runtime by the programmatic setter. *)
+
+module Debug_flags : sig
+  type t
+
+  (** [register ~env ?doc name] declares flag [name] read from
+      environment variable [env] at registration time.  Idempotent by
+      name (the same flag cell is returned); the environment is only
+      consulted on the call that creates the flag. *)
+  val register : env:string -> ?doc:string -> string -> t
+
+  (** [enabled f] reads the flag — one field load, safe for hot
+      paths. *)
+  val enabled : t -> bool
+
+  (** [set f b] overrides the flag at runtime (tests, REPL). *)
+  val set : t -> bool -> unit
+
+  (** [all ()] lists [(name, env, doc, enabled)] for every registered
+      flag, sorted by name. *)
+  val all : unit -> (string * string * string * bool) list
+end
+
+(** {1 Events} *)
+
+(** The closed vocabulary of trace events.  Each event carries the
+    fixed payload [(session, a, b)] whose meaning depends on the kind —
+    the full taxonomy lives in OBSERVABILITY.md; in brief:
+
+    - [Run_start]: a solver run begins.  [session] = interned run name
+      ({!Name}), [a] = number of sessions, [b] = the run's main
+      parameter (epsilon, sigma or tree budget).
+    - [Run_end]: [session] = interned run name, [a] = iterations /
+      phases / alpha-steps performed, [b] = aggregate objective value.
+    - [Iter_start] / [Iter_end]: one accepted augmentation of the
+      MaxFlow loop (or one per-session routing in Online).  [a] =
+      1-based iteration index; on [Iter_end], [session] = winning
+      session slot and [b] = flow routed in the step.
+    - [Phase_start] / [Phase_end]: MaxConcurrentFlow phase (Paper
+      variant) or alpha-step (Fleischer).  [a] = 1-based phase index.
+    - [Demand_double]: the T-horizon elapsed and working demands
+      doubled (Lemma 6).  [a] = phase index at which it happened.
+    - [Rescale]: global renormalization of the dual lengths.  [a] =
+      the new [ln_base] magnitude tracked by the solver.
+    - [Mst_recompute]: [Overlay.min_spanning_tree] actually ran Prim.
+      [session] = session id, [a] = overlay-edge weight re-walks spent
+      in the call, [b] = 1 when the lazy-bound Prim path was used,
+      0 for the eager path.
+    - [Mst_lazy_skip]: the engine proved the previous tree still
+      minimal (cycle property) and skipped Prim entirely.  [session] =
+      session id.
+    - [Session_rate]: final per-session rate report.  [session] =
+      session slot, [a] = rate.
+    - [Span_open] / [Span_close]: see {!Span}.  [session] = interned
+      span name; on close, [a] = duration in seconds, [b] = nesting
+      depth after closing (outermost spans close at depth 0). *)
+type kind =
+  | Run_start
+  | Run_end
+  | Iter_start
+  | Iter_end
+  | Phase_start
+  | Phase_end
+  | Demand_double
+  | Rescale
+  | Mst_recompute
+  | Mst_lazy_skip
+  | Session_rate
+  | Span_open
+  | Span_close
+
+(** [kind_name k] is the lowercase wire name used in JSON/CSV exports
+    (e.g. [Iter_start] -> ["iter_start"]). *)
+val kind_name : kind -> string
+
+(** [kind_of_name s] inverts {!kind_name}. *)
+val kind_of_name : string -> kind option
+
+module Event : sig
+  (** One recorded trace event.  [time] is {!now}-based; [seq] is the
+      0-based global emission index (gaps reveal ring-buffer drops);
+      payload semantics per {!kind}. *)
+  type t = {
+    seq : int;
+    time : float;
+    kind : kind;
+    session : int;  (** slot / session id / interned name; -1 when unused *)
+    a : float;
+    b : float;
+  }
+end
+
+(** {1 Sinks} *)
+
+module Sink : sig
+  (** Where events go.  Instrumented code holds a sink and calls
+      {!emit}; a disabled sink short-circuits after one boolean load,
+      which is what makes always-in-place instrumentation affordable. *)
+  type t
+
+  (** The no-op sink: {!emit} does nothing, {!enabled} is [false].
+      Every instrumented entry point defaults to it. *)
+  val null : t
+
+  (** [enabled s] — guard for call sites where even {e computing} the
+      payload would cost something. *)
+  val enabled : t -> bool
+
+  (** [emit s kind ~session ~a ~b] records one event (no-op on a
+      disabled sink). *)
+  val emit : t -> kind -> session:int -> a:float -> b:float -> unit
+
+  (** [make f] wraps an arbitrary consumer as an always-enabled sink —
+      the escape hatch for custom backends; solver code only ever sees
+      this interface, so a streaming or aggregating sink can be swapped
+      in without touching the solvers. *)
+  val make : (kind -> session:int -> a:float -> b:float -> unit) -> t
+end
+
+(** {1 Ring-buffer traces} *)
+
+module Trace : sig
+  (** A bounded in-memory event recorder.  Storage is preallocated at
+      {!create} as packed scalar arrays (no per-event allocation, no
+      GC pressure in solver loops); once full, new events overwrite the
+      oldest ([dropped] counts them), so tracing an arbitrarily long
+      run is safe. *)
+  type t
+
+  (** [create ?capacity ()] preallocates a trace ring.  [capacity]
+      defaults to 65536 events; it must be positive. *)
+  val create : ?capacity:int -> unit -> t
+
+  (** [sink t] is the recording sink of this trace.  Emissions also
+      maintain the trace's span-nesting depth (see {!Span}). *)
+  val sink : t -> Sink.t
+
+  val capacity : t -> int
+
+  (** [recorded t] is the number of events currently held
+      ([min emitted capacity]). *)
+  val recorded : t -> int
+
+  (** [emitted t] is the total emissions since creation/clear. *)
+  val emitted : t -> int
+
+  (** [dropped t] is [max 0 (emitted - capacity)] — events overwritten
+      by wraparound. *)
+  val dropped : t -> int
+
+  (** [events t] materializes the retained events, oldest first.
+      [Event.seq] stays the global emission index, so after wraparound
+      the first event's [seq] equals [dropped t]. *)
+  val events : t -> Event.t list
+
+  (** [iter t f] visits retained events oldest-first without building
+      the list. *)
+  val iter : t -> (Event.t -> unit) -> unit
+
+  (** [clear t] forgets all events and resets the depth and emission
+      counters (capacity is kept). *)
+  val clear : t -> unit
+end
+
+(** {1 Span timers} *)
+
+module Span : sig
+  (** Named timed intervals recorded as {!Span_open}/{!Span_close}
+      event pairs.  Spans may nest; the owning {!Trace} tracks the
+      depth ([Span_open.b] is the depth {e entered}, [Span_close.b]
+      the depth {e returned to}, so a well-nested trace closes every
+      span at the depth it opened). *)
+
+  (** A span label: an interned name, created once at module
+      initialization. *)
+  type id
+
+  (** [make name] interns a span label (idempotent by name). *)
+  val make : string -> id
+
+  val name : id -> string
+
+  (** [enter sink id] emits {!Span_open} and returns the start
+      timestamp to pass to {!exit}. *)
+  val enter : Sink.t -> id -> float
+
+  (** [exit sink id t0] emits {!Span_close} with duration
+      [now () - t0]. *)
+  val exit : Sink.t -> id -> float -> unit
+
+  (** [with_ sink id f] runs [f ()] inside the span, closing it even
+      when [f] raises. *)
+  val with_ : Sink.t -> id -> (unit -> 'a) -> 'a
+end

@@ -23,7 +23,12 @@ let workspace g =
     installed = [||];
   }
 
+let c_snapshots =
+  Obs.Counter.make ~doc:"arbitrary-routing snapshots (k Dijkstras each)"
+    "routing.snapshots"
+
 let routes_ws ws g ~members ~length =
+  Obs.Counter.incr c_snapshots;
   let k = Array.length members in
   if Array.length ws.slots < Graph.n_vertices g then
     invalid_arg "Dynamic_routing.routes_ws: workspace built for a smaller graph";

@@ -10,7 +10,23 @@
     when a dual length [d_e] changes, only the overlay edges incident to
     [e] can change their tree length [sum n_e * d_e], so only those need
     their cached weights refreshed.  Built once per overlay context at
-    creation; immutable afterwards. *)
+    creation; immutable afterwards.
+
+    Two engine invariants rest on this index being {e complete} (every
+    traversal of every route is recorded):
+
+    - {b Delta-update}: an overlay edge whose cache bit is clean has
+      [cached_w = Route.weight route ~length] under the caller's current
+      length function — possible only because every length change
+      reaches every dependent overlay edge through [iter_incident].
+    - {b Increase-only laziness}: when the caller promises lengths only
+      grew ([Overlay.notify_length_increase]), a stale cached weight is
+      a {e lower bound} on the true weight.  The engine then skips Prim
+      entirely while no tree edge is stale (cycle property), and
+      [Mst.prim_lazy] re-walks a route only when its stale bound beats
+      the current candidate key — decisions identical to the eager run.
+      A missed incidence entry would silently break both; the
+      [overlay.cross_check] debug flag exists to catch that. *)
 
 type t
 

@@ -16,5 +16,6 @@ let () =
       ("refinement", Test_refinement.suite);
       ("invariants", Test_invariants.suite);
       ("incremental-lengths", Test_incremental_lengths.suite);
+      ("obs", Test_obs.suite);
       ("io-and-protocols", Test_io_protocol.suite);
     ]
