@@ -234,10 +234,11 @@ let eval_cmd =
 (* --- solve: ad-hoc instances ------------------------------------------------ *)
 
 let solve_cmd =
-  let run seed nodes sizes demand mode algorithm ratio sigma trace =
+  let run seed nodes sizes demand mode algorithm ratio sigma trace jobs =
     let setup = make_setup seed nodes sizes demand in
     let g = setup.Setup.topology.Topology.graph in
     let overlays = Setup.overlays setup mode in
+    let par = Par.create ~jobs () in
     let tr = Option.map (fun _ -> Obs.Trace.create ()) trace in
     let obs =
       match tr with Some t -> Obs.Trace.sink t | None -> Obs.Sink.null
@@ -276,14 +277,15 @@ let solve_cmd =
     (match algorithm with
     | "maxflow" ->
       let r =
-        Max_flow.solve ~obs g overlays ~epsilon:(Max_flow.ratio_to_epsilon ratio)
+        Max_flow.solve ~obs ~par g overlays
+          ~epsilon:(Max_flow.ratio_to_epsilon ratio)
       in
       Printf.printf "MaxFlow: %d iterations, %d MST operations\n"
         r.Max_flow.iterations r.Max_flow.mst_operations;
       describe r.Max_flow.solution
     | "mcf" ->
       let r =
-        Max_concurrent_flow.solve ~obs g overlays
+        Max_concurrent_flow.solve ~obs ~par g overlays
           ~epsilon:(Max_concurrent_flow.ratio_to_epsilon ratio)
           ~scaling:Max_concurrent_flow.Maxflow_weighted
       in
@@ -300,7 +302,8 @@ let solve_cmd =
       Printf.printf "Single tree baseline: lmax %.3f\n" r.Baseline.lmax;
       describe r.Baseline.solution
     | other -> Printf.eprintf "unknown algorithm %S\n" other);
-    write_trace ()
+    write_trace ();
+    Par.shutdown par
   in
   let algorithm =
     Arg.(
@@ -327,12 +330,22 @@ let solve_cmd =
             "Record the solver's telemetry event trace and write it as JSON \
              to $(docv) (schema overlay-obs-trace/1, see OBSERVABILITY.md).")
   in
+  let jobs =
+    Arg.(
+      value
+      & opt int (Par.default_jobs ())
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the parallel engine (default: \
+             $(b,OVERLAY_JOBS) or the machine's recommended domain count; \
+             1 = serial).  Output is bit-identical at any $(docv).")
+  in
   let doc = "Solve one instance and print per-session rates." in
   Cmd.v
     (Cmd.info "solve" ~doc)
     Term.(
       const run $ seed $ nodes $ sizes $ demand $ mode $ algorithm $ ratio
-      $ sigma $ trace)
+      $ sigma $ trace $ jobs)
 
 (* --- export: dump an instance + solution to files --------------------------- *)
 

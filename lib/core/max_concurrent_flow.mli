@@ -71,11 +71,20 @@ val ratio_to_epsilon : float -> float
     [b] = concurrent ratio).  With the null sink the solver output is
     bit-identical to an uninstrumented run.
 
-    Raises [Invalid_argument] for [epsilon] outside (0, 1/3). *)
+    Raises [Invalid_argument] for [epsilon] outside (0, 1/3).
+
+    [par] (default [Par.serial]) supplies a domain pool.  In IP mode
+    the independent per-session MaxFlow preprocessing runs fan out
+    across workers (per-worker trace buffers are merged in session
+    order); in arbitrary mode the pool is handed to the overlays so
+    every main-loop and preprocessing MST parallelizes its source
+    Dijkstras.  Output and the [obs] event sequence are bit-identical
+    at every worker count. *)
 val solve :
   ?variant:variant ->
   ?incremental:bool ->
   ?obs:Obs.Sink.t ->
+  ?par:Par.t ->
   Graph.t ->
   Overlay.t array ->
   epsilon:float ->

@@ -27,7 +27,8 @@ let c_iterations =
 let c_rescales =
   Obs.Counter.make ~doc:"MaxFlow dual-length renormalizations" "maxflow.rescales"
 
-let solve ?(incremental = true) ?(obs = Obs.Sink.null) graph overlays ~epsilon =
+let solve ?(incremental = true) ?(obs = Obs.Sink.null) ?(par = Par.serial)
+    graph overlays ~epsilon =
   if epsilon <= 0.0 || epsilon >= 0.5 then
     invalid_arg "Max_flow.solve: epsilon out of (0, 0.5)";
   let k = Array.length overlays in
@@ -37,6 +38,19 @@ let solve ?(incremental = true) ?(obs = Obs.Sink.null) graph overlays ~epsilon =
       if Overlay.graph o != graph then
         invalid_arg "Max_flow.solve: overlay built on a different graph")
     overlays;
+  (* Where the pool goes depends on the routing mode.  IP mode: the
+     per-session MST evaluations of the winner sweep fan out across
+     workers.  Arbitrary mode: a sweep over few sessions is the wrong
+     grain — each MST is itself k' source Dijkstras, so the pool is
+     handed to the overlays (Dynamic_routing parallelizes the sources)
+     and the sweep stays sequential to keep the pool undivided. *)
+  let arbitrary =
+    match Overlay.mode overlays.(0) with
+    | Overlay.Arbitrary -> true
+    | Overlay.Ip -> false
+  in
+  let sweep_par = if arbitrary then Par.serial else par in
+  if arbitrary then Array.iter (fun o -> Overlay.set_par o par) overlays;
   let sessions = Array.map Overlay.session overlays in
   let smax = float_of_int (Session.max_size sessions - 1) in
   let u_bound =
@@ -66,54 +80,106 @@ let solve ?(incremental = true) ?(obs = Obs.Sink.null) graph overlays ~epsilon =
   Fun.protect
     ~finally:(fun () ->
       if incremental then Array.iter Overlay.end_incremental overlays;
-      if Obs.Sink.enabled obs then Array.iter Overlay.clear_sink overlays)
+      if Obs.Sink.enabled obs then Array.iter Overlay.clear_sink overlays;
+      if arbitrary then Array.iter Overlay.clear_par overlays)
     (fun () ->
       let stop = ref false in
       (* Lazy winner selection: dual lengths only grow between rescales,
          so each session's normalized MST weight is non-decreasing and
-         its last computed value is a valid lower bound.  A session whose
-         bound already reaches the running best cannot win (ties keep the
-         earlier session), so its MST call — and the weight refreshes it
-         would trigger — is skipped until the best weight catches up.
-         Bounds reset on rescale (all lengths shrink).  The selection
-         sequence is bit-identical to the eager loop. *)
+         its last computed value is a valid lower bound.  The sweep is
+         structured as champion + candidates so the set of sessions
+         evaluated in an iteration is a pure function of the bounds —
+         independent of worker count and chunking:
+
+         1. the champion [i0] — argmin of [(low_w i, i)] — is evaluated
+            on the orchestrating domain, yielding its exact weight [w0];
+         2. every other session [i] is a candidate unless its bound
+            already loses to the champion, [low_w i > w0 || (low_w i >=
+            w0 && i > i0)] — a skipped session [j] has exact weight
+            [>= low_w j], which loses to [(w0, i0)] and a fortiori to
+            the final winner, so skipping is sound;
+         3. candidates are evaluated (in ascending order, chunked over
+            the pool), then the winner is the lexicographic argmin over
+            champion and candidates, reduced in index order.
+
+         The winner is the same argmin of [(w_i, i)] the eager loop
+         computes, every weight is the same IEEE value, and the trace
+         event sequence (champion first, candidates ascending — workers
+         replay their buffers in worker = index order) is identical at
+         every [-j] including the serial path.  Bounds reset on rescale
+         (all lengths shrink). *)
       let low_w = Array.make k neg_infinity in
-      let order = Array.init k (fun i -> i) in
+      let w_of = Array.make k nan in
+      let trees = Array.make k None in
+      let cand = Array.make k 0 in
+      let nworkers = Par.jobs sweep_par in
+      let bufs =
+        if nworkers > 1 && Obs.Sink.enabled obs then
+          Array.init nworkers (fun _ -> Obs.Event_buffer.create ())
+        else [||]
+      in
+      let eval i =
+        let tree = Overlay.min_spanning_tree overlays.(i) ~length in
+        let w = Otree.weight tree ~length *. normalizer i in
+        low_w.(i) <- w;
+        w_of.(i) <- w;
+        trees.(i) <- Some tree
+      in
       while not !stop do
-        (* minimum normalized-length tree across sessions, as the eager
-           loop computes it: argmin of (w_i, i) lexicographic.  Sessions
-           are visited in ascending bound order so the likely winner is
-           resolved first; a session whose bound already loses to the
-           current exact best is skipped outright. *)
-        Array.sort
-          (fun a b ->
-            match Float.compare low_w.(a) low_w.(b) with
-            | 0 -> Int.compare a b
-            | c -> c)
-          order;
-        let best = ref None in
-        Array.iter
-          (fun i ->
+        let i0 = ref 0 in
+        for i = 1 to k - 1 do
+          if low_w.(i) < low_w.(!i0) then i0 := i
+        done;
+        let i0 = !i0 in
+        eval i0;
+        let w0 = w_of.(i0) in
+        let n_cand = ref 0 in
+        for i = 0 to k - 1 do
+          if i <> i0 then begin
             let skip =
-              incremental
-              &&
-              match !best with
-              | Some (_, bw, bi) ->
-                low_w.(i) > bw || (low_w.(i) >= bw && i > bi)
-              | None -> false
+              incremental && (low_w.(i) > w0 || (low_w.(i) >= w0 && i > i0))
             in
             if not skip then begin
-              let tree = Overlay.min_spanning_tree overlays.(i) ~length in
-              let w = Otree.weight tree ~length *. normalizer i in
-              low_w.(i) <- w;
-              match !best with
-              | Some (_, bw, bi) when bw < w || (bw <= w && bi < i) -> ()
-              | _ -> best := Some (tree, w, i)
-            end)
-          order;
-        match !best with
-        | None -> stop := true
-        | Some (tree, w, winner) ->
+              cand.(!n_cand) <- i;
+              incr n_cand
+            end
+          end
+        done;
+        let n_cand = !n_cand in
+        if n_cand > 0 then begin
+          Par.parallel_for sweep_par ~n:n_cand (fun ~worker ~lo ~hi ->
+              if Array.length bufs > 0 then begin
+                let bsink = Obs.Event_buffer.sink bufs.(worker) in
+                for c = lo to hi - 1 do
+                  Overlay.set_sink overlays.(cand.(c)) bsink
+                done
+              end;
+              for c = lo to hi - 1 do
+                eval cand.(c)
+              done);
+          if Array.length bufs > 0 then begin
+            Array.iter
+              (fun b ->
+                Obs.Event_buffer.replay b obs;
+                Obs.Event_buffer.clear b)
+              bufs;
+            for c = 0 to n_cand - 1 do
+              Overlay.set_sink overlays.(cand.(c)) obs
+            done
+          end
+        end;
+        let best = ref i0 in
+        for c = 0 to n_cand - 1 do
+          let i = cand.(c) in
+          if w_of.(i) < w_of.(!best) || (w_of.(i) = w_of.(!best) && i < !best)
+          then best := i
+        done;
+        let winner = !best in
+        let w = w_of.(winner) in
+        let tree =
+          match trees.(winner) with Some t -> t | None -> assert false
+        in
+        begin
           (* normalized length in real units: w * exp(ln_base) >= 1 ? *)
           if w <= 0.0 || log w +. !ln_base >= 0.0 then stop := true
           else begin
@@ -152,6 +218,7 @@ let solve ?(incremental = true) ?(obs = Obs.Sink.null) graph overlays ~epsilon =
                 ~a:(float_of_int !iterations) ~b:c
             end
           end
+        end
       done);
   (* Feasibility scaling: divide by log_{1+eps} ((1+eps)/delta). *)
   let scale_factor =
@@ -176,8 +243,8 @@ let solve ?(incremental = true) ?(obs = Obs.Sink.null) graph overlays ~epsilon =
     epsilon;
   }
 
-let solve_single ?incremental ?obs graph overlay ~epsilon =
-  let result = solve ?incremental ?obs graph [| overlay |] ~epsilon in
+let solve_single ?incremental ?obs ?par graph overlay ~epsilon =
+  let result = solve ?incremental ?obs ?par graph [| overlay |] ~epsilon in
   (* the single session keeps its own id; rate lookup goes through the
      session array of the fresh solution, which has exactly one slot *)
   let sessions = Solution.sessions result.solution in

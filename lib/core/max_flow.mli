@@ -43,10 +43,20 @@ val ratio_to_epsilon : float -> float
     [Session_rate] per slot and a final [Run_end] ([a] = iterations,
     [b] = overall throughput).  With the null sink the solver output is
     bit-identical to an uninstrumented run.  Raises [Invalid_argument]
-    for [epsilon] outside (0, 0.5). *)
+    for [epsilon] outside (0, 0.5).
+
+    [par] (default [Par.serial]) runs the hot fan-out of each iteration
+    on a domain pool.  In IP mode the per-session MST evaluations of
+    the winner sweep are chunked across workers (champion + candidates,
+    index-ordered reduction — see DESIGN.md §6); in arbitrary mode the
+    pool is handed to the overlays instead, parallelizing each
+    snapshot's source Dijkstras.  Output — solution, iteration count,
+    and the [obs] event sequence — is bit-identical at every worker
+    count, including [Par.serial]. *)
 val solve :
   ?incremental:bool ->
   ?obs:Obs.Sink.t ->
+  ?par:Par.t ->
   Graph.t ->
   Overlay.t array ->
   epsilon:float ->
@@ -55,10 +65,11 @@ val solve :
 (** [solve_single graph overlay ~epsilon] runs the single-session
     special case and returns the session's maximum flow rate (the
     [zeta_i] of the concurrent-flow preprocessing) along with the full
-    result.  [obs] as in {!solve}. *)
+    result.  [obs] and [par] as in {!solve}. *)
 val solve_single :
   ?incremental:bool ->
   ?obs:Obs.Sink.t ->
+  ?par:Par.t ->
   Graph.t ->
   Overlay.t ->
   epsilon:float ->

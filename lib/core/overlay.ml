@@ -43,6 +43,7 @@ type t = {
   mutable ops : int;
   mutable weight_ops : int;
   mutable sink : Obs.Sink.t;           (* trace destination; null by default *)
+  mutable par : Par.t;                 (* pool for arbitrary-mode Dijkstras *)
 }
 
 (* Debug cross-check: every incremental MST recomputes all weights from
@@ -137,6 +138,7 @@ let create graph mode session =
     ops = 0;
     weight_ops = 0;
     sink = Obs.Sink.null;
+    par = Par.serial;
   }
 
 let same_int_array a b =
@@ -166,7 +168,7 @@ let with_session t session =
           in_prev_mst = Array.make (Array.length eng.in_prev_mst) false;
         }
   in
-  { t with session; ip; ops = 0; weight_ops = 0; sink = Obs.Sink.null }
+  { t with session; ip; ops = 0; weight_ops = 0; sink = Obs.Sink.null; par = Par.serial }
 
 let session t = t.session
 let mode t = t.mode
@@ -174,6 +176,8 @@ let graph t = t.graph
 
 let set_sink t sink = t.sink <- sink
 let clear_sink t = t.sink <- Obs.Sink.null
+let set_par t par = t.par <- par
+let clear_par t = t.par <- Par.serial
 
 let members t = t.session.Session.members
 
@@ -369,7 +373,8 @@ let min_spanning_tree t ~length =
   | Arbitrary ->
     let ws = Option.get t.dyn_ws in
     let snapshot =
-      Dynamic_routing.routes_ws ws t.graph ~members:(members t) ~length
+      Dynamic_routing.routes_ws ~par:t.par ws t.graph ~members:(members t)
+        ~length
     in
     let ms = members t in
     let weights =
@@ -394,7 +399,9 @@ let tree_of_pairs t ~pairs ~length =
     Otree.build ~session_id:t.session.Session.id ~pairs ~routes
   | Arbitrary ->
     let ws = Option.get t.dyn_ws in
-    let snapshot = Dynamic_routing.routes_ws ws t.graph ~members:ms ~length in
+    let snapshot =
+      Dynamic_routing.routes_ws ~par:t.par ws t.graph ~members:ms ~length
+    in
     let routes =
       Array.map (fun (a, b) -> Dynamic_routing.route snapshot ms.(a) ms.(b)) pairs
     in

@@ -44,9 +44,17 @@ val round :
     repeats the rounding and averages session rates, overall throughput
     and distinct-tree counts — the paper reports 100-run averages.
     Returns (mean session rates, mean overall throughput, mean distinct
-    trees per session).  [obs] is passed to every {!round}. *)
+    trees per session).  [obs] is passed to every {!round}.
+
+    Each trial draws from its own RNG, split off [rng] serially before
+    any trial runs; [par] (default [Par.serial]) then distributes the
+    independent trials over the pool, with per-worker trace buffers
+    merged in trial order.  Results are bit-identical at every worker
+    count — and, since the per-trial split, independent of [repeats]
+    prefix ordering too. *)
 val round_average :
   ?obs:Obs.Sink.t ->
+  ?par:Par.t ->
   Rng.t ->
   Graph.t ->
   fractional:Solution.t ->

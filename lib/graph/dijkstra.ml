@@ -113,6 +113,30 @@ let path_to tree v =
     Some (walk v [])
   end
 
+let path_edges tree v =
+  if v = tree.source then Some [||]
+  else if tree.dist.(v) = infinity then None
+  else begin
+    (* Two parent walks — one to count hops, one to fill the array
+       back-to-front — instead of building a list and converting it:
+       route construction is the per-member-pair inner loop of an
+       arbitrary-routing snapshot, and the intermediate list was pure
+       allocator traffic. *)
+    let hops = ref 0 in
+    let u = ref v in
+    while !u <> tree.source do
+      incr hops;
+      u := tree.parent_vertex.(!u)
+    done;
+    let edges = Array.make !hops (-1) in
+    let u = ref v in
+    for i = !hops - 1 downto 0 do
+      edges.(i) <- tree.parent_edge.(!u);
+      u := tree.parent_vertex.(!u)
+    done;
+    Some edges
+  end
+
 let path_vertices tree v =
   if v = tree.source then Some [ v ]
   else if tree.dist.(v) = infinity then None

@@ -56,6 +56,12 @@ val shortest_path_tree_ws :
     [Some []]. *)
 val path_to : tree -> int -> int list option
 
+(** [path_edges tree v] is {!path_to} returning a freshly allocated
+    edge array directly (no intermediate list) — the form route
+    construction wants, since [Route.make] stores the array as-is.
+    The source yields [Some [||]]. *)
+val path_edges : tree -> int -> int array option
+
 (** [path_vertices tree v] returns the vertices of the path from the
     source to [v], inclusive, or [None] when unreachable. *)
 val path_vertices : tree -> int -> int list option

@@ -1,8 +1,14 @@
-(* Telemetry substrate.  Two design rules govern everything here:
+(* Telemetry substrate.  Three design rules govern everything here:
    (1) nothing in this module may influence solver arithmetic — sinks
-   and counters are write-only from the solvers' point of view; and
+   and counters are write-only from the solvers' point of view;
    (2) the disabled path must stay branch-cheap, because the solvers
-   carry their instrumentation unconditionally. *)
+   carry their instrumentation unconditionally; and (3) the always-on
+   primitives (clock, counters, gauges, registries) are domain-safe,
+   because the Par pool runs solver hot loops on several domains.
+   Sinks are the exception: a Sink/Trace is single-domain by contract,
+   and parallel regions give each worker its own Event_buffer whose
+   contents are replayed into the main sink in deterministic worker
+   order (see Event_buffer below). *)
 
 (* --- monotonic clock -------------------------------------------------- *)
 
@@ -10,113 +16,142 @@ let t_origin = Unix.gettimeofday ()
 
 (* gettimeofday is wall time and may step backwards (NTP); clamping
    against the previous reading restores monotonicity, which the trace
-   format promises. *)
-let last_now = ref 0.0
+   format promises.  The clamp cell is an Atomic advanced by CAS so
+   concurrent readers on different domains still each observe a
+   monotone sequence. *)
+let last_now = Atomic.make 0.0
 
-let now () =
-  let t = Unix.gettimeofday () -. t_origin in
-  if t > !last_now then last_now := t;
-  !last_now
+let rec advance_clock t =
+  let prev = Atomic.get last_now in
+  if t <= prev then prev
+  else if Atomic.compare_and_set last_now prev t then t
+  else advance_clock t
+
+let now () = advance_clock (Unix.gettimeofday () -. t_origin)
 
 (* --- interned names --------------------------------------------------- *)
 
 module Name = struct
+  (* Interning is rare (module initialization, run starts), so one
+     mutex over both directions is plenty. *)
+  let lock = Mutex.create ()
   let by_string : (string, int) Hashtbl.t = Hashtbl.create 64
   let by_id : string array ref = ref (Array.make 16 "")
   let next = ref 0
 
   let intern s =
-    match Hashtbl.find_opt by_string s with
-    | Some id -> id
-    | None ->
-      let id = !next in
-      incr next;
-      if id >= Array.length !by_id then begin
-        let grown = Array.make (2 * Array.length !by_id) "" in
-        Array.blit !by_id 0 grown 0 (Array.length !by_id);
-        by_id := grown
-      end;
-      !by_id.(id) <- s;
-      Hashtbl.add by_string s id;
-      id
+    Mutex.protect lock (fun () ->
+        match Hashtbl.find_opt by_string s with
+        | Some id -> id
+        | None ->
+          let id = !next in
+          incr next;
+          if id >= Array.length !by_id then begin
+            let grown = Array.make (2 * Array.length !by_id) "" in
+            Array.blit !by_id 0 grown 0 (Array.length !by_id);
+            by_id := grown
+          end;
+          !by_id.(id) <- s;
+          Hashtbl.add by_string s id;
+          id)
 
   let to_string id =
-    if id < 0 || id >= !next then
-      invalid_arg (Printf.sprintf "Obs.Name.to_string: unknown id %d" id)
-    else !by_id.(id)
+    Mutex.protect lock (fun () ->
+        if id < 0 || id >= !next then
+          invalid_arg (Printf.sprintf "Obs.Name.to_string: unknown id %d" id)
+        else !by_id.(id))
 end
+
+(* One mutex guards every metric table (counters, gauges, debug flags):
+   registration happens at module initialization and reads happen in
+   benches/tests, never in solver hot loops, so contention is nil. *)
+let registry_lock = Mutex.create ()
 
 (* --- counters, gauges, registry --------------------------------------- *)
 
 module Counter = struct
-  type t = { name : string; mutable doc : string; mutable n : int }
+  (* The tally is an Atomic so workers of a Par pool can bump the same
+     counter concurrently without losing increments; fetch_and_add on
+     an uncontended cacheline costs about as much as the old plain
+     store, and totals become exact at any [-j]. *)
+  type t = { name : string; mutable doc : string; n : int Atomic.t }
 
   let table : (string, t) Hashtbl.t = Hashtbl.create 64
 
   let make ?doc name =
-    match Hashtbl.find_opt table name with
-    | Some c ->
-      (match doc with
-      | Some d when c.doc = "" -> c.doc <- d
-      | _ -> ());
-      c
-    | None ->
-      let c = { name; doc = Option.value doc ~default:""; n = 0 } in
-      Hashtbl.add table name c;
-      c
+    Mutex.protect registry_lock (fun () ->
+        match Hashtbl.find_opt table name with
+        | Some c ->
+          (match doc with
+          | Some d when c.doc = "" -> c.doc <- d
+          | _ -> ());
+          c
+        | None ->
+          let c = { name; doc = Option.value doc ~default:""; n = Atomic.make 0 } in
+          Hashtbl.add table name c;
+          c)
 
   let name c = c.name
-  let incr c = c.n <- c.n + 1
+  let incr c = Atomic.incr c.n
 
   let add c n =
     if n < 0 then invalid_arg "Obs.Counter.add: negative delta";
-    c.n <- c.n + n
+    ignore (Atomic.fetch_and_add c.n n)
 
-  let value c = c.n
-  let reset c = c.n <- 0
+  let value c = Atomic.get c.n
+  let reset c = Atomic.set c.n 0
 end
 
 module Gauge = struct
-  type t = { name : string; mutable doc : string; mutable v : float }
+  type t = { name : string; mutable doc : string; v : float Atomic.t }
 
   let table : (string, t) Hashtbl.t = Hashtbl.create 16
 
   let make ?doc name =
-    match Hashtbl.find_opt table name with
-    | Some g ->
-      (match doc with
-      | Some d when g.doc = "" -> g.doc <- d
-      | _ -> ());
-      g
-    | None ->
-      let g = { name; doc = Option.value doc ~default:""; v = 0.0 } in
-      Hashtbl.add table name g;
-      g
+    Mutex.protect registry_lock (fun () ->
+        match Hashtbl.find_opt table name with
+        | Some g ->
+          (match doc with
+          | Some d when g.doc = "" -> g.doc <- d
+          | _ -> ());
+          g
+        | None ->
+          let g = { name; doc = Option.value doc ~default:""; v = Atomic.make 0.0 } in
+          Hashtbl.add table name g;
+          g)
 
   let name g = g.name
-  let set g v = g.v <- v
-  let value g = g.v
+  let set g v = Atomic.set g.v v
+  let value g = Atomic.get g.v
 end
 
 module Registry = struct
   let counters () =
-    Hashtbl.fold
-      (fun _ (c : Counter.t) acc -> (c.Counter.name, c.Counter.doc, c.Counter.n) :: acc)
-      Counter.table []
+    Mutex.protect registry_lock (fun () ->
+        Hashtbl.fold
+          (fun _ (c : Counter.t) acc ->
+            (c.Counter.name, c.Counter.doc, Atomic.get c.Counter.n) :: acc)
+          Counter.table [])
     |> List.sort compare
 
   let gauges () =
-    Hashtbl.fold
-      (fun _ (g : Gauge.t) acc -> (g.Gauge.name, g.Gauge.doc, g.Gauge.v) :: acc)
-      Gauge.table []
+    Mutex.protect registry_lock (fun () ->
+        Hashtbl.fold
+          (fun _ (g : Gauge.t) acc ->
+            (g.Gauge.name, g.Gauge.doc, Atomic.get g.Gauge.v) :: acc)
+          Gauge.table [])
     |> List.sort compare
 
-  let find_counter name = Hashtbl.find_opt Counter.table name
-  let find_gauge name = Hashtbl.find_opt Gauge.table name
+  let find_counter name =
+    Mutex.protect registry_lock (fun () -> Hashtbl.find_opt Counter.table name)
+
+  let find_gauge name =
+    Mutex.protect registry_lock (fun () -> Hashtbl.find_opt Gauge.table name)
 
   let reset_all () =
-    Hashtbl.iter (fun _ c -> Counter.reset c) Counter.table;
-    Hashtbl.iter (fun _ (g : Gauge.t) -> g.Gauge.v <- 0.0) Gauge.table
+    Mutex.protect registry_lock (fun () ->
+        Hashtbl.iter (fun _ (c : Counter.t) -> Atomic.set c.Counter.n 0) Counter.table;
+        Hashtbl.iter (fun _ (g : Gauge.t) -> Atomic.set g.Gauge.v 0.0) Gauge.table)
 end
 
 (* --- debug flags ------------------------------------------------------- *)
@@ -137,18 +172,23 @@ module Debug_flags = struct
     | _ -> false
 
   let register ~env ?(doc = "") name =
-    match Hashtbl.find_opt table name with
-    | Some f -> f
-    | None ->
-      let f = { name; env; doc; value = env_truthy env } in
-      Hashtbl.add table name f;
-      f
+    Mutex.protect registry_lock (fun () ->
+        match Hashtbl.find_opt table name with
+        | Some f -> f
+        | None ->
+          let f = { name; env; doc; value = env_truthy env } in
+          Hashtbl.add table name f;
+          f)
 
+  (* [enabled] stays a plain field load: flags are effectively
+     write-once configuration, and the hot paths read them every
+     iteration. *)
   let enabled f = f.value
   let set f b = f.value <- b
 
   let all () =
-    Hashtbl.fold (fun _ f acc -> (f.name, f.env, f.doc, f.value) :: acc) table []
+    Mutex.protect registry_lock (fun () ->
+        Hashtbl.fold (fun _ f acc -> (f.name, f.env, f.doc, f.value) :: acc) table [])
     |> List.sort compare
 end
 
@@ -340,6 +380,70 @@ module Trace = struct
     t.n <- 0;
     t.pos <- 0;
     t.depth <- 0
+end
+
+(* --- per-worker event buffers ------------------------------------------- *)
+
+module Event_buffer = struct
+  (* A growable, timestamp-free event log owned by exactly one Par
+     worker.  During a parallel region each worker redirects its chunk's
+     emissions into its own buffer; after the barrier the orchestrator
+     replays the buffers in worker order — which the solvers arrange to
+     equal ascending session/trial order, i.e. the serial emission
+     order.  Timestamps are assigned at replay by the receiving sink
+     (a Trace stamps on write), so the merged trace stays monotone and
+     the recorded event sequence is independent of [-j]. *)
+  type t = {
+    mutable ints : int array;     (* stride 2: kind code, session *)
+    mutable floats : float array; (* stride 2: a, b *)
+    mutable n : int;
+    mutable as_sink : Sink.t;
+  }
+
+  let create ?(capacity = 128) () =
+    if capacity <= 0 then
+      invalid_arg "Obs.Event_buffer.create: capacity must be > 0";
+    let t =
+      {
+        ints = Array.make (2 * capacity) (-1);
+        floats = Array.make (2 * capacity) 0.0;
+        n = 0;
+        as_sink = Sink.null;
+      }
+    in
+    let write kind session a b =
+      let cap = Array.length t.ints / 2 in
+      if t.n = cap then begin
+        let ints = Array.make (4 * cap) (-1) in
+        let floats = Array.make (4 * cap) 0.0 in
+        Array.blit t.ints 0 ints 0 (2 * cap);
+        Array.blit t.floats 0 floats 0 (2 * cap);
+        t.ints <- ints;
+        t.floats <- floats
+      end;
+      let i = t.n in
+      t.ints.(2 * i) <- kind_code kind;
+      t.ints.((2 * i) + 1) <- session;
+      t.floats.(2 * i) <- a;
+      t.floats.((2 * i) + 1) <- b;
+      t.n <- i + 1
+    in
+    t.as_sink <- { Sink.on = true; write };
+    t
+
+  let sink t = t.as_sink
+  let length t = t.n
+
+  let replay t target =
+    for i = 0 to t.n - 1 do
+      Sink.emit target
+        (kind_of_code t.ints.(2 * i))
+        ~session:t.ints.((2 * i) + 1)
+        ~a:t.floats.(2 * i)
+        ~b:t.floats.((2 * i) + 1)
+    done
+
+  let clear t = t.n <- 0
 end
 
 (* --- spans -------------------------------------------------------------- *)

@@ -1,0 +1,202 @@
+(* Deterministic domain pool.  See par.mli for the contract.
+
+   Synchronization protocol: one mutex + two condition variables per
+   pool.  The orchestrator publishes a job under the lock, bumps
+   [epoch] and broadcasts [work_ready]; each parked worker wakes when
+   the epoch moves past the one it last completed, runs its chunk
+   outside the lock, then decrements [remaining] and signals
+   [work_done] when it is the last one out.  The mutex acquisitions on
+   both sides order every plain (non-atomic) memory access in a chunk
+   before the orchestrator's reads after the barrier, so chunk bodies
+   may fill disjoint cells of ordinary arrays. *)
+
+(* [in_worker] is true on pool worker domains and, transiently, on the
+   orchestrating domain while it runs its own chunk 0: any nested
+   [parallel_for] in those windows must not touch a pool (the pool is
+   busy, or the nested region would deadlock waiting for it), so it
+   runs inline. *)
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+type pool = {
+  size : int; (* workers including the caller; >= 2 *)
+  lock : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable epoch : int; (* bumped once per region *)
+  mutable job : int -> unit; (* current region's work, by worker id *)
+  mutable remaining : int; (* helper workers still inside the region *)
+  mutable closed : bool;
+  mutable domains : unit Domain.t array; (* spawned lazily; size-1 *)
+  failures : (exn * Printexc.raw_backtrace) option array; (* per worker *)
+}
+
+type t = Serial | Pool of pool
+
+let serial = Serial
+let jobs = function Serial -> 1 | Pool p -> p.size
+
+let default_jobs () =
+  let from_env =
+    match Sys.getenv_opt "OVERLAY_JOBS" with
+    | None -> None
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n when n >= 1 -> Some n
+        | Some _ | None -> None)
+  in
+  match from_env with
+  | Some n -> n
+  | None -> Domain.recommended_domain_count ()
+
+(* Every live pool, so [at_exit] can unpark and join their domains:
+   the OCaml runtime waits for spawned domains at shutdown, and a
+   domain parked in [Condition.wait] would never oblige. *)
+let live_pools : pool list ref = ref []
+let live_lock = Mutex.create ()
+
+let rec worker_loop p w seen_epoch =
+  Mutex.lock p.lock;
+  while p.epoch = seen_epoch && not p.closed do
+    Condition.wait p.work_ready p.lock
+  done;
+  if p.closed then Mutex.unlock p.lock
+  else begin
+    let epoch = p.epoch in
+    let job = p.job in
+    Mutex.unlock p.lock;
+    (try job w
+     with exn -> p.failures.(w) <- Some (exn, Printexc.get_raw_backtrace ()));
+    Mutex.lock p.lock;
+    p.remaining <- p.remaining - 1;
+    if p.remaining = 0 then Condition.broadcast p.work_done;
+    Mutex.unlock p.lock;
+    worker_loop p w epoch
+  end
+
+let start_domains p =
+  (* Called under [p.lock]; at most once per pool. *)
+  if Array.length p.domains = 0 && not p.closed then
+    p.domains <-
+      Array.init (p.size - 1) (fun i ->
+          let w = i + 1 in
+          Domain.spawn (fun () ->
+              Domain.DLS.set in_worker true;
+              worker_loop p w 0))
+
+let shutdown_pool p =
+  Mutex.lock p.lock;
+  let ds = p.domains in
+  p.closed <- true;
+  p.domains <- [||];
+  Condition.broadcast p.work_ready;
+  Mutex.unlock p.lock;
+  Array.iter Domain.join ds
+
+let shutdown = function
+  | Serial -> ()
+  | Pool p ->
+      shutdown_pool p;
+      Mutex.lock live_lock;
+      live_pools := List.filter (fun q -> q != p) !live_pools;
+      Mutex.unlock live_lock
+
+let () = at_exit (fun () -> List.iter shutdown_pool !live_pools)
+
+let create ?jobs () =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  if jobs < 1 then invalid_arg "Par.create: jobs must be >= 1";
+  if jobs = 1 then Serial
+  else begin
+    let p =
+      {
+        size = jobs;
+        lock = Mutex.create ();
+        work_ready = Condition.create ();
+        work_done = Condition.create ();
+        epoch = 0;
+        job = ignore;
+        remaining = 0;
+        closed = false;
+        domains = [||];
+        failures = Array.make jobs None;
+      }
+    in
+    Mutex.lock live_lock;
+    live_pools := p :: !live_pools;
+    Mutex.unlock live_lock;
+    Pool p
+  end
+
+let chunk ~n ~size w = (w * n / size, (w + 1) * n / size)
+
+let run_inline ~n f = if n > 0 then f ~worker:0 ~lo:0 ~hi:n
+
+let run_on_pool p ~n f =
+  let job w =
+    let lo, hi = chunk ~n ~size:p.size w in
+    if hi > lo then f ~worker:w ~lo ~hi
+  in
+  Mutex.lock p.lock;
+  if p.closed then begin
+    Mutex.unlock p.lock;
+    run_inline ~n f
+  end
+  else begin
+    start_domains p;
+    p.job <- job;
+    p.remaining <- p.size - 1;
+    p.epoch <- p.epoch + 1;
+    Condition.broadcast p.work_ready;
+    Mutex.unlock p.lock;
+    (* The orchestrator is worker 0; nested parallel_for from inside
+       its chunk must run inline, exactly as on helper domains. *)
+    Domain.DLS.set in_worker true;
+    (try job 0
+     with exn -> p.failures.(0) <- Some (exn, Printexc.get_raw_backtrace ()));
+    Domain.DLS.set in_worker false;
+    Mutex.lock p.lock;
+    while p.remaining > 0 do
+      Condition.wait p.work_done p.lock
+    done;
+    Mutex.unlock p.lock;
+    (* Deterministic propagation: the lowest-numbered failure wins. *)
+    let first = ref None in
+    for w = p.size - 1 downto 0 do
+      (match p.failures.(w) with Some f -> first := Some f | None -> ());
+      p.failures.(w) <- None
+    done;
+    match !first with
+    | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
+    | None -> ()
+  end
+
+let parallel_for t ~n f =
+  if n < 0 then invalid_arg "Par.parallel_for: negative n";
+  if n = 0 then ()
+  else if n = 1 then
+    (* a single chunk cannot run concurrently with anything — skip the
+       pool round-trip (this is the common one-candidate case of the
+       IP-mode winner sweep) *)
+    run_inline ~n f
+  else
+    match t with
+    | Serial -> run_inline ~n f
+    | Pool p -> if Domain.DLS.get in_worker then run_inline ~n f else run_on_pool p ~n f
+
+module Slots = struct
+  type 'a t = { mutable arr : 'a array; init : int -> 'a }
+
+  let make init = { arr = [||]; init }
+
+  let ensure t j =
+    let have = Array.length t.arr in
+    if j > have then
+      t.arr <- Array.init j (fun w -> if w < have then t.arr.(w) else t.init w)
+
+  let get t w =
+    if w < 0 || w >= Array.length t.arr then
+      invalid_arg "Par.Slots.get: slot not ensured";
+    t.arr.(w)
+
+  let size t = Array.length t.arr
+end

@@ -1,0 +1,95 @@
+(** Par — zero-dependency deterministic domain pool.
+
+    A fixed pool of OCaml 5 domains with a [parallel_for] whose work
+    assignment is a pure function of the iteration count and the pool
+    size: worker [w] of [j] always receives the half-open index chunk
+    [\[w*n/j, (w+1)*n/j)].  Nothing about the schedule depends on
+    timing, so solvers that (a) keep per-index work independent and
+    (b) reduce results in index order afterwards produce bit-identical
+    output at every [-j], including the serial path.
+
+    The pool is lazily started: domains are spawned on the first
+    [parallel_for], then parked on a condition variable between
+    regions, so a pool is cheap to create and reusable across many
+    solves.  All pools are shut down from an [at_exit] hook so a
+    program never hangs on parked domains at termination.
+
+    Nested [parallel_for] calls — from inside a worker's chunk, or on
+    a second pool while a region of the first is running on the calling
+    domain — execute inline on the calling domain.  This makes it safe
+    to compose an outer per-session sweep with inner per-source
+    parallelism: whichever level grabs the pool first wins, the other
+    degrades to serial. *)
+
+type t
+(** A parallel execution context: either the serial context or a
+    domain pool. *)
+
+val serial : t
+(** The serial context: [parallel_for serial] runs the body inline on
+    the calling domain as one chunk.  [jobs serial = 1]. *)
+
+val default_jobs : unit -> int
+(** Worker count used by {!create} when [?jobs] is omitted: the value
+    of the [OVERLAY_JOBS] environment variable if it parses as a
+    positive integer, otherwise [Domain.recommended_domain_count ()].
+    Read afresh on every call. *)
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] makes a pool of [jobs] workers ([default_jobs ()]
+    when omitted).  Worker [0] is the calling domain; workers
+    [1..jobs-1] are domains spawned lazily on first use.  [jobs = 1]
+    returns {!serial} — no domains are ever spawned.  Raises
+    [Invalid_argument] if [jobs < 1]. *)
+
+val jobs : t -> int
+(** Number of workers, [>= 1]. *)
+
+val parallel_for :
+  t -> n:int -> (worker:int -> lo:int -> hi:int -> unit) -> unit
+(** [parallel_for t ~n f] partitions [0..n-1] into [jobs t] contiguous
+    chunks and calls [f ~worker ~lo ~hi] once per non-empty chunk;
+    [f] must process indices [lo] to [hi - 1].  Worker [w]'s chunk is
+    [\[w*n/jobs, (w+1)*n/jobs)] — deterministic, ascending with [w].
+    The call returns once every chunk has finished (a full barrier).
+
+    If one or more chunks raise, the exception of the lowest-numbered
+    failing worker is re-raised here (with its backtrace) after the
+    barrier, and the pool remains usable.
+
+    Chunk bodies run on distinct domains: they must not touch shared
+    mutable state except disjoint array cells, [Atomic] values, or
+    mutex-protected structures.  Use {!Slots} for per-worker scratch.
+
+    Calls from inside a chunk, or on a busy pool from the domain that
+    is running it, or with [n = 1] (a single chunk cannot overlap with
+    anything), execute [f ~worker:0 ~lo:0 ~hi:n] inline. *)
+
+val shutdown : t -> unit
+(** Terminate and join the pool's domains (idempotent; a no-op on
+    {!serial}).  Further [parallel_for] calls on the pool run inline.
+    Called automatically for every live pool at program exit. *)
+
+module Slots : sig
+  (** Per-worker scratch slots, e.g. one [Dijkstra.workspace] per
+      worker.  Slot [w] is only ever handed to worker [w], so the
+      value behind it may be freely mutated by the chunk body. *)
+
+  type 'a t
+
+  val make : (int -> 'a) -> 'a t
+  (** [make init] — an empty slot table; [init w] builds slot [w] when
+      {!ensure} first covers it.  [init] always runs on the caller's
+      domain (inside {!ensure}), never concurrently. *)
+
+  val ensure : 'a t -> int -> unit
+  (** [ensure t j] grows the table to at least [j] slots.  Call on the
+      orchestrating domain before entering a parallel region. *)
+
+  val get : 'a t -> int -> 'a
+  (** [get t w] is slot [w].  Raises [Invalid_argument] if [w] was
+      never covered by an {!ensure}. *)
+
+  val size : 'a t -> int
+  (** Slots built so far. *)
+end

@@ -5,35 +5,46 @@ type snapshot = {
   dists : float array array;
 }
 
-(* Reusable snapshot-construction state: one Dijkstra workspace plus the
-   dense vertex->slot array.  The arbitrary-routing mode rebuilds a
-   snapshot per MST operation (k Dijkstras), so the O(n) scratch state
-   is hoisted out of the per-operation path. *)
+(* Reusable snapshot-construction state: per-worker Dijkstra workspaces
+   plus the dense vertex->slot array and a grow-once member buffer.
+   The arbitrary-routing mode rebuilds a snapshot per MST operation
+   (k Dijkstras), so all O(n) scratch state is hoisted out of the
+   per-operation path.  Slot 0 always exists (the serial path); extra
+   Dijkstra workspaces appear the first time a snapshot runs on a
+   wider Par pool. *)
 type workspace = {
-  dij : Dijkstra.workspace;
+  dijs : Dijkstra.workspace Par.Slots.t;
   slots : int array;
-  mutable installed : int array;  (* members whose slots are currently set *)
+  installed : int array;  (* members whose slots are currently set... *)
+  mutable n_installed : int;  (* ...living in installed.(0 .. n_installed-1) *)
 }
 
 let workspace g =
   let n = Graph.n_vertices g in
+  let dijs = Par.Slots.make (fun _ -> Dijkstra.workspace ~n) in
+  Par.Slots.ensure dijs 1;
   {
-    dij = Dijkstra.workspace ~n;
+    dijs;
     slots = Array.make (max n 1) (-1);
-    installed = [||];
+    (* a member set never exceeds the vertex count (duplicates are
+       rejected), so the buffer never needs to grow *)
+    installed = Array.make (max n 1) (-1);
+    n_installed = 0;
   }
 
 let c_snapshots =
   Obs.Counter.make ~doc:"arbitrary-routing snapshots (k Dijkstras each)"
     "routing.snapshots"
 
-let routes_ws ws g ~members ~length =
+let routes_ws ?(par = Par.serial) ws g ~members ~length =
   Obs.Counter.incr c_snapshots;
   let k = Array.length members in
   if Array.length ws.slots < Graph.n_vertices g then
     invalid_arg "Dynamic_routing.routes_ws: workspace built for a smaller graph";
   (* clear the previous member set, install the new one *)
-  Array.iter (fun v -> ws.slots.(v) <- -1) ws.installed;
+  for i = 0 to ws.n_installed - 1 do
+    ws.slots.(ws.installed.(i)) <- -1
+  done;
   Array.iteri
     (fun i v ->
       if v < 0 || v >= Array.length ws.slots then
@@ -43,25 +54,36 @@ let routes_ws ws g ~members ~length =
         invalid_arg "Dynamic_routing.routes: duplicate members";
       ws.slots.(v) <- i)
     members;
-  ws.installed <- Array.copy members;
+  Array.blit members 0 ws.installed 0 k;
+  ws.n_installed <- k;
   (* one validation pass for the whole snapshot, not one per source *)
   Dijkstra.validate_lengths g ~length;
   let routes = Array.make_matrix k k None in
   let dists = Array.make_matrix k k 0.0 in
-  for i = 0 to k - 1 do
-    let tree =
-      Dijkstra.shortest_path_tree_ws ws.dij g ~length ~source:members.(i)
-    in
+  (* The k single-source trees are independent; sources are chunked
+     over the pool in ascending order.  Worker [w] only writes cells
+     owned by its sources: row [i] of [routes], and [dists.(i).(j)] /
+     [dists.(j).(i)] for [j > i] — each cell has exactly one writer
+     (the task with the smaller endpoint), so plain array stores are
+     race-free.  Per-worker Dijkstra workspaces come from [ws.dijs]. *)
+  let run_source worker i =
+    let dij = Par.Slots.get ws.dijs worker in
+    let tree = Dijkstra.shortest_path_tree_ws dij g ~length ~source:members.(i) in
     for j = i + 1 to k - 1 do
-      match Dijkstra.path_to tree members.(j) with
+      match Dijkstra.path_edges tree members.(j) with
       | None -> failwith "Dynamic_routing.routes: member pair disconnected"
       | Some edges ->
-        routes.(i).(j) <-
-          Some (Route.make ~src:members.(i) ~dst:members.(j) (Array.of_list edges));
+        routes.(i).(j) <- Some (Route.make ~src:members.(i) ~dst:members.(j) edges);
         dists.(i).(j) <- tree.Dijkstra.dist.(members.(j));
         dists.(j).(i) <- dists.(i).(j)
     done
-  done;
+  in
+  let par = if k > 1 then par else Par.serial in
+  Par.Slots.ensure ws.dijs (Par.jobs par);
+  Par.parallel_for par ~n:k (fun ~worker ~lo ~hi ->
+      for i = lo to hi - 1 do
+        run_source worker i
+      done);
   (* the snapshot borrows [ws.slots]; it stays correct until the next
      [routes_ws] on the same workspace *)
   { member_list = Array.copy members; slot_of = ws.slots; routes; dists }

@@ -1,0 +1,209 @@
+(* Tests for the Par domain pool itself: deterministic chunk assignment
+   at every n/jobs combination, pool reuse across regions, exception
+   propagation out of worker domains (lowest worker wins, pool stays
+   usable), nested [parallel_for] inlining, per-worker slots, and
+   Atomic counter totals under multi-domain increments. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let with_pool jobs f =
+  let par = Par.create ~jobs () in
+  Fun.protect ~finally:(fun () -> Par.shutdown par) (fun () -> f par)
+
+(* Every index in [0, n) must be visited exactly once, and each visited
+   chunk must be the deterministic [w*n/j, (w+1)*n/j) slice — except
+   [n = 1], which the implementation runs inline as worker 0. *)
+let check_region par ~jobs ~n =
+  let visits = Array.make (max n 1) 0 in
+  let lock = Mutex.create () in
+  let chunks = ref [] in
+  Par.parallel_for par ~n (fun ~worker ~lo ~hi ->
+      for i = lo to hi - 1 do
+        visits.(i) <- visits.(i) + 1
+      done;
+      Mutex.protect lock (fun () -> chunks := (worker, lo, hi) :: !chunks));
+  for i = 0 to n - 1 do
+    checki (Printf.sprintf "n=%d jobs=%d: index %d visited once" n jobs i) 1
+      visits.(i)
+  done;
+  List.iter
+    (fun (w, lo, hi) ->
+      let exp_lo, exp_hi =
+        if n = 1 then (0, 1) else (w * n / jobs, (w + 1) * n / jobs)
+      in
+      checkb
+        (Printf.sprintf "n=%d jobs=%d: worker %d got [%d,%d), wanted [%d,%d)"
+           n jobs w lo hi exp_lo exp_hi)
+        true
+        (lo = exp_lo && hi = exp_hi))
+    !chunks
+
+let test_chunk_cover () =
+  List.iter
+    (fun jobs ->
+      with_pool jobs (fun par ->
+          (* k = 1, k < jobs, k = jobs, k slightly over, k >> jobs *)
+          List.iter
+            (fun n -> check_region par ~jobs ~n)
+            [ 0; 1; 2; 3; jobs - 1; jobs; jobs + 1; 97; 1000 ]))
+    [ 2; 4 ]
+
+let test_serial_and_n1_inline () =
+  (* The serial context and any n = 1 region run on the calling domain
+     as a single worker-0 chunk. *)
+  let caller = Domain.self () in
+  let saw = ref (-1, caller) in
+  Par.parallel_for Par.serial ~n:5 (fun ~worker ~lo ~hi ->
+      checki "serial lo" 0 lo;
+      checki "serial hi" 5 hi;
+      saw := (worker, Domain.self ()));
+  checkb "serial runs inline" true (!saw = (0, caller));
+  with_pool 4 (fun par ->
+      let saw = ref (-1, caller) in
+      Par.parallel_for par ~n:1 (fun ~worker ~lo:_ ~hi:_ ->
+          saw := (worker, Domain.self ()));
+      checkb "n=1 runs inline on the caller" true (!saw = (0, caller)))
+
+let test_create_bounds () =
+  checki "jobs serial" 1 (Par.jobs Par.serial);
+  checki "jobs 1 is serial" 1 (Par.jobs (Par.create ~jobs:1 ()));
+  checkb "jobs 0 rejected" true
+    (match Par.create ~jobs:0 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  with_pool 3 (fun par -> checki "jobs 3" 3 (Par.jobs par))
+
+let test_pool_reuse () =
+  (* One pool, many regions: the domains are spawned once and parked
+     between regions, and every region still sums correctly. *)
+  with_pool 4 (fun par ->
+      let total = Atomic.make 0 in
+      for _round = 1 to 50 do
+        Par.parallel_for par ~n:32 (fun ~worker:_ ~lo ~hi ->
+            for i = lo to hi - 1 do
+              ignore (Atomic.fetch_and_add total i)
+            done)
+      done;
+      (* 50 * sum(0..31) *)
+      checki "reused pool sums every region" (50 * (31 * 32 / 2))
+        (Atomic.get total))
+
+let test_exception_propagation () =
+  with_pool 4 (fun par ->
+      (* Workers 1 and 2 both fail; the lowest-numbered failure is the
+         one re-raised, deterministically. *)
+      let got =
+        try
+          Par.parallel_for par ~n:8 (fun ~worker ~lo:_ ~hi:_ ->
+              if worker = 1 || worker = 2 then
+                failwith (Printf.sprintf "w%d" worker));
+          "no exception"
+        with Failure m -> m
+      in
+      checkb "lowest failing worker wins" true (got = "w1");
+      (* The pool survives a failed region. *)
+      let total = Atomic.make 0 in
+      Par.parallel_for par ~n:100 (fun ~worker:_ ~lo ~hi ->
+          ignore (Atomic.fetch_and_add total (hi - lo)));
+      checki "pool usable after exception" 100 (Atomic.get total))
+
+let test_nested_inlines () =
+  (* A parallel_for issued from inside a chunk body must run inline on
+     that worker (worker id 0, full range) rather than deadlocking on
+     the busy pool. *)
+  with_pool 4 (fun par ->
+      let inner_total = Atomic.make 0 in
+      let inner_ok = Atomic.make 0 in
+      Par.parallel_for par ~n:4 (fun ~worker:_ ~lo ~hi ->
+          for _i = lo to hi - 1 do
+            Par.parallel_for par ~n:4 (fun ~worker ~lo ~hi ->
+                if worker = 0 && lo = 0 && hi = 4 then
+                  Atomic.incr inner_ok;
+                ignore (Atomic.fetch_and_add inner_total (hi - lo)))
+          done);
+      checki "nested regions ran as single inline chunks" 4
+        (Atomic.get inner_ok);
+      checki "nested regions covered all indices" 16 (Atomic.get inner_total))
+
+let test_slots () =
+  let built = ref 0 in
+  let slots =
+    Par.Slots.make (fun w ->
+        incr built;
+        ref w)
+  in
+  checki "empty slots" 0 (Par.Slots.size slots);
+  checkb "get before ensure raises" true
+    (match Par.Slots.get slots 0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Par.Slots.ensure slots 4;
+  checki "ensure grows" 4 (Par.Slots.size slots);
+  checki "init ran once per slot" 4 !built;
+  let s0 = Par.Slots.get slots 0 in
+  checkb "slots are distinct values" true
+    (Par.Slots.get slots 1 != s0 && !(Par.Slots.get slots 3) = 3);
+  Par.Slots.ensure slots 2;
+  checki "ensure never shrinks" 4 (Par.Slots.size slots);
+  Par.Slots.ensure slots 6;
+  checki "regrow built only the new slots" 6 !built;
+  checkb "regrow preserves existing slot values" true
+    (Par.Slots.get slots 0 == s0)
+
+let test_atomic_counter_totals () =
+  (* An Obs.Counter bumped from every worker domain must equal the
+     serial tally exactly — the whole point of the atomic upgrade. *)
+  let c = Obs.Counter.make "test.par.atomic_counter" in
+  Obs.Counter.reset c;
+  for _i = 1 to 1000 do
+    Obs.Counter.incr c
+  done;
+  let serial = Obs.Counter.value c in
+  Obs.Counter.reset c;
+  with_pool 4 (fun par ->
+      Par.parallel_for par ~n:1000 (fun ~worker:_ ~lo ~hi ->
+          for _i = lo to hi - 1 do
+            Obs.Counter.incr c
+          done));
+  checki "parallel counter total matches serial" serial (Obs.Counter.value c);
+  checki "counter total is exact" 1000 (Obs.Counter.value c)
+
+let test_default_jobs_env () =
+  (* OVERLAY_JOBS overrides the recommended domain count when it parses
+     as a positive integer; junk and non-positive values fall back. *)
+  let old = Sys.getenv_opt "OVERLAY_JOBS" in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "OVERLAY_JOBS" (Option.value old ~default:""))
+    (fun () ->
+      Unix.putenv "OVERLAY_JOBS" "3";
+      checki "OVERLAY_JOBS=3" 3 (Par.default_jobs ());
+      Unix.putenv "OVERLAY_JOBS" " 2 ";
+      checki "OVERLAY_JOBS tolerates whitespace" 2 (Par.default_jobs ());
+      let fallback = Domain.recommended_domain_count () in
+      Unix.putenv "OVERLAY_JOBS" "0";
+      checki "non-positive falls back" fallback (Par.default_jobs ());
+      Unix.putenv "OVERLAY_JOBS" "lots";
+      checki "junk falls back" fallback (Par.default_jobs ());
+      Unix.putenv "OVERLAY_JOBS" "";
+      checki "empty falls back" fallback (Par.default_jobs ()))
+
+let suite =
+  [
+    Alcotest.test_case "chunking covers every index exactly once" `Quick
+      test_chunk_cover;
+    Alcotest.test_case "serial and n=1 regions run inline" `Quick
+      test_serial_and_n1_inline;
+    Alcotest.test_case "create validates job counts" `Quick test_create_bounds;
+    Alcotest.test_case "pool is reusable across many regions" `Quick
+      test_pool_reuse;
+    Alcotest.test_case "worker exceptions propagate deterministically" `Quick
+      test_exception_propagation;
+    Alcotest.test_case "nested parallel_for runs inline" `Quick
+      test_nested_inlines;
+    Alcotest.test_case "per-worker slots" `Quick test_slots;
+    Alcotest.test_case "atomic counter totals match serial" `Quick
+      test_atomic_counter_totals;
+    Alcotest.test_case "OVERLAY_JOBS parsing" `Quick test_default_jobs_env;
+  ]

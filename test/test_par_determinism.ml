@@ -1,0 +1,169 @@
+(* Determinism property tests for the parallel engine: MaxFlow,
+   MaxConcurrentFlow and Random-MinCongestion driven through Par pools
+   at -j 1/2/4 must produce bit-identical solutions, iteration/phase
+   counts and trace event sequences vs the plain serial path — in IP
+   mode (worker-sweep parallelism) on Setup A, and in arbitrary mode
+   (per-source Dijkstra parallelism) on a random 50-node Waxman
+   instance.
+
+   Trace comparison excludes wall-clock-derived payloads: the [time]
+   field everywhere and [a]/[b] on span events ([Span_close.a] is a
+   duration).  Everything else — [seq], kind, session, payloads — must
+   match event for event. *)
+
+let checkb = Alcotest.(check bool)
+
+let job_counts = [ 1; 2; 4 ]
+
+(* ---------- signatures ---------- *)
+
+let trace_signature tr =
+  List.map
+    (fun e ->
+      let open Obs.Event in
+      let a, b =
+        match e.kind with
+        | Obs.Span_open | Obs.Span_close -> (0.0, 0.0)
+        | _ -> (e.a, e.b)
+      in
+      (e.seq, Obs.kind_name e.kind, e.session, a, b))
+    (Obs.Trace.events tr)
+
+let solution_signature sol =
+  let rates = Solution.rates sol in
+  let trees =
+    Array.init (Array.length rates) (fun i ->
+        Solution.trees sol i
+        |> List.map (fun (t, r) -> (Otree.key t, r))
+        |> List.sort compare)
+  in
+  (Array.to_list rates, Array.to_list trees)
+
+let check_same msg reference candidate =
+  checkb (msg ^ ": solver output identical") true
+    (fst reference = fst candidate);
+  checkb (msg ^ ": trace event sequence identical") true
+    (snd reference = snd candidate)
+
+(* Run [f ~obs ~par] once serially (Par.serial, the reference) and once
+   per job count, asserting every run signature equals the reference's. *)
+let assert_deterministic msg f =
+  let run par =
+    let tr = Obs.Trace.create () in
+    let out = f ~obs:(Obs.Trace.sink tr) ~par in
+    (out, trace_signature tr)
+  in
+  let reference = run Par.serial in
+  List.iter
+    (fun jobs ->
+      let par = Par.create ~jobs () in
+      Fun.protect
+        ~finally:(fun () -> Par.shutdown par)
+        (fun () ->
+          check_same (Printf.sprintf "%s -j %d" msg jobs) reference (run par)))
+    job_counts
+
+(* ---------- instances ---------- *)
+
+(* Setup A exercises IP mode: 100 nodes, sessions of 7 and 5. *)
+let setup_a = lazy (Setup.make_a ~seed:4 Setup.default_a)
+
+(* The arbitrary-routing instance: a random 50-node Waxman graph with
+   two sessions, small enough that per-snapshot Dijkstra sweeps (the
+   arbitrary-mode hot path) stay fast under runtest. *)
+let waxman50 =
+  lazy
+    (let rng = Rng.create 50 in
+     let topo = Waxman.generate rng { Waxman.default_params with Waxman.n = 50 } in
+     let sessions =
+       Array.mapi
+         (fun id size ->
+           Session.random rng ~id ~topology_size:50 ~size ~demand:50.0)
+         [| 6; 4 |]
+     in
+     (topo.Topology.graph, sessions))
+
+let overlays_a mode =
+  let setup = Lazy.force setup_a in
+  (setup.Setup.topology.Topology.graph, Setup.overlays setup mode)
+
+let overlays_w50 mode =
+  let g, sessions = Lazy.force waxman50 in
+  (g, Array.map (Overlay.create g mode) sessions)
+
+(* ---------- solver drivers ---------- *)
+
+let test_maxflow_ip_setup_a () =
+  assert_deterministic "maxflow ip setup-a" (fun ~obs ~par ->
+      let g, overlays = overlays_a Overlay.Ip in
+      let r =
+        Max_flow.solve g overlays ~obs ~par
+          ~epsilon:(Max_flow.ratio_to_epsilon 0.95)
+      in
+      (r.Max_flow.iterations, r.Max_flow.mst_operations,
+       solution_signature r.Max_flow.solution))
+
+let test_maxflow_arbitrary_waxman50 () =
+  assert_deterministic "maxflow arbitrary waxman50" (fun ~obs ~par ->
+      let g, overlays = overlays_w50 Overlay.Arbitrary in
+      let r =
+        Max_flow.solve g overlays ~obs ~par
+          ~epsilon:(Max_flow.ratio_to_epsilon 0.90)
+      in
+      (r.Max_flow.iterations, r.Max_flow.mst_operations,
+       solution_signature r.Max_flow.solution))
+
+let test_mcf_ip_setup_a () =
+  assert_deterministic "mcf ip setup-a" (fun ~obs ~par ->
+      let g, overlays = overlays_a Overlay.Ip in
+      let r =
+        Max_concurrent_flow.solve g overlays ~obs ~par
+          ~epsilon:(Max_concurrent_flow.ratio_to_epsilon 0.85)
+          ~scaling:Max_concurrent_flow.Maxflow_weighted
+      in
+      (r.Max_concurrent_flow.phases,
+       Array.to_list r.Max_concurrent_flow.zetas,
+       solution_signature r.Max_concurrent_flow.solution))
+
+let test_mcf_arbitrary_waxman50 () =
+  assert_deterministic "mcf arbitrary waxman50" (fun ~obs ~par ->
+      let g, overlays = overlays_w50 Overlay.Arbitrary in
+      let r =
+        Max_concurrent_flow.solve g overlays ~obs ~par
+          ~epsilon:(Max_concurrent_flow.ratio_to_epsilon 0.85)
+          ~scaling:Max_concurrent_flow.Maxflow_weighted
+      in
+      (r.Max_concurrent_flow.phases,
+       Array.to_list r.Max_concurrent_flow.zetas,
+       solution_signature r.Max_concurrent_flow.solution))
+
+let test_rounding_waxman50 () =
+  (* One fractional solution, rounded under every worker count with a
+     fresh identically-seeded RNG: per-trial streams are split off
+     serially before the parallel region, so rates, throughput and
+     distinct-tree averages are exact matches. *)
+  let g, overlays = overlays_w50 Overlay.Ip in
+  let fractional =
+    (Max_flow.solve g overlays ~epsilon:(Max_flow.ratio_to_epsilon 0.90))
+      .Max_flow.solution
+  in
+  assert_deterministic "rounding waxman50" (fun ~obs ~par ->
+      let rates, throughput, distinct =
+        Random_rounding.round_average ~obs ~par (Rng.create 77) g ~fractional
+          ~trees_per_session:4 ~repeats:12
+      in
+      (Array.to_list rates, throughput, Array.to_list distinct))
+
+let suite =
+  [
+    Alcotest.test_case "maxflow ip on Setup A is -j invariant" `Slow
+      test_maxflow_ip_setup_a;
+    Alcotest.test_case "maxflow arbitrary on waxman-50 is -j invariant" `Slow
+      test_maxflow_arbitrary_waxman50;
+    Alcotest.test_case "mcf ip on Setup A is -j invariant" `Slow
+      test_mcf_ip_setup_a;
+    Alcotest.test_case "mcf arbitrary on waxman-50 is -j invariant" `Slow
+      test_mcf_arbitrary_waxman50;
+    Alcotest.test_case "rounding on waxman-50 is -j invariant" `Quick
+      test_rounding_waxman50;
+  ]
