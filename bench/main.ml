@@ -678,33 +678,52 @@ let run_obs_bench () =
     let overlays = Setup.overlays setup_a Overlay.Ip in
     elapsed (fun () -> Max_flow.solve ~obs g overlays ~epsilon)
   in
-  (* Warmup, then interleaved best-of-7 per configuration: run-to-run
-     scheduler noise on this workload exceeds the effect being measured,
-     and the minimum of several interleaved runs approaches each
-     configuration's true floor. *)
+  (* Warm up every configuration, then interleaved best-of-13 per
+     configuration: run-to-run scheduler noise on this workload exceeds
+     the effect being measured, and the minimum of several interleaved
+     runs approaches each configuration's true floor. *)
   ignore (time_solve ~obs:Obs.Sink.null ());
   let tr = Obs.Trace.create () in
+  let stream_path = Filename.temp_file "bench_obs_stream" ".jsonl" in
+  ignore (time_solve ~obs:(Obs.Trace.sink tr) ());
+  Obs.Trace.clear tr;
+  ignore (Obs_stream.with_file stream_path (fun sink -> time_solve ~obs:sink ()));
+  let stream_emitted = ref 0 in
   let null_best = ref None and traced_best = ref None in
+  let stream_best = ref None in
   let keep best (r, dt) =
     match !best with
     | Some (_, prev) when prev <= dt -> ()
     | _ -> best := Some (r, dt)
   in
-  for _ = 1 to 7 do
+  for _ = 1 to 13 do
     keep null_best (time_solve ~obs:Obs.Sink.null ());
     Obs.Trace.clear tr;
-    keep traced_best (time_solve ~obs:(Obs.Trace.sink tr) ())
+    keep traced_best (time_solve ~obs:(Obs.Trace.sink tr) ());
+    let result, emitted =
+      Obs_stream.with_file stream_path (fun sink ->
+          time_solve ~obs:sink ())
+    in
+    stream_emitted := emitted;
+    keep stream_best result
   done;
   let null_r, null_dt = Option.get !null_best in
   let traced_r, traced_dt = Option.get !traced_best in
+  let stream_r, stream_dt = Option.get !stream_best in
   let overhead = (traced_dt -. null_dt) /. null_dt in
+  let stream_overhead = (stream_dt -. null_dt) /. null_dt in
   let equal_output = same_solver_output null_r traced_r in
+  let stream_equal_output = same_solver_output null_r stream_r in
+  Sys.remove stream_path;
   Printf.printf
-    "MaxFlow Setup A (ratio 0.95, IP): no-op sink %.3fs, trace sink %.3fs\n\
-    \  overhead %.1f%%  events emitted %d (recorded %d, dropped %d)\n\
-    \  equal_output=%b\n"
-    null_dt traced_dt (100.0 *. overhead) (Obs.Trace.emitted tr)
-    (Obs.Trace.recorded tr) (Obs.Trace.dropped tr) equal_output;
+    "MaxFlow Setup A (ratio 0.95, IP): no-op sink %.3fs, trace sink %.3fs, \
+     stream sink %.3fs\n\
+    \  ring overhead %.1f%%  events emitted %d (recorded %d, dropped %d)\n\
+    \  stream overhead %.1f%%  events written %d (dropped 0)\n\
+    \  equal_output=%b  stream_equal_output=%b\n"
+    null_dt traced_dt stream_dt (100.0 *. overhead) (Obs.Trace.emitted tr)
+    (Obs.Trace.recorded tr) (Obs.Trace.dropped tr) (100.0 *. stream_overhead)
+    !stream_emitted equal_output stream_equal_output;
   let json =
     Json_export.Object_
       [
@@ -717,12 +736,17 @@ let run_obs_bench () =
           Json_export.Number (float_of_int null_r.Max_flow.iterations) );
         ("noop_sink_s", Json_export.Number null_dt);
         ("trace_sink_s", Json_export.Number traced_dt);
+        ("stream_sink_s", Json_export.Number stream_dt);
         ("overhead_fraction", Json_export.Number overhead);
+        ("stream_overhead_fraction", Json_export.Number stream_overhead);
         ("events_emitted", Json_export.Number (float_of_int (Obs.Trace.emitted tr)));
         ( "events_recorded",
           Json_export.Number (float_of_int (Obs.Trace.recorded tr)) );
         ("events_dropped", Json_export.Number (float_of_int (Obs.Trace.dropped tr)));
+        ("stream_events_written", Json_export.Number (float_of_int !stream_emitted));
+        ("stream_events_dropped", Json_export.Number 0.0);
         ("equal_output", Json_export.Bool equal_output);
+        ("stream_equal_output", Json_export.Bool stream_equal_output);
         ("registry", Obs_export.registry ());
       ]
   in

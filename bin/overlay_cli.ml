@@ -234,22 +234,42 @@ let eval_cmd =
 (* --- solve: ad-hoc instances ------------------------------------------------ *)
 
 let solve_cmd =
-  let run seed nodes sizes demand mode algorithm ratio sigma trace jobs =
+  let run seed nodes sizes demand mode algorithm ratio sigma trace trace_stream
+      trace_capacity jobs =
     let setup = make_setup seed nodes sizes demand in
     let g = setup.Setup.topology.Topology.graph in
     let overlays = Setup.overlays setup mode in
     let par = Par.create ~jobs () in
-    let tr = Option.map (fun _ -> Obs.Trace.create ()) trace in
+    let tr =
+      Option.map (fun _ -> Obs.Trace.create ~capacity:trace_capacity ()) trace
+    in
+    let stream = Option.map Obs_stream.create trace_stream in
     let obs =
-      match tr with Some t -> Obs.Trace.sink t | None -> Obs.Sink.null
+      match (tr, stream) with
+      | Some t, None -> Obs.Trace.sink t
+      | None, Some s -> Obs_stream.sink s
+      | Some t, Some s ->
+        (* tee: the ring keeps the tail queryable in-process while the
+           stream captures the full run *)
+        let ts = Obs.Trace.sink t and ss = Obs_stream.sink s in
+        Obs.Sink.make (fun kind ~session ~a ~b ->
+            Obs.Sink.emit ts kind ~session ~a ~b;
+            Obs.Sink.emit ss kind ~session ~a ~b)
+      | None, None -> Obs.Sink.null
     in
     let write_trace () =
-      match (trace, tr) with
+      (match (trace, tr) with
       | Some path, Some t ->
         Obs_export.trace_to_file path t;
         Printf.printf "wrote trace to %s (%d events recorded, %d dropped)\n"
           path (Obs.Trace.recorded t) (Obs.Trace.dropped t)
-      | _ -> ()
+      | _ -> ());
+      match stream with
+      | Some s ->
+        Obs_stream.close s;
+        Printf.printf "wrote trace stream to %s (%d events, 0 dropped)\n"
+          (Obs_stream.path s) (Obs_stream.emitted s)
+      | None -> ()
     in
     let describe sol =
       let t =
@@ -327,8 +347,30 @@ let solve_cmd =
       & opt (some string) None
       & info [ "trace" ] ~docv:"FILE"
           ~doc:
-            "Record the solver's telemetry event trace and write it as JSON \
-             to $(docv) (schema overlay-obs-trace/1, see OBSERVABILITY.md).")
+            "Record the solver's telemetry event trace into a bounded ring \
+             and write it as JSON to $(docv) (schema overlay-obs-trace/1, \
+             see OBSERVABILITY.md).  Runs longer than the ring drop their \
+             oldest events; use $(b,--trace-stream) for lossless capture.")
+  in
+  let trace_stream =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-stream" ] ~docv:"FILE"
+          ~doc:
+            "Stream every telemetry event to $(docv) as JSON-lines (schema \
+             overlay-obs-trace/2): lossless capture with constant memory, \
+             dropped is always 0.  Inspect with $(b,overlay_cli trace \
+             summary) $(docv).")
+  in
+  let trace_capacity =
+    Arg.(
+      value & opt int 65536
+      & info [ "trace-capacity" ] ~docv:"N"
+          ~doc:
+            "Ring capacity (events) for $(b,--trace).  The default 65536 \
+             drops the early iterations of acceptance-size runs; raise it \
+             or switch to $(b,--trace-stream).")
   in
   let jobs =
     Arg.(
@@ -345,7 +387,7 @@ let solve_cmd =
     (Cmd.info "solve" ~doc)
     Term.(
       const run $ seed $ nodes $ sizes $ demand $ mode $ algorithm $ ratio
-      $ sigma $ trace $ jobs)
+      $ sigma $ trace $ trace_stream $ trace_capacity $ jobs)
 
 (* --- export: dump an instance + solution to files --------------------------- *)
 
@@ -408,6 +450,183 @@ let export_cmd =
     (Cmd.info "export" ~doc)
     Term.(const run $ seed $ nodes $ sizes $ demand $ mode $ ratio $ outdir)
 
+(* --- obs: dump the live metric registry -------------------------------------- *)
+
+let obs_cmd =
+  let run json =
+    if json then print_endline (Json_export.to_string (Obs_export.registry ()))
+    else begin
+      let counters =
+        Tableau.create ~title:"counters" [ "name"; "value"; "doc" ]
+      in
+      List.iter
+        (fun (name, doc, value) ->
+          Tableau.add_row counters [ name; string_of_int value; doc ])
+        (Obs.Registry.counters ());
+      Tableau.print counters;
+      let gauges = Tableau.create ~title:"gauges" [ "name"; "value"; "doc" ] in
+      List.iter
+        (fun (name, doc, value) ->
+          Tableau.add_row gauges [ name; Printf.sprintf "%g" value; doc ])
+        (Obs.Registry.gauges ());
+      Tableau.print gauges;
+      let flags =
+        Tableau.create ~title:"debug flags" [ "name"; "env"; "enabled"; "doc" ]
+      in
+      List.iter
+        (fun (name, env, doc, enabled) ->
+          Tableau.add_row flags
+            [ name; env; (if enabled then "yes" else "no"); doc ])
+        (Obs.Debug_flags.all ());
+      Tableau.print flags
+    end
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the registry as JSON (the $(b,Obs_export.registry) \
+                object) instead of text tables.")
+  in
+  let doc =
+    "Dump the live metric registry: every counter, gauge and debug flag \
+     (the inventory documented in OBSERVABILITY.md), without running a \
+     bench."
+  in
+  Cmd.v (Cmd.info "obs" ~doc) Term.(const run $ json)
+
+(* --- trace: read and analyze captured traces ---------------------------------- *)
+
+let load_trace path =
+  match Obs_export.read_trace path with
+  | Error msg ->
+    Printf.eprintf "error: %s: %s\n" path msg;
+    exit 1
+  | Ok r ->
+    List.iter (fun issue -> Printf.eprintf "warning: %s\n" issue) r.Obs_export.r_issues;
+    r
+
+let trace_file ~at ~docv =
+  Arg.(
+    required
+    & pos at (some string) None
+    & info [] ~docv ~doc:"Trace file (schema overlay-obs-trace/1 or /2).")
+
+let trace_summary_cmd =
+  let run path =
+    let r = load_trace path in
+    Printf.printf "trace: %s (schema %d%s)\n" path r.Obs_export.r_schema
+      (if r.Obs_export.r_truncated then ", TRUNCATED" else "");
+    Printf.printf "events: %d retained, %d emitted, %d dropped%s\n"
+      (Array.length r.Obs_export.r_events)
+      r.Obs_export.r_emitted r.Obs_export.r_dropped
+      (match r.Obs_export.r_capacity with
+      | Some c -> Printf.sprintf " (ring capacity %d)" c
+      | None -> "");
+    if r.Obs_export.r_issues <> [] then
+      Printf.printf "validation issues: %d (see warnings above)\n"
+        (List.length r.Obs_export.r_issues);
+    let c = Analysis.convergence r.Obs_export.r_events in
+    print_string (Analysis.render_convergence ~buckets:0 c);
+    let t = Tableau.create ~title:"events by kind" [ "kind"; "count" ] in
+    List.iter
+      (fun (kind, n) ->
+        Tableau.add_row t [ Obs.kind_name kind; string_of_int n ])
+      (Analysis.kind_counts r.Obs_export.r_events);
+    Tableau.print t
+  in
+  let doc =
+    "Validate a trace and print its envelope, run header, objective and \
+     per-kind event counts."
+  in
+  Cmd.v (Cmd.info "summary" ~doc)
+    Term.(const run $ trace_file ~at:0 ~docv:"TRACE")
+
+let trace_convergence_cmd =
+  let run path csv buckets =
+    let r = load_trace path in
+    let c = Analysis.convergence r.Obs_export.r_events in
+    if csv then print_string (Analysis.convergence_csv c)
+    else print_string (Analysis.render_convergence ~buckets c)
+  in
+  let csv =
+    Arg.(
+      value & flag
+      & info [ "csv" ]
+          ~doc:
+            "Emit the full per-iteration trajectory as CSV \
+             (kind,iteration,time,dt,session,value) instead of the bucketed \
+             text table.")
+  in
+  let buckets =
+    Arg.(
+      value & opt int 20
+      & info [ "buckets" ] ~docv:"N"
+          ~doc:"Iteration buckets for the text rendering.")
+  in
+  let doc =
+    "Report the Garg-Konemann convergence trajectory: per-iteration routed \
+     flow and inter-event time with rescale/demand-double markers."
+  in
+  Cmd.v (Cmd.info "convergence" ~doc)
+    Term.(const run $ trace_file ~at:0 ~docv:"TRACE" $ csv $ buckets)
+
+let trace_spans_cmd =
+  let run path =
+    let r = load_trace path in
+    print_string (Analysis.render_spans (Analysis.span_profile r.Obs_export.r_events));
+    print_string (Analysis.render_mst (Analysis.mst_efficiency r.Obs_export.r_events))
+  in
+  let doc =
+    "Profile a trace's spans (count, total/self time, nesting) and the \
+     MST-engine efficiency split (recomputes vs lazy skips vs weight \
+     re-walks per session)."
+  in
+  Cmd.v (Cmd.info "spans" ~doc)
+    Term.(const run $ trace_file ~at:0 ~docv:"TRACE")
+
+let trace_diff_cmd =
+  let run path_a path_b iter_tol obj_tol =
+    let a = load_trace path_a and b = load_trace path_b in
+    let d =
+      Analysis.diff ~iter_tol ~obj_tol a.Obs_export.r_events
+        b.Obs_export.r_events
+    in
+    print_string (Analysis.render_diff d);
+    if not d.Analysis.equal then exit 1
+  in
+  let iter_tol =
+    Arg.(
+      value & opt int 0
+      & info [ "iter-tol" ] ~docv:"N"
+          ~doc:"Allowed absolute drift in iteration/phase/rescale counts.")
+  in
+  let obj_tol =
+    Arg.(
+      value & opt float 1e-9
+      & info [ "obj-tol" ] ~docv:"F"
+          ~doc:"Allowed relative drift in objective and total routed flow.")
+  in
+  let doc =
+    "Structurally compare two traces (event counts by kind, \
+     iteration/phase/objective drift under tolerances); exits non-zero \
+     when they differ.  Timestamps and durations are ignored."
+  in
+  Cmd.v (Cmd.info "diff" ~doc)
+    Term.(
+      const run
+      $ trace_file ~at:0 ~docv:"TRACE_A"
+      $ trace_file ~at:1 ~docv:"TRACE_B"
+      $ iter_tol $ obj_tol)
+
+let trace_cmd =
+  let doc =
+    "Read captured telemetry traces (ring JSON or JSONL streams) and \
+     report on solver behaviour."
+  in
+  Cmd.group (Cmd.info "trace" ~doc)
+    [ trace_summary_cmd; trace_convergence_cmd; trace_spans_cmd; trace_diff_cmd ]
+
 (* --- topo: inspect generated topologies ------------------------------------- *)
 
 let topo_cmd =
@@ -449,4 +668,4 @@ let () =
     "Optimized capacity utilization in overlay networks (Cui/Li/Nahrstedt, SPAA 2004)"
   in
   let info = Cmd.info "overlay_cli" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ tables_cmd; figures_cmd; eval_cmd; solve_cmd; export_cmd; topo_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ tables_cmd; figures_cmd; eval_cmd; solve_cmd; export_cmd; topo_cmd; obs_cmd; trace_cmd ]))

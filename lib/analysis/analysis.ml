@@ -1,0 +1,552 @@
+(* Pure folds over Obs.Event.t arrays.  Nothing here reads solver
+   state; truncated traces (ring wraparound) degrade gracefully to
+   partial reports instead of raising. *)
+
+let kind_counts events =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun (e : Obs.Event.t) ->
+      let k = e.Obs.Event.kind in
+      Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+    events;
+  Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl []
+  |> List.sort (fun (ka, _) (kb, _) ->
+         String.compare (Obs.kind_name ka) (Obs.kind_name kb))
+
+(* --- convergence -------------------------------------------------------- *)
+
+type iter_point = {
+  iteration : int;
+  session : int;
+  flow : float;
+  time : float;
+  dt : float;
+}
+
+type marker = { m_time : float; m_value : float }
+
+type convergence = {
+  run_name : string option;
+  n_sessions : int option;
+  parameter : float option;
+  iterations : int;
+  phases : int;
+  points : iter_point array;
+  rescales : marker array;
+  demand_doubles : marker array;
+  session_rates : (int * float) array;
+  final_objective : float option;
+  run_iterations : float option;
+  total_flow : float;
+  duration : float;
+}
+
+let convergence events =
+  let run_name = ref None in
+  let n_sessions = ref None in
+  let parameter = ref None in
+  let iterations = ref 0 in
+  let phases = ref 0 in
+  let points = ref [] in
+  let rescales = ref [] in
+  let demand_doubles = ref [] in
+  let session_rates = ref [] in
+  let final_objective = ref None in
+  let run_iterations = ref None in
+  let total_flow = ref 0.0 in
+  let prev_time = ref None in
+  Array.iter
+    (fun (e : Obs.Event.t) ->
+      match e.Obs.Event.kind with
+      | Obs.Run_start ->
+        if !run_name = None then begin
+          run_name := Some (Obs.Name.to_string e.Obs.Event.session);
+          n_sessions := Some (int_of_float e.Obs.Event.a);
+          parameter := Some e.Obs.Event.b;
+          (* the run's start anchors the first point's inter-event time *)
+          if !prev_time = None then prev_time := Some e.Obs.Event.time
+        end
+      | Obs.Run_end ->
+        final_objective := Some e.Obs.Event.b;
+        run_iterations := Some e.Obs.Event.a
+      | Obs.Iter_start -> incr iterations
+      | Obs.Iter_end ->
+        let dt =
+          match !prev_time with
+          | Some t0 -> e.Obs.Event.time -. t0
+          | None -> 0.0
+        in
+        prev_time := Some e.Obs.Event.time;
+        total_flow := !total_flow +. e.Obs.Event.b;
+        points :=
+          {
+            iteration = int_of_float e.Obs.Event.a;
+            session = e.Obs.Event.session;
+            flow = e.Obs.Event.b;
+            time = e.Obs.Event.time;
+            dt;
+          }
+          :: !points
+      | Obs.Phase_start -> incr phases
+      | Obs.Rescale ->
+        rescales :=
+          { m_time = e.Obs.Event.time; m_value = e.Obs.Event.a } :: !rescales
+      | Obs.Demand_double ->
+        demand_doubles :=
+          { m_time = e.Obs.Event.time; m_value = e.Obs.Event.a }
+          :: !demand_doubles
+      | Obs.Session_rate ->
+        session_rates := (e.Obs.Event.session, e.Obs.Event.a) :: !session_rates
+      | _ -> ())
+    events;
+  let duration =
+    if Array.length events = 0 then 0.0
+    else
+      events.(Array.length events - 1).Obs.Event.time
+      -. events.(0).Obs.Event.time
+  in
+  {
+    run_name = !run_name;
+    n_sessions = !n_sessions;
+    parameter = !parameter;
+    iterations = !iterations;
+    phases = !phases;
+    points = Array.of_list (List.rev !points);
+    rescales = Array.of_list (List.rev !rescales);
+    demand_doubles = Array.of_list (List.rev !demand_doubles);
+    session_rates = Array.of_list (List.rev !session_rates);
+    final_objective = !final_objective;
+    run_iterations = !run_iterations;
+    total_flow = !total_flow;
+    duration;
+  }
+
+let convergence_csv c =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "kind,iteration,time,dt,session,value\n";
+  (* merge points and markers back into time order; both arrays are
+     already time-sorted, so a two-cursor merge suffices *)
+  let markers =
+    Array.append
+      (Array.map (fun m -> ("rescale", m)) c.rescales)
+      (Array.map (fun m -> ("demand_double", m)) c.demand_doubles)
+  in
+  Array.sort (fun (_, a) (_, b) -> Float.compare a.m_time b.m_time) markers;
+  let np = Array.length c.points and nm = Array.length markers in
+  let ip = ref 0 and im = ref 0 in
+  let emit_point (p : iter_point) =
+    Buffer.add_string buf
+      (Printf.sprintf "iter_end,%d,%.9f,%.9f,%d,%.12g\n" p.iteration p.time
+         p.dt p.session p.flow)
+  in
+  let emit_marker (kind, m) =
+    Buffer.add_string buf
+      (Printf.sprintf "%s,,%.9f,,,%.12g\n" kind m.m_time m.m_value)
+  in
+  while !ip < np || !im < nm do
+    if
+      !im >= nm
+      || (!ip < np && c.points.(!ip).time <= (snd markers.(!im)).m_time)
+    then begin
+      emit_point c.points.(!ip);
+      incr ip
+    end
+    else begin
+      emit_marker markers.(!im);
+      incr im
+    end
+  done;
+  Buffer.contents buf
+
+let render_convergence ?(buckets = 20) c =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "run: %s  sessions: %s  parameter: %s\n"
+    (Option.value ~default:"?" c.run_name)
+    (match c.n_sessions with Some n -> string_of_int n | None -> "?")
+    (match c.parameter with Some p -> Printf.sprintf "%g" p | None -> "?");
+  add "iterations: %d  phases: %d  rescales: %d  demand doublings: %d\n"
+    c.iterations c.phases (Array.length c.rescales)
+    (Array.length c.demand_doubles);
+  add "routed flow: %.6g over %d accepted steps  duration: %.3fs\n"
+    c.total_flow (Array.length c.points) c.duration;
+  (match c.final_objective with
+  | Some obj -> add "objective: %.2f\n" obj
+  | None -> add "objective: ? (no run_end in trace)\n");
+  if Array.length c.session_rates > 0 then begin
+    add "final rates:";
+    Array.iter
+      (fun (slot, rate) -> add " s%d=%.2f" slot rate)
+      c.session_rates;
+    add "\n"
+  end;
+  let np = Array.length c.points in
+  if np > 0 && buckets > 0 then begin
+    let nb = min buckets np in
+    let t =
+      Tableau.create ~title:"convergence trajectory (bucketed)"
+        [ "steps"; "mean flow"; "min"; "max"; "mean dt (us)"; "cum flow %" ]
+    in
+    let cum = ref 0.0 in
+    for bkt = 0 to nb - 1 do
+      let lo = bkt * np / nb and hi = ((bkt + 1) * np / nb) - 1 in
+      let count = hi - lo + 1 in
+      let sum = ref 0.0
+      and mn = ref infinity
+      and mx = ref neg_infinity
+      and dts = ref 0.0 in
+      for i = lo to hi do
+        let p = c.points.(i) in
+        sum := !sum +. p.flow;
+        if p.flow < !mn then mn := p.flow;
+        if p.flow > !mx then mx := p.flow;
+        dts := !dts +. p.dt
+      done;
+      cum := !cum +. !sum;
+      Tableau.add_row t
+        [
+          Printf.sprintf "%d-%d" (lo + 1) (hi + 1);
+          Printf.sprintf "%.3f" (!sum /. float_of_int count);
+          Printf.sprintf "%.3f" !mn;
+          Printf.sprintf "%.3f" !mx;
+          Printf.sprintf "%.1f" (1e6 *. !dts /. float_of_int count);
+          Printf.sprintf "%.1f"
+            (if c.total_flow = 0.0 then 0.0 else 100.0 *. !cum /. c.total_flow);
+        ]
+    done;
+    Buffer.add_string buf (Tableau.render t)
+  end;
+  Buffer.contents buf
+
+(* --- span profile ------------------------------------------------------- *)
+
+type span_stat = {
+  span : string;
+  count : int;
+  total_s : float;
+  self_s : float;
+  max_depth : int;
+}
+
+let span_profile events =
+  (* per-name accumulators keyed by interned id *)
+  let stats : (int, span_stat ref) Hashtbl.t = Hashtbl.create 8 in
+  let get id =
+    match Hashtbl.find_opt stats id with
+    | Some r -> r
+    | None ->
+      let r =
+        ref
+          {
+            span = Obs.Name.to_string id;
+            count = 0;
+            total_s = 0.0;
+            self_s = 0.0;
+            max_depth = 0;
+          }
+      in
+      Hashtbl.add stats id r;
+      r
+  in
+  (* stack of open spans: (name id, accumulated direct-child time).
+     Ring truncation can orphan a close (its open was overwritten); an
+     orphan close still counts into the totals but cannot credit a
+     parent, which matches the "tolerate truncated traces" contract. *)
+  let stack = ref [] in
+  Array.iter
+    (fun (e : Obs.Event.t) ->
+      match e.Obs.Event.kind with
+      | Obs.Span_open ->
+        let r = get e.Obs.Event.session in
+        let depth = int_of_float e.Obs.Event.b in
+        if depth > !r.max_depth then r := { !r with max_depth = depth };
+        stack := (e.Obs.Event.session, ref 0.0) :: !stack
+      | Obs.Span_close ->
+        let duration = e.Obs.Event.a in
+        let child_time =
+          match !stack with
+          | (id, child_acc) :: rest when id = e.Obs.Event.session ->
+            stack := rest;
+            !child_acc
+          | _ -> 0.0
+        in
+        (match !stack with
+        | (_, parent_acc) :: _ -> parent_acc := !parent_acc +. duration
+        | [] -> ());
+        let r = get e.Obs.Event.session in
+        r :=
+          {
+            !r with
+            count = !r.count + 1;
+            total_s = !r.total_s +. duration;
+            self_s = !r.self_s +. (duration -. child_time);
+          }
+      | _ -> ())
+    events;
+  Hashtbl.fold (fun _ r acc -> !r :: acc) stats []
+  |> List.filter (fun s -> s.count > 0 || s.max_depth > 0)
+  |> List.sort (fun a b -> Float.compare b.total_s a.total_s)
+
+let render_spans stats =
+  if stats = [] then "no span events in trace\n"
+  else begin
+    let t =
+      Tableau.create ~title:"span profile"
+        [ "span"; "count"; "total (s)"; "self (s)"; "mean (ms)"; "max depth" ]
+    in
+    List.iter
+      (fun s ->
+        Tableau.add_row t
+          [
+            s.span;
+            string_of_int s.count;
+            Printf.sprintf "%.6f" s.total_s;
+            Printf.sprintf "%.6f" s.self_s;
+            Printf.sprintf "%.3f"
+              (if s.count = 0 then 0.0
+               else 1e3 *. s.total_s /. float_of_int s.count);
+            string_of_int s.max_depth;
+          ])
+      stats;
+    Tableau.render t
+  end
+
+(* --- MST-engine efficiency ---------------------------------------------- *)
+
+type mst_session = {
+  mst_session : int;
+  recomputes : int;
+  lazy_skips : int;
+  eager_runs : int;
+  lazy_runs : int;
+  weight_walks : int;
+}
+
+type mst_report = {
+  per_session : mst_session array;
+  total_recomputes : int;
+  total_lazy_skips : int;
+  total_weight_walks : int;
+}
+
+let mst_efficiency events =
+  let tbl : (int, mst_session ref) Hashtbl.t = Hashtbl.create 8 in
+  let get sid =
+    match Hashtbl.find_opt tbl sid with
+    | Some r -> r
+    | None ->
+      let r =
+        ref
+          {
+            mst_session = sid;
+            recomputes = 0;
+            lazy_skips = 0;
+            eager_runs = 0;
+            lazy_runs = 0;
+            weight_walks = 0;
+          }
+      in
+      Hashtbl.add tbl sid r;
+      r
+  in
+  Array.iter
+    (fun (e : Obs.Event.t) ->
+      match e.Obs.Event.kind with
+      | Obs.Mst_recompute ->
+        let r = get e.Obs.Event.session in
+        let lazy_path = e.Obs.Event.b = 1.0 in
+        r :=
+          {
+            !r with
+            recomputes = !r.recomputes + 1;
+            eager_runs = (!r.eager_runs + if lazy_path then 0 else 1);
+            lazy_runs = (!r.lazy_runs + if lazy_path then 1 else 0);
+            weight_walks = !r.weight_walks + int_of_float e.Obs.Event.a;
+          }
+      | Obs.Mst_lazy_skip ->
+        let r = get e.Obs.Event.session in
+        r := { !r with lazy_skips = !r.lazy_skips + 1 }
+      | _ -> ())
+    events;
+  let per_session =
+    Hashtbl.fold (fun _ r acc -> !r :: acc) tbl []
+    |> List.sort (fun a b -> compare a.mst_session b.mst_session)
+    |> Array.of_list
+  in
+  {
+    per_session;
+    total_recomputes =
+      Array.fold_left (fun acc s -> acc + s.recomputes) 0 per_session;
+    total_lazy_skips =
+      Array.fold_left (fun acc s -> acc + s.lazy_skips) 0 per_session;
+    total_weight_walks =
+      Array.fold_left (fun acc s -> acc + s.weight_walks) 0 per_session;
+  }
+
+let render_mst r =
+  if Array.length r.per_session = 0 then "no MST events in trace\n"
+  else begin
+    let t =
+      Tableau.create ~title:"MST-engine efficiency"
+        [
+          "session"; "recomputes"; "lazy skips"; "eager Prim"; "lazy Prim";
+          "weight re-walks"; "skip %";
+        ]
+    in
+    Array.iter
+      (fun s ->
+        let calls = s.recomputes + s.lazy_skips in
+        Tableau.add_row t
+          [
+            string_of_int s.mst_session;
+            string_of_int s.recomputes;
+            string_of_int s.lazy_skips;
+            string_of_int s.eager_runs;
+            string_of_int s.lazy_runs;
+            string_of_int s.weight_walks;
+            Printf.sprintf "%.1f"
+              (if calls = 0 then 0.0
+               else 100.0 *. float_of_int s.lazy_skips /. float_of_int calls);
+          ])
+      r.per_session;
+    let calls = r.total_recomputes + r.total_lazy_skips in
+    Tableau.add_row t
+      [
+        "total";
+        string_of_int r.total_recomputes;
+        string_of_int r.total_lazy_skips;
+        "";
+        "";
+        string_of_int r.total_weight_walks;
+        Printf.sprintf "%.1f"
+          (if calls = 0 then 0.0
+           else 100.0 *. float_of_int r.total_lazy_skips /. float_of_int calls);
+      ];
+    Tableau.render t
+  end
+
+(* --- structural diff ---------------------------------------------------- *)
+
+type kind_delta = { k_kind : Obs.kind; count_a : int; count_b : int }
+
+type drift = {
+  metric : string;
+  value_a : float;
+  value_b : float;
+  within_tol : bool;
+}
+
+type diff_report = {
+  kind_deltas : kind_delta list;
+  drifts : drift list;
+  counts_equal : bool;
+  equal : bool;
+}
+
+let diff ?(iter_tol = 0) ?(obj_tol = 1e-9) a b =
+  let counts_a = kind_counts a and counts_b = kind_counts b in
+  let find k counts =
+    match List.find_opt (fun (k', _) -> k' = k) counts with
+    | Some (_, n) -> n
+    | None -> 0
+  in
+  let all_names =
+    List.sort_uniq String.compare
+      (List.map (fun (k, _) -> Obs.kind_name k) (counts_a @ counts_b))
+  in
+  let kind_deltas =
+    List.filter_map
+      (fun name ->
+        match Obs.kind_of_name name with
+        | Some k ->
+          Some { k_kind = k; count_a = find k counts_a; count_b = find k counts_b }
+        | None -> None)
+      all_names
+  in
+  let counts_equal =
+    List.for_all (fun d -> d.count_a = d.count_b) kind_deltas
+  in
+  let ca = convergence a and cb = convergence b in
+  let count_drift metric va vb =
+    {
+      metric;
+      value_a = float_of_int va;
+      value_b = float_of_int vb;
+      within_tol = abs (va - vb) <= iter_tol;
+    }
+  in
+  let rel_drift metric va vb =
+    let denom = Float.max (Float.abs va) (Float.abs vb) in
+    let rel = if denom = 0.0 then 0.0 else Float.abs (va -. vb) /. denom in
+    { metric; value_a = va; value_b = vb; within_tol = rel <= obj_tol }
+  in
+  let opt v = Option.value ~default:Float.nan v in
+  let obj_drift =
+    match (ca.final_objective, cb.final_objective) with
+    | Some oa, Some ob -> rel_drift "objective" oa ob
+    | oa, ob ->
+      (* one side lost its run_end (truncation): comparable only when
+         both are missing *)
+      {
+        metric = "objective";
+        value_a = opt oa;
+        value_b = opt ob;
+        within_tol = oa = None && ob = None;
+      }
+  in
+  let drifts =
+    [
+      count_drift "iterations" ca.iterations cb.iterations;
+      count_drift "phases" ca.phases cb.phases;
+      count_drift "rescales"
+        (Array.length ca.rescales)
+        (Array.length cb.rescales);
+      count_drift "demand_doubles"
+        (Array.length ca.demand_doubles)
+        (Array.length cb.demand_doubles);
+      obj_drift;
+      rel_drift "total_flow" ca.total_flow cb.total_flow;
+    ]
+  in
+  {
+    kind_deltas;
+    drifts;
+    counts_equal;
+    equal = counts_equal && List.for_all (fun d -> d.within_tol) drifts;
+  }
+
+let render_diff r =
+  let buf = Buffer.create 1024 in
+  let t =
+    Tableau.create ~title:"event counts" [ "kind"; "trace A"; "trace B"; "delta" ]
+  in
+  List.iter
+    (fun d ->
+      Tableau.add_row t
+        [
+          Obs.kind_name d.k_kind;
+          string_of_int d.count_a;
+          string_of_int d.count_b;
+          (let delta = d.count_b - d.count_a in
+           if delta = 0 then "" else Printf.sprintf "%+d" delta);
+        ])
+    r.kind_deltas;
+  Buffer.add_string buf (Tableau.render t);
+  let t =
+    Tableau.create ~title:"drift" [ "metric"; "trace A"; "trace B"; "within tol" ]
+  in
+  List.iter
+    (fun d ->
+      Tableau.add_row t
+        [
+          d.metric;
+          Printf.sprintf "%.12g" d.value_a;
+          Printf.sprintf "%.12g" d.value_b;
+          (if d.within_tol then "yes" else "NO");
+        ])
+    r.drifts;
+  Buffer.add_string buf (Tableau.render t);
+  Buffer.add_string buf
+    (if r.equal then "traces are structurally equal\n"
+     else "traces DIFFER structurally\n");
+  Buffer.contents buf

@@ -16,6 +16,35 @@ type t =
     lossless in practice. *)
 val to_string : t -> string
 
+(** [escape_string s] is the JSON string literal for [s], including the
+    surrounding quotes — shared by the streaming trace writer so its
+    lines escape names exactly like {!to_string}. *)
+val escape_string : string -> string
+
+(** [of_string text] parses one JSON value covering the full grammar
+    this module emits (objects, arrays, strings with escapes, numbers,
+    booleans, null).  Trailing non-whitespace is an error; the [Error]
+    payload locates the offending byte offset. *)
+val of_string : string -> (t, string) result
+
+(** {2 Accessors for decoded values}
+
+    Small total helpers used by the trace reader ([Obs_export]); each
+    returns [None] rather than raising on a shape mismatch. *)
+
+(** [member key json] looks up an object field. *)
+val member : string -> t -> t option
+
+(** [to_float json] extracts a number ([Null] decodes to [nan] — the
+    emitter writes non-finite floats as [null]). *)
+val to_float : t -> float option
+
+(** [to_int json] extracts an integral number. *)
+val to_int : t -> int option
+
+(** [to_str json] extracts a string. *)
+val to_str : t -> string option
+
 (** [session session] encodes id, members, demand. *)
 val session : Session.t -> t
 

@@ -1,4 +1,5 @@
 let schema = "overlay-obs-trace/1"
+let schema_jsonl = "overlay-obs-trace/2"
 
 (* These kinds carry an interned name in [session]; everything else
    carries a session slot / id (or -1). *)
@@ -22,9 +23,14 @@ let event (e : Obs.Event.t) =
       ("b", Number e.b);
     ]
 
+(* Encoders walk the ring with [Obs.Trace.iter]: no intermediate
+   [Event.t list] is ever materialized, so exporting a full 64k-event
+   ring allocates only the output representation itself. *)
+
 let trace t =
   let open Json_export in
-  let events = List.map event (Obs.Trace.events t) in
+  let events = ref [] in
+  Obs.Trace.iter t (fun e -> events := event e :: !events);
   Object_
     [
       ("schema", String schema);
@@ -32,7 +38,7 @@ let trace t =
       ("emitted", Number (float_of_int (Obs.Trace.emitted t)));
       ("recorded", Number (float_of_int (Obs.Trace.recorded t)));
       ("dropped", Number (float_of_int (Obs.Trace.dropped t)));
-      ("events", Array_ events);
+      ("events", Array_ (List.rev !events));
     ]
 
 let registry () =
@@ -75,27 +81,360 @@ let registry () =
     ]
 
 let trace_csv t =
-  let rows = ref [] in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "seq,time,kind,session,name,a,b\n";
   Obs.Trace.iter t (fun (e : Obs.Event.t) ->
       let name, session =
         if named_kind e.kind then (Obs.Name.to_string e.session, "")
         else ("", string_of_int e.session)
       in
-      rows :=
-        [
-          string_of_int e.seq;
-          Printf.sprintf "%.9f" e.time;
-          Obs.kind_name e.kind;
-          session;
-          name;
-          Printf.sprintf "%.12g" e.a;
-          Printf.sprintf "%.12g" e.b;
-        ]
-        :: !rows);
-  Csv_export.render
-    ~header:[ "seq"; "time"; "kind"; "session"; "name"; "a"; "b" ]
-    (List.rev !rows)
+      Buffer.add_string buf (string_of_int e.seq);
+      Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "%.9f" e.time);
+      Buffer.add_char buf ',';
+      Buffer.add_string buf (Obs.kind_name e.kind);
+      Buffer.add_char buf ',';
+      Buffer.add_string buf session;
+      Buffer.add_char buf ',';
+      Buffer.add_string buf (Csv_export.escape name);
+      Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "%.12g" e.a);
+      Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "%.12g" e.b);
+      Buffer.add_char buf '\n');
+  Buffer.contents buf
 
-let trace_to_file path t = Json_export.to_file path (trace t)
+(* trace_to_file streams the events straight to the channel instead of
+   rendering the whole ring in memory first: the envelope is written,
+   then each event object, then the closing bracket. *)
+let trace_to_file path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc
+        "{\"schema\":%s,\"capacity\":%d,\"emitted\":%d,\"recorded\":%d,\"dropped\":%d,\"events\":["
+        (Json_export.escape_string schema)
+        (Obs.Trace.capacity t) (Obs.Trace.emitted t) (Obs.Trace.recorded t)
+        (Obs.Trace.dropped t);
+      let first = ref true in
+      Obs.Trace.iter t (fun e ->
+          if !first then first := false else output_char oc ',';
+          output_string oc (Json_export.to_string (event e)));
+      output_string oc "]}")
 
 let registry_to_file path = Json_export.to_file path (registry ())
+
+(* --- reading traces back ------------------------------------------------ *)
+
+type read_result = {
+  r_schema : int;
+  r_events : Obs.Event.t array;
+  r_emitted : int;
+  r_dropped : int;
+  r_capacity : int option;
+  r_truncated : bool;
+  r_issues : string list;
+}
+
+(* The reader is strict: structural problems (unreadable file, malformed
+   JSON, missing fields) are fatal [Error]s, while semantic anomalies
+   that leave the rest of the trace usable — unknown kinds, seq gaps,
+   non-monotonic time, inconsistent envelope counts, a missing footer —
+   are collected into [r_issues] so callers surface them instead of
+   silently ignoring them. *)
+
+let decode_event ~where json =
+  let field name =
+    match Json_export.member name json with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "%s: missing field %S" where name)
+  in
+  let ( let* ) = Result.bind in
+  let* seq_v = field "seq" in
+  let* seq =
+    Option.to_result
+      ~none:(Printf.sprintf "%s: non-integer seq" where)
+      (Json_export.to_int seq_v)
+  in
+  let* t_v = field "t" in
+  let* time =
+    Option.to_result
+      ~none:(Printf.sprintf "%s: non-numeric t" where)
+      (Json_export.to_float t_v)
+  in
+  let* kind_v = field "kind" in
+  let* kind_s =
+    Option.to_result
+      ~none:(Printf.sprintf "%s: non-string kind" where)
+      (Json_export.to_str kind_v)
+  in
+  let* a_v = field "a" in
+  let* a =
+    Option.to_result
+      ~none:(Printf.sprintf "%s: non-numeric a" where)
+      (Json_export.to_float a_v)
+  in
+  let* b_v = field "b" in
+  let* b =
+    Option.to_result
+      ~none:(Printf.sprintf "%s: non-numeric b" where)
+      (Json_export.to_float b_v)
+  in
+  let* session =
+    match Json_export.member "name" json with
+    | Some name_v ->
+      Result.map Obs.Name.intern
+        (Option.to_result
+           ~none:(Printf.sprintf "%s: non-string name" where)
+           (Json_export.to_str name_v))
+    | None -> (
+      match Json_export.member "session" json with
+      | Some s_v ->
+        Option.to_result
+          ~none:(Printf.sprintf "%s: non-integer session" where)
+          (Json_export.to_int s_v)
+      | None ->
+        Error (Printf.sprintf "%s: missing both name and session" where))
+  in
+  match Obs.kind_of_name kind_s with
+  | Some kind -> Ok (`Event { Obs.Event.seq; time; kind; session; a; b })
+  | None ->
+    (* reported by the caller; (seq, time) still participate in the
+       sequence checks so the gap the skip leaves is not double-counted *)
+    Ok (`Unknown_kind (kind_s, seq, time))
+
+(* Sequence validation over every parsed line, including unknown-kind
+   ones: seq must advance by exactly 1 from [first_seq] and time must be
+   non-decreasing. *)
+let validate_sequence ~first_seq entries =
+  let issues = ref [] in
+  let expected = ref first_seq in
+  let prev_time = ref neg_infinity in
+  List.iter
+    (fun (seq, time, where) ->
+      if seq <> !expected then begin
+        issues :=
+          Printf.sprintf "%s: seq %d where %d was expected (gap of %d)" where
+            seq !expected (seq - !expected)
+          :: !issues;
+        expected := seq
+      end;
+      incr expected;
+      if time < !prev_time then
+        issues :=
+          Printf.sprintf "%s: time %.9f goes backwards (previous %.9f)" where
+            time !prev_time
+          :: !issues;
+      prev_time := time)
+    entries;
+  List.rev !issues
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> Ok (really_input_string ic (in_channel_length ic)))
+  with Sys_error msg -> Error msg
+
+let int_field json name =
+  match Json_export.member name json with
+  | Some v -> Json_export.to_int v
+  | None -> None
+
+(* --- schema 1: one JSON object with an events array --- *)
+
+let read_trace_json text =
+  let ( let* ) = Result.bind in
+  let* json = Json_export.of_string text in
+  let* schema_s =
+    Option.to_result ~none:"not a trace: no schema field"
+      (Option.bind (Json_export.member "schema" json) Json_export.to_str)
+  in
+  let* () =
+    if schema_s = schema then Ok ()
+    else Error (Printf.sprintf "unsupported schema %S" schema_s)
+  in
+  let* events_json =
+    match Json_export.member "events" json with
+    | Some (Json_export.Array_ items) -> Ok items
+    | Some _ -> Error "events is not an array"
+    | None -> Error "not a trace: no events field"
+  in
+  let issues = ref [] in
+  let entries = ref [] in
+  let events = ref [] in
+  let* () =
+    List.fold_left
+      (fun acc (i, item) ->
+        let* () = acc in
+        let where = Printf.sprintf "event %d" i in
+        let* decoded = decode_event ~where item in
+        (match decoded with
+        | `Event e ->
+          events := e :: !events;
+          entries := (e.Obs.Event.seq, e.Obs.Event.time, where) :: !entries
+        | `Unknown_kind (k, seq, time) ->
+          issues := Printf.sprintf "%s: unknown kind %S" where k :: !issues;
+          entries := (seq, time, where) :: !entries);
+        Ok ())
+      (Ok ())
+      (List.mapi (fun i item -> (i, item)) events_json)
+  in
+  let events = Array.of_list (List.rev !events) in
+  let entries = List.rev !entries in
+  let dropped = Option.value ~default:0 (int_field json "dropped") in
+  let emitted =
+    Option.value ~default:(dropped + List.length entries)
+      (int_field json "emitted")
+  in
+  let recorded = int_field json "recorded" in
+  let seq_issues = validate_sequence ~first_seq:dropped entries in
+  (match recorded with
+  | Some r when r <> List.length entries ->
+    issues :=
+      Printf.sprintf "envelope says recorded=%d but %d events are present" r
+        (List.length entries)
+      :: !issues
+  | _ -> ());
+  if emitted <> dropped + List.length entries then
+    issues :=
+      Printf.sprintf
+        "envelope says emitted=%d but dropped=%d + %d retained events" emitted
+        dropped (List.length entries)
+      :: !issues;
+  Ok
+    {
+      r_schema = 1;
+      r_events = events;
+      r_emitted = emitted;
+      r_dropped = dropped;
+      r_capacity = int_field json "capacity";
+      r_truncated = false;
+      r_issues = List.rev !issues @ seq_issues;
+    }
+
+(* --- schema 2: JSONL with header and footer lines --- *)
+
+let split_lines text =
+  String.split_on_char '\n' text
+  |> List.filter (fun l -> String.trim l <> "")
+
+let read_trace_jsonl_text text =
+  let ( let* ) = Result.bind in
+  match split_lines text with
+  | [] -> Error "empty trace file"
+  | header :: rest ->
+    let* header_json = Json_export.of_string header in
+    let* schema_s =
+      Option.to_result ~none:"not a JSONL trace: header has no schema field"
+        (Option.bind (Json_export.member "schema" header_json)
+           Json_export.to_str)
+    in
+    let* () =
+      if schema_s = schema_jsonl then Ok ()
+      else Error (Printf.sprintf "unsupported schema %S" schema_s)
+    in
+    let issues = ref [] in
+    let entries = ref [] in
+    let events = ref [] in
+    let footer = ref None in
+    let* () =
+      List.fold_left
+        (fun acc (lineno, line) ->
+          let* () = acc in
+          let where = Printf.sprintf "line %d" lineno in
+          let* json = Json_export.of_string line in
+          match Json_export.member "footer" json with
+          | Some (Json_export.Bool true) ->
+            (match !footer with
+            | Some _ ->
+              issues := Printf.sprintf "%s: duplicate footer" where :: !issues
+            | None -> footer := Some (json, lineno));
+            Ok ()
+          | _ ->
+            (match !footer with
+            | Some (_, fl) ->
+              issues :=
+                Printf.sprintf "%s: event after the footer (line %d)" where fl
+                :: !issues
+            | None -> ());
+            let* decoded = decode_event ~where json in
+            (match decoded with
+            | `Event e ->
+              events := e :: !events;
+              entries := (e.Obs.Event.seq, e.Obs.Event.time, where) :: !entries
+            | `Unknown_kind (k, seq, time) ->
+              issues := Printf.sprintf "%s: unknown kind %S" where k :: !issues;
+              entries := (seq, time, where) :: !entries);
+            Ok ())
+        (Ok ())
+        (List.mapi (fun i line -> (i + 2, line)) rest)
+    in
+    let events = Array.of_list (List.rev !events) in
+    let entries = List.rev !entries in
+    let n_lines = List.length entries in
+    let dropped, emitted, truncated =
+      match !footer with
+      | Some (json, lineno) ->
+        let dropped = Option.value ~default:0 (int_field json "dropped") in
+        let emitted =
+          match int_field json "emitted" with
+          | Some e ->
+            if e <> dropped + n_lines then
+              issues :=
+                Printf.sprintf
+                  "footer (line %d) says emitted=%d but the file holds %d \
+                   events"
+                  lineno e n_lines
+                :: !issues;
+            e
+          | None ->
+            issues :=
+              Printf.sprintf "footer (line %d) has no emitted count" lineno
+              :: !issues;
+            dropped + n_lines
+        in
+        (dropped, emitted, false)
+      | None ->
+        issues :=
+          "no footer line: the capture was truncated (producer did not close \
+           the stream)"
+          :: !issues;
+        (0, n_lines, true)
+    in
+    let seq_issues = validate_sequence ~first_seq:dropped entries in
+    Ok
+      {
+        r_schema = 2;
+        r_events = events;
+        r_emitted = emitted;
+        r_dropped = dropped;
+        r_capacity = None;
+        r_truncated = truncated;
+        r_issues = List.rev !issues @ seq_issues;
+      }
+
+let read_trace_jsonl path =
+  Result.bind (read_file path) read_trace_jsonl_text
+
+let read_trace path =
+  let ( let* ) = Result.bind in
+  let* text = read_file path in
+  (* sniff: a schema-2 file's first line is a standalone header object
+     naming the JSONL schema; anything else is treated as schema 1 *)
+  let first_line =
+    match String.index_opt text '\n' with
+    | Some i -> String.sub text 0 i
+    | None -> text
+  in
+  let is_jsonl =
+    match Json_export.of_string (String.trim first_line) with
+    | Ok json -> (
+      match Option.bind (Json_export.member "schema" json) Json_export.to_str with
+      | Some s -> s = schema_jsonl
+      | None -> false)
+    | Error _ -> false
+  in
+  if is_jsonl then read_trace_jsonl_text text else read_trace_json text

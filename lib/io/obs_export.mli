@@ -1,6 +1,14 @@
-(** JSON/CSV emitters for the telemetry layer ([lib/obs]): trace rings
-    and the metric registry, in the formats documented in
-    OBSERVABILITY.md (schema [overlay-obs-trace/1]). *)
+(** JSON/CSV emitters and readers for the telemetry layer ([lib/obs]):
+    trace rings, the metric registry, and parsing captured traces back
+    into {!Obs.Event.t} sequences.  Formats are documented in
+    OBSERVABILITY.md: schema [overlay-obs-trace/1] is the in-memory
+    ring dumped as one JSON object; schema [overlay-obs-trace/2] is the
+    JSON-lines stream written by {!Obs_stream}. *)
+
+(** [named_kind k] is [true] for the kinds whose [session] payload is
+    an interned {!Obs.Name} id (run and span events) rather than a
+    session slot; exporters resolve the name for those. *)
+val named_kind : Obs.kind -> bool
 
 (** [event e] encodes one trace event.  Fields: [seq], [t] (seconds,
     {!Obs.now}-based), [kind] (wire name per {!Obs.kind_name}), [a],
@@ -11,7 +19,8 @@ val event : Obs.Event.t -> Json_export.t
 
 (** [trace t] encodes the whole ring: an object with [schema],
     [capacity], [emitted], [recorded], [dropped] and the retained
-    [events] oldest-first. *)
+    [events] oldest-first.  Events are visited with {!Obs.Trace.iter},
+    so no intermediate event list is materialized. *)
 val trace : Obs.Trace.t -> Json_export.t
 
 (** [registry ()] encodes the process-wide metric registry: [counters]
@@ -21,11 +30,50 @@ val registry : unit -> Json_export.t
 
 (** [trace_csv t] renders the retained events as CSV with header
     [seq,time,kind,session,name,a,b] ([name] is empty for kinds whose
-    [session] field is a slot rather than an interned name). *)
+    [session] field is a slot rather than an interned name).  Built
+    directly from {!Obs.Trace.iter} into one buffer. *)
 val trace_csv : Obs.Trace.t -> string
 
-(** [trace_to_file path t] writes {!trace} as JSON to [path]. *)
+(** [trace_to_file path t] writes {!trace} as JSON to [path], streaming
+    the events to the channel rather than rendering the ring in memory
+    first. *)
 val trace_to_file : string -> Obs.Trace.t -> unit
 
 (** [registry_to_file path] writes {!registry} as JSON to [path]. *)
 val registry_to_file : string -> unit
+
+(** {1 Reading traces back}
+
+    The consumption half of the pipeline: both schemas parse into the
+    same {!read_result}, which [lib/analysis] then reports on. *)
+
+type read_result = {
+  r_schema : int;  (** 1 (ring JSON) or 2 (JSONL stream) *)
+  r_events : Obs.Event.t array;  (** retained events, oldest first *)
+  r_emitted : int;  (** total emissions claimed by the envelope/footer *)
+  r_dropped : int;
+      (** ring overwrites (schema 1) or the footer's count (always 0
+          for an intact stream) *)
+  r_capacity : int option;  (** ring capacity; [None] for streams *)
+  r_truncated : bool;
+      (** schema 2 only: the footer line is missing, i.e. the producer
+          never closed the stream *)
+  r_issues : string list;
+      (** strict-validation findings, in file order: unknown event
+          kinds, [seq] gaps beyond the declared [dropped],
+          non-monotonic [t], envelope/footer count mismatches, events
+          after the footer.  Empty for a well-formed capture. *)
+}
+
+(** [read_trace path] loads either schema, sniffing the format from the
+    first line (a schema-2 header, else schema-1 JSON).  Structural
+    failures — unreadable file, malformed JSON, events missing required
+    fields, an unsupported schema string — return [Error]; recoverable
+    anomalies are reported through [r_issues].  Events whose [kind] is
+    unknown to this build are excluded from [r_events] but still
+    participate in [seq]/time validation and are reported. *)
+val read_trace : string -> (read_result, string) result
+
+(** [read_trace_jsonl path] parses [path] strictly as a schema-2
+    JSON-lines stream (header line, event lines, footer line). *)
+val read_trace_jsonl : string -> (read_result, string) result

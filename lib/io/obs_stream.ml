@@ -1,0 +1,390 @@
+(* Streaming JSONL trace sink (schema overlay-obs-trace/2).  One event =
+   one line appended to a flat output block flushed every ~64KB, so the
+   only per-event state kept is the emission counter and span depth and
+   capturing an arbitrarily long run costs constant memory and never
+   drops.
+
+   The write path is the solver's inner loop when a stream is attached
+   (bench --obs holds it at ≤10% overhead on ~82k events), so it is
+   allocation-free for the common cases: each line is composed directly
+   into the output block — digits written in place, per-kind JSON
+   fragments precomputed, divisions strength-reduced (ocamlopt emits a
+   real idiv for constant divisors) — with no intermediate copy.
+   Interned names are escaped once and cached; only a fractional
+   [a]/[b] payload pays a %.17g sprintf, and a memo plus a bounded
+   table absorb the repeats (flows re-route the same bottleneck
+   capacities for long stretches). *)
+
+let schema = "overlay-obs-trace/2"
+let header_line = Printf.sprintf "{\"schema\":%s}" (Json_export.escape_string schema)
+
+(* every index below is bounded by construction (see the line-length
+   accounting above [flush_threshold]), so blits skip bounds checks *)
+let put_str out s p =
+  Bytes.unsafe_blit_string s 0 out p (String.length s);
+  p + String.length s
+
+(* "000102...99": writing two digits per division halves the div chain
+   of decimal rendering. *)
+let pairs =
+  String.init 200 (fun i ->
+      let d = if i land 1 = 0 then i / 20 else i / 2 mod 10 in
+      Char.unsafe_chr (48 + d))
+
+let put_pair out v q =
+  let o = 2 * v in
+  Bytes.unsafe_set out q (String.unsafe_get pairs o);
+  Bytes.unsafe_set out (q + 1) (String.unsafe_get pairs (o + 1))
+
+(* [v / 100] as a multiply-shift (exact for 0 <= v < 2^32): ocamlopt
+   emits a real idiv for constant divisors, ~10x this cost. *)
+let div100 v = (v * 1374389535) lsr 37
+
+let rec num_digits_slow i = if i < 10 then 1 else 1 + num_digits_slow (i / 10)
+
+let num_digits i =
+  if i < 10_000 then
+    if i < 100 then (if i < 10 then 1 else 2)
+    else if i < 1_000 then 3
+    else 4
+  else if i < 100_000_000 then
+    if i < 1_000_000 then (if i < 100_000 then 5 else 6)
+    else if i < 10_000_000 then 7
+    else 8
+  else if i < 1_000_000_000 then 9
+  else 9 + num_digits_slow (i / 1_000_000_000)
+
+let put_pos_int out i p =
+  if i < 10 then begin
+    Bytes.unsafe_set out p (Char.unsafe_chr (48 + i));
+    p + 1
+  end
+  else begin
+    let n = num_digits i in
+    let q = ref (p + n) and v = ref i in
+    while !v >= 0x4000_0000 do
+      (* payloads this large are rare; idiv only here *)
+      q := !q - 2;
+      put_pair out (!v mod 100) !q;
+      v := !v / 100
+    done;
+    while !v >= 100 do
+      let d = div100 !v in
+      q := !q - 2;
+      put_pair out (!v - (d * 100)) !q;
+      v := d
+    done;
+    if !v >= 10 then put_pair out !v (!q - 2)
+    else Bytes.unsafe_set out (!q - 1) (Char.unsafe_chr (48 + !v));
+    p + n
+  end
+
+let put_int out i p =
+  if i < 0 then begin
+    Bytes.unsafe_set out p '-';
+    put_pos_int out (-i) (p + 1)
+  end
+  else put_pos_int out i p
+
+(* [",\"kind\":\"<wire name>\",\"name\":" | ...\"session\":"] built once
+   per kind from the same Obs.kind_name / Obs_export.named_kind the
+   reader uses, so the fragments cannot drift from the wire format. *)
+let fragment k =
+  Printf.sprintf ",\"kind\":\"%s\",%s" (Obs.kind_name k)
+    (if Obs_export.named_kind k then "\"name\":" else "\"session\":")
+
+let frag_run_start = fragment Obs.Run_start
+let frag_run_end = fragment Obs.Run_end
+let frag_iter_start = fragment Obs.Iter_start
+let frag_iter_end = fragment Obs.Iter_end
+let frag_phase_start = fragment Obs.Phase_start
+let frag_phase_end = fragment Obs.Phase_end
+let frag_demand_double = fragment Obs.Demand_double
+let frag_rescale = fragment Obs.Rescale
+let frag_mst_recompute = fragment Obs.Mst_recompute
+let frag_mst_lazy_skip = fragment Obs.Mst_lazy_skip
+let frag_session_rate = fragment Obs.Session_rate
+let frag_span_open = fragment Obs.Span_open
+let frag_span_close = fragment Obs.Span_close
+
+let kind_fragment = function
+  | Obs.Run_start -> frag_run_start
+  | Obs.Run_end -> frag_run_end
+  | Obs.Iter_start -> frag_iter_start
+  | Obs.Iter_end -> frag_iter_end
+  | Obs.Phase_start -> frag_phase_start
+  | Obs.Phase_end -> frag_phase_end
+  | Obs.Demand_double -> frag_demand_double
+  | Obs.Rescale -> frag_rescale
+  | Obs.Mst_recompute -> frag_mst_recompute
+  | Obs.Mst_lazy_skip -> frag_mst_lazy_skip
+  | Obs.Session_rate -> frag_session_rate
+  | Obs.Span_open -> frag_span_open
+  | Obs.Span_close -> frag_span_close
+
+(* A composed line is bounded (unbounded escaped names go through a
+   checked slow path): 7+19 (seq) + 6+20 (t) + ~36 (fragment) + 20
+   (session) + 6+25 (a) + 6+25 (b) + 2 — comfortably under [slack].
+   Lines append at [pos] and the block flushes when a write begins
+   past [flush_threshold], so [pos] never exceeds threshold+slack.
+   Flushes go straight to the fd — an out_channel in between would
+   only re-buffer bytes that are already written in page-sized runs. *)
+let flush_threshold = 65536
+let slack = 4096
+
+type t = {
+  file : string;
+  fd : Unix.file_descr;
+  out : Bytes.t;  (* flat output block, length flush_threshold + slack *)
+  mutable pos : int;
+  (* [seqb] holds ["{\"seq\":"] then the decimal digits of the next seq
+     at 7..6+seq_len, kept up to date in place by {!incr_seq}: the line
+     head costs one small blit per event and no division. *)
+  seqb : Bytes.t;
+  mutable seq_len : int;
+  mutable sec : int;  (* seconds part of the last timestamp written... *)
+  mutable sec_base : int;  (* ...and sec * 1e9, so put_time divides only
+                              when the clock crosses a second boundary *)
+  (* [tchunk] caches the rendered [,"t":S.FFFFFFFFF] segment of the
+     current clock sample; re-rendered when [strobe] hits 0, once per
+     [strobe_period] events, and blitted whole in between. *)
+  tchunk : Bytes.t;
+  mutable tchunk_len : int;
+  mutable strobe : int;
+  names : (int, string) Hashtbl.t;  (* interned id -> escaped JSON string *)
+  floats : (float, string) Hashtbl.t;  (* fractional payload -> %.17g *)
+  mutable memo_v : float;  (* last fractional payload formatted... *)
+  mutable memo_s : string;  (* ...and its %.17g rendering *)
+  mutable emitted : int;
+  mutable depth : int;
+  mutable closed : bool;
+  mutable as_sink : Obs.Sink.t;
+}
+
+(* Integer payloads (iteration indices, walk counts, slots, depths) are
+   exact by construction; anything fractional gets %.17g, which always
+   round-trips a double.  Non-finite floats follow Json_export and
+   encode as null. *)
+let put_float t x p =
+  (* integer check via int round-trip: stays inline (cvttsd2si/cvtsi2sd)
+     where Float.is_integer would call out to trunc *)
+  let i = int_of_float x in
+  if float_of_int i = x && Float.abs x < 1e15 then put_int t.out i p
+  else if Float.is_nan x || x = infinity || x = neg_infinity then
+    put_str t.out "null" p
+  else if x = t.memo_v then put_str t.out t.memo_s p
+  else begin
+    let s =
+      match Hashtbl.find_opt t.floats x with
+      | Some s -> s
+      | None ->
+        let s = Printf.sprintf "%.17g" x in
+        if Hashtbl.length t.floats < 4096 then Hashtbl.add t.floats x s;
+        s
+    in
+    t.memo_v <- x;
+    t.memo_s <- s;
+    put_str t.out s p
+  end
+
+(* Timestamps as fixed-point seconds with 9 fractional digits.  The
+   clock behind Obs.now has nanosecond resolution, so rounding to ns
+   loses nothing real, stays monotone, and costs integer ops instead of
+   a float sprintf.  Times are monotone, so the cached seconds part is
+   almost always current and the common case runs division-free. *)
+let put_time t out time p =
+  let ns = int_of_float ((time *. 1e9) +. 0.5) in
+  if ns - t.sec_base >= 1_000_000_000 || ns < t.sec_base then begin
+    t.sec <- ns / 1_000_000_000;
+    t.sec_base <- t.sec * 1_000_000_000
+  end;
+  let p = put_pos_int out t.sec p in
+  Bytes.unsafe_set out p '.';
+  let v = ref (ns - t.sec_base) in
+  let q = ref (p + 10) in
+  while !q > p + 2 do
+    q := !q - 2;
+    let d = div100 !v in
+    put_pair out (!v - (d * 100)) !q;
+    v := d
+  done;
+  Bytes.unsafe_set out (p + 1) (Char.unsafe_chr (48 + !v));
+  p + 10
+
+let escaped_name t id =
+  match Hashtbl.find_opt t.names id with
+  | Some s -> s
+  | None ->
+    let s = Json_export.escape_string (Obs.Name.to_string id) in
+    Hashtbl.add t.names id s;
+    s
+
+(* The seq digits live left-aligned at seqb[7..6+seq_len], so the
+   counter increments in place (~1 byte store amortized, no div chain).
+   When a carry runs off the front every digit is already '0': widen by
+   writing '1' at the head and one more '0' at the tail. *)
+let incr_seq t =
+  let s = t.seqb in
+  let i = ref (6 + t.seq_len) and carry = ref true in
+  while !carry do
+    if !i < 7 then begin
+      Bytes.unsafe_set s 7 '1';
+      Bytes.unsafe_set s (7 + t.seq_len) '0';
+      t.seq_len <- t.seq_len + 1;
+      carry := false
+    end
+    else begin
+      let c = Bytes.unsafe_get s !i in
+      if c = '9' then begin
+        Bytes.unsafe_set s !i '0';
+        decr i
+      end
+      else begin
+        Bytes.unsafe_set s !i (Char.unsafe_chr (Char.code c + 1));
+        carry := false
+      end
+    end
+  done
+
+let rec write_all fd b off len =
+  if len > 0 then begin
+    let n = Unix.write fd b off len in
+    write_all fd b (off + n) (len - n)
+  end
+
+(* The clock is sampled once per 8 events, not per event: gettimeofday
+   (behind Obs.now) has microsecond resolution and a busy solver emits
+   several events per microsecond, so per-event sampling produces the
+   same staircase of repeated stamps at ~6x the clock cost.  Stamps
+   stay monotone (cached values repeat, never regress); between bursts
+   the first write of a burst is at most [strobe_period - 1] events
+   away from a fresh sample.  The sample is rendered once into
+   [tchunk] and events blit the finished segment. *)
+let strobe_period = 8
+
+let flush t =
+  if t.pos > 0 then begin
+    write_all t.fd t.out 0 t.pos;
+    t.pos <- 0
+  end
+
+let write t kind session a b =
+  if t.closed then invalid_arg "Obs_stream: emission into a closed stream";
+  (* same span-depth bookkeeping as Obs.Trace, so schema-2 files carry
+     the identical depth fields a ring capture would *)
+  let b =
+    match kind with
+    | Obs.Span_open ->
+      let d = float_of_int t.depth in
+      t.depth <- t.depth + 1;
+      d
+    | Obs.Span_close ->
+      t.depth <- max 0 (t.depth - 1);
+      float_of_int t.depth
+    | _ -> b
+  in
+  t.strobe <- t.strobe - 1;
+  if t.strobe <= 0 then begin
+    t.strobe <- strobe_period;
+    t.tchunk_len <- put_time t t.tchunk (Obs.now ()) 5
+  end;
+  if t.pos >= flush_threshold then flush t;
+  let out = t.out in
+  let n = 7 + t.seq_len in
+  Bytes.unsafe_blit t.seqb 0 out t.pos n;
+  let p = t.pos + n in
+  Bytes.unsafe_blit t.tchunk 0 out p t.tchunk_len;
+  let p = p + t.tchunk_len in
+  let p = put_str out (kind_fragment kind) p in
+  let p =
+    if Obs_export.named_kind kind then begin
+      let s = escaped_name t session in
+      if String.length s < slack - 512 then put_str out s p
+      else begin
+        (* absurdly long name: flush the composed head and bypass the
+           block for the name itself *)
+        write_all t.fd out 0 p;
+        t.pos <- 0;
+        write_all t.fd (Bytes.unsafe_of_string s) 0 (String.length s);
+        0
+      end
+    end
+    else put_int out session p
+  in
+  Bytes.unsafe_set out p ',';
+  Bytes.unsafe_set out (p + 1) '"';
+  Bytes.unsafe_set out (p + 2) 'a';
+  Bytes.unsafe_set out (p + 3) '"';
+  Bytes.unsafe_set out (p + 4) ':';
+  let p = put_float t a (p + 5) in
+  (* b is 0 or 1 on most events (iter_start, mst events): one
+     precomposed suffix instead of three appends *)
+  let p =
+    if b = 0.0 then put_str out ",\"b\":0}\n" p
+    else if b = 1.0 then put_str out ",\"b\":1}\n" p
+    else begin
+      let p = put_str out ",\"b\":" p in
+      let p = put_float t b p in
+      put_str out "}\n" p
+    end
+  in
+  t.pos <- p;
+  incr_seq t;
+  t.emitted <- t.emitted + 1
+
+let create file =
+  let fd =
+    try Unix.openfile file [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+    with Unix.Unix_error (e, _, _) ->
+      raise (Sys_error (file ^ ": " ^ Unix.error_message e))
+  in
+  let t =
+    {
+      file;
+      fd;
+      out = Bytes.create (flush_threshold + slack);
+      pos = 0;
+      seqb = Bytes.create 27;
+      seq_len = 1;
+      sec = 0;
+      sec_base = 0;
+      tchunk = Bytes.create 40;
+      tchunk_len = 0;
+      strobe = 0;
+      names = Hashtbl.create 16;
+      floats = Hashtbl.create 256;
+      memo_v = Float.nan;
+      memo_s = "";
+      emitted = 0;
+      depth = 0;
+      closed = false;
+      as_sink = Obs.Sink.null;
+    }
+  in
+  Bytes.blit_string "{\"seq\":0" 0 t.seqb 0 8;
+  Bytes.blit_string ",\"t\":" 0 t.tchunk 0 5;
+  let header = header_line ^ "\n" in
+  write_all fd (Bytes.unsafe_of_string header) 0 (String.length header);
+  t.as_sink <- Obs.Sink.make (fun kind ~session ~a ~b -> write t kind session a b);
+  t
+
+let sink t = t.as_sink
+let path t = t.file
+let emitted t = t.emitted
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    flush t;
+    let footer =
+      Printf.sprintf "{\"footer\":true,\"emitted\":%d,\"dropped\":0}\n"
+        t.emitted
+    in
+    write_all t.fd (Bytes.unsafe_of_string footer) 0 (String.length footer);
+    Unix.close t.fd
+  end
+
+let with_file file f =
+  let t = create file in
+  let r = Fun.protect ~finally:(fun () -> close t) (fun () -> f t.as_sink) in
+  (r, t.emitted)

@@ -17,6 +17,7 @@ let () =
       ("invariants", Test_invariants.suite);
       ("incremental-lengths", Test_incremental_lengths.suite);
       ("obs", Test_obs.suite);
+      ("trace-analysis", Test_trace_analysis.suite);
       ("par", Test_par.suite);
       ("par-determinism", Test_par_determinism.suite);
       ("io-and-protocols", Test_io_protocol.suite);
