@@ -235,7 +235,7 @@ let eval_cmd =
 
 let solve_cmd =
   let run seed nodes sizes demand mode algorithm ratio sigma trace trace_stream
-      trace_capacity jobs =
+      trace_capacity jobs certify =
     let setup = make_setup seed nodes sizes demand in
     let g = setup.Setup.topology.Topology.graph in
     let overlays = Setup.overlays setup mode in
@@ -292,38 +292,49 @@ let solve_cmd =
         (Solution.overall_throughput sol)
         (Solution.min_rate sol)
         (Metrics.fairness_index sol)
-        (Solution.is_feasible sol g ~tol:1e-6)
+        (Solution.is_feasible sol g ~tol:Check.default_tol)
     in
-    (match algorithm with
-    | "maxflow" ->
-      let r =
-        Max_flow.solve ~obs ~par g overlays
-          ~epsilon:(Max_flow.ratio_to_epsilon ratio)
-      in
-      Printf.printf "MaxFlow: %d iterations, %d MST operations\n"
-        r.Max_flow.iterations r.Max_flow.mst_operations;
-      describe r.Max_flow.solution
-    | "mcf" ->
-      let r =
-        Max_concurrent_flow.solve ~obs ~par g overlays
-          ~epsilon:(Max_concurrent_flow.ratio_to_epsilon ratio)
-          ~scaling:Max_concurrent_flow.Maxflow_weighted
-      in
-      Printf.printf "MaxConcurrentFlow: %d phases, %d+%d MST operations\n"
-        r.Max_concurrent_flow.phases r.Max_concurrent_flow.main_mst_operations
-        r.Max_concurrent_flow.pre_mst_operations;
-      describe r.Max_concurrent_flow.solution
-    | "online" ->
-      let r = Online.solve ~obs g overlays ~sigma in
-      Printf.printf "Online: lmax %.3f\n" r.Online.lmax;
-      describe r.Online.solution
-    | "single-tree" ->
-      let r = Baseline.single_tree g overlays in
-      Printf.printf "Single tree baseline: lmax %.3f\n" r.Baseline.lmax;
-      describe r.Baseline.solution
-    | other -> Printf.eprintf "unknown algorithm %S\n" other);
+    let verdict =
+      match algorithm with
+      | "maxflow" ->
+        let r =
+          Max_flow.solve ~obs ~par g overlays
+            ~epsilon:(Max_flow.ratio_to_epsilon ratio)
+        in
+        Printf.printf "MaxFlow: %d iterations, %d MST operations\n"
+          r.Max_flow.iterations r.Max_flow.mst_operations;
+        describe r.Max_flow.solution;
+        if certify then Some (Check.certify_max_flow g overlays r) else None
+      | "mcf" ->
+        let scaling = Max_concurrent_flow.Maxflow_weighted in
+        let r =
+          Max_concurrent_flow.solve ~obs ~par g overlays
+            ~epsilon:(Max_concurrent_flow.ratio_to_epsilon ratio)
+            ~scaling
+        in
+        Printf.printf "MaxConcurrentFlow: %d phases, %d+%d MST operations\n"
+          r.Max_concurrent_flow.phases r.Max_concurrent_flow.main_mst_operations
+          r.Max_concurrent_flow.pre_mst_operations;
+        describe r.Max_concurrent_flow.solution;
+        if certify then Some (Check.certify_mcf g overlays ~scaling r) else None
+      | "online" ->
+        let r = Online.solve ~obs g overlays ~sigma in
+        Printf.printf "Online: lmax %.3f\n" r.Online.lmax;
+        describe r.Online.solution;
+        if certify then Some (Check.certify g r.Online.solution) else None
+      | "single-tree" ->
+        let r = Baseline.single_tree g overlays in
+        Printf.printf "Single tree baseline: lmax %.3f\n" r.Baseline.lmax;
+        describe r.Baseline.solution;
+        if certify then Some (Check.certify g r.Baseline.solution) else None
+      | other ->
+        Printf.eprintf "unknown algorithm %S\n" other;
+        None
+    in
+    Option.iter (fun v -> Format.printf "%a@." Check.pp_verdict v) verdict;
     write_trace ();
-    Par.shutdown par
+    Par.shutdown par;
+    match verdict with Some v when not (Check.ok v) -> exit 1 | _ -> ()
   in
   let algorithm =
     Arg.(
@@ -382,12 +393,22 @@ let solve_cmd =
              $(b,OVERLAY_JOBS) or the machine's recommended domain count; \
              1 = serial).  Output is bit-identical at any $(docv).")
   in
+  let certify =
+    Arg.(
+      value & flag
+      & info [ "certify" ]
+          ~doc:
+            "Re-derive the solution's certificate from scratch (spanning \
+             trees, route integrity, recomputed loads; plus the weak \
+             LP-duality bound for the FPTAS algorithms), print the verdict \
+             and exit nonzero on any violation.")
+  in
   let doc = "Solve one instance and print per-session rates." in
   Cmd.v
     (Cmd.info "solve" ~doc)
     Term.(
       const run $ seed $ nodes $ sizes $ demand $ mode $ algorithm $ ratio
-      $ sigma $ trace $ trace_stream $ trace_capacity $ jobs)
+      $ sigma $ trace $ trace_stream $ trace_capacity $ jobs $ certify)
 
 (* --- export: dump an instance + solution to files --------------------------- *)
 

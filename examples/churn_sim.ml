@@ -12,9 +12,15 @@ let bar width fraction =
   let n = max 0 (min width n) in
   String.make n '#' ^ String.make (width - n) '.'
 
+(* --smoke: tiny instance for the test suite's exit-code check *)
+let smoke = Array.exists (String.equal "--smoke") Sys.argv
+
 let () =
   let rng = Rng.create 11 in
-  let topology = Waxman.generate rng { Waxman.default_params with n = 60 } in
+  let topology =
+    Waxman.generate rng
+      { Waxman.default_params with n = (if smoke then 24 else 60) }
+  in
   let graph = topology.Topology.graph in
   Printf.printf "network: %d routers, %d links\n\n" (Topology.n_nodes topology)
     (Topology.n_links topology);
@@ -25,8 +31,8 @@ let () =
       Churn.arrival_rate = 1.5;
       mean_holding_time = 8.0;
       size_min = 3;
-      size_max = 8;
-      horizon = 60.0;
+      size_max = (if smoke then 5 else 8);
+      horizon = (if smoke then 15.0 else 60.0);
     }
   in
   let result = Churn.run (Rng.create 12) graph config in

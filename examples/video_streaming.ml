@@ -10,10 +10,16 @@
 
    Run with: dune exec examples/video_streaming.exe *)
 
+(* --smoke: tiny instance for the test suite's exit-code check *)
+let smoke = Array.exists (String.equal "--smoke") Sys.argv
+
 let () =
   let rng = Rng.create 7 in
   let topology =
-    Two_level.generate rng (Two_level.small_params ~n_as:4 ~routers_per_as:25)
+    if smoke then
+      Two_level.generate rng (Two_level.small_params ~n_as:2 ~routers_per_as:8)
+    else
+      Two_level.generate rng (Two_level.small_params ~n_as:4 ~routers_per_as:25)
   in
   let graph = topology.Topology.graph in
   let n = Topology.n_nodes topology in
@@ -22,7 +28,7 @@ let () =
 
   (* three channels: a big event (25 viewers), a mid channel (12), and a
      niche stream (5); all want 4 Mbps (capacities are 100 units). *)
-  let audiences = [| 25; 12; 5 |] in
+  let audiences = if smoke then [| 6; 4; 3 |] else [| 25; 12; 5 |] in
   let sessions =
     Array.mapi
       (fun id size ->
@@ -40,12 +46,15 @@ let () =
   in
 
   (* throughput-optimal plan *)
-  let mf = Max_flow.solve graph (overlays ()) ~epsilon:0.025 in
+  let mf =
+    Max_flow.solve graph (overlays ()) ~epsilon:(if smoke then 0.1 else 0.025)
+  in
   report "MaxFlow" (Solution.rates mf.Max_flow.solution);
 
   (* fair plan: weighted max-min with demand weights *)
   let mcf =
-    Max_concurrent_flow.solve graph (overlays ()) ~epsilon:0.0167
+    Max_concurrent_flow.solve graph (overlays ())
+      ~epsilon:(if smoke then 0.1 else 0.0167)
       ~scaling:Max_concurrent_flow.Proportional
   in
   report "MaxConcurrentFlow" (Solution.rates mcf.Max_concurrent_flow.solution);

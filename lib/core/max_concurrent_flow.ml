@@ -8,6 +8,9 @@ type result = {
   pre_mst_operations : int;
   zetas : float array;
   epsilon : float;
+  dual_lengths : float array;
+  dual_ln_base : float;
+  working_demands : float array;
 }
 
 let ratio_to_epsilon r =
@@ -348,4 +351,7 @@ let solve ?(variant = Paper) ?(incremental = true) ?(obs = Obs.Sink.null)
     pre_mst_operations;
     zetas;
     epsilon;
+    dual_lengths = st.lens;
+    dual_ln_base = st.ln_base;
+    working_demands = working;
   }

@@ -44,6 +44,22 @@ type result = {
   pre_mst_operations : int;  (** MaxFlow preprocessing (part two) *)
   zetas : float array;       (** standalone maximum flow rate per session *)
   epsilon : float;
+  dual_lengths : float array;
+  (** final dual length per physical edge id, in the solver's internal
+      scale: [d_e = exp dual_ln_base *. dual_lengths.(e)] (edges of
+      zero capacity hold [infinity]).  As with {!Max_flow.result}, only
+      ratios enter the duality certificate, so the common scale factor
+      never has to be materialized. *)
+  dual_ln_base : float;
+  (** log of the common scale factor of [dual_lengths]. *)
+  working_demands : float array;
+  (** the demand vector the main loop actually routed, per session
+      slot: the preprocessing-scaled demands ([Maxflow_weighted] or
+      [Proportional], see {!demand_scaling}) times [2^j] after [j]
+      [T]-horizon doublings.  The [(1 - 3 eps)] guarantee is relative
+      to the max-min objective {e in this demand direction};
+      [Check.certify_mcf] re-validates both the scaling semantics and
+      the duality gap against it. *)
 }
 
 (** [ratio_to_epsilon r] gives the [eps] with [(1 - 3 eps) = r]. *)

@@ -3,6 +3,8 @@ type result = {
   iterations : int;
   mst_operations : int;
   epsilon : float;
+  dual_lengths : float array;
+  dual_ln_base : float;
 }
 
 let ratio_to_epsilon r =
@@ -241,6 +243,8 @@ let solve ?(incremental = true) ?(obs = Obs.Sink.null) ?(par = Par.serial)
     iterations = !iterations;
     mst_operations = Overlay.total_mst_operations overlays;
     epsilon;
+    dual_lengths = lens;
+    dual_ln_base = !ln_base;
   }
 
 let solve_single ?incremental ?obs ?par graph overlay ~epsilon =

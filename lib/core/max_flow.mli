@@ -19,6 +19,18 @@ type result = {
   iterations : int;           (** augmentation count *)
   mst_operations : int;       (** total minimum-overlay-spanning-tree computations *)
   epsilon : float;            (** the [eps] the run was solved with *)
+  dual_lengths : float array;
+  (** final dual length per physical edge id, in the solver's internal
+      scale: the real dual variable is
+      [d_e = exp dual_ln_base *. dual_lengths.(e)].  Only length
+      {e ratios} enter the LP-duality certificate (the dual objective
+      [sum_e c_e d_e] divided by the minimum normalized tree length),
+      so [Check.certify_max_flow] consumes this array directly and the
+      shared [exp dual_ln_base] factor cancels — which is what makes
+      the certificate computable even when [delta] underflows a double
+      (ratio 0.99 and beyond). *)
+  dual_ln_base : float;
+  (** log of the common scale factor of [dual_lengths] (see above). *)
 }
 
 (** [ratio_to_epsilon r] maps a target approximation ratio [r] (e.g.

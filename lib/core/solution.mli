@@ -60,7 +60,13 @@ val link_load : t -> Graph.t -> float array
 val max_congestion : t -> Graph.t -> float
 
 (** [is_feasible t g ~tol] checks every link load is within capacity
-    times [1 + tol]. *)
+    times [1 +. tol] — i.e. [max_congestion t g <= 1.0 +. tol].  The
+    tolerance is {e relative} and absorbs the float rounding of the
+    FPTAS scaling passes; it is not slack for genuinely overloaded
+    links.  Callers should pass [Check.default_tol] unless they need
+    exact arithmetic ([~tol:0.0] on hand-built rational instances).
+    Note this trusts the solution's own usage accounting; use
+    [Check.certify] to re-derive loads from the routes instead. *)
 val is_feasible : t -> Graph.t -> tol:float -> bool
 
 (** [merge_from t other] adds all of [other]'s tree rates into [t]

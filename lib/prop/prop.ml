@@ -1,0 +1,127 @@
+module Gen = struct
+  type 'a t = Rng.t -> 'a
+
+  let return x _ = x
+  let map f g rng = f (g rng)
+  let bind g f rng = f (g rng) rng
+  let pair a b rng =
+    let x = a rng in
+    let y = b rng in
+    (x, y)
+
+  let int_range lo hi rng =
+    if lo > hi then invalid_arg "Prop.Gen.int_range";
+    lo + Rng.int rng (hi - lo + 1)
+
+  let float_range lo hi rng = lo +. Rng.float rng (hi -. lo)
+  let bool rng = Rng.bool rng
+
+  let choose xs rng =
+    match xs with
+    | [] -> invalid_arg "Prop.Gen.choose: empty list"
+    | _ -> List.nth xs (Rng.int rng (List.length xs))
+
+  let oneof gs rng = (choose gs rng) rng
+  let array_n n g rng = Array.init n (fun _ -> g rng)
+end
+
+type 'a failure = {
+  counterexample : 'a;
+  original : 'a;
+  case_seed : int;
+  case_index : int;
+  shrink_steps : int;
+  message : string;
+}
+
+type 'a outcome = Passed of int | Failed of 'a failure
+
+let int_from_env name ~default =
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some s -> ( match int_of_string_opt (String.trim s) with
+    | Some v -> v
+    | None -> default)
+
+let seed_from_env ~default = int_from_env "OVERLAY_PROP_SEED" ~default
+let count_from_env ~default = int_from_env "OVERLAY_PROP_COUNT" ~default
+
+(* splitmix64-style mixing keeps derived case seeds independent while
+   case 0 replays the master seed verbatim *)
+let case_seed ~seed i =
+  if i = 0 then seed
+  else begin
+    let z = Int64.add (Int64.of_int seed)
+        (Int64.mul (Int64.of_int i) 0x9E3779B97F4A7C15L) in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+        0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+        0x94D049BB133111EBL in
+    (* top 62 bits: always a nonnegative OCaml int *)
+    Int64.to_int (Int64.shift_right_logical z 2)
+  end
+
+let eval prop case =
+  match prop case with
+  | Ok () -> None
+  | Error msg -> Some msg
+  | exception exn -> Some ("exception: " ^ Printexc.to_string exn)
+
+let shrink_loop ~shrink ~prop ~first_message original =
+  let rec go case message steps =
+    let next =
+      List.find_map
+        (fun candidate ->
+          match eval prop candidate with
+          | Some msg -> Some (candidate, msg)
+          | None -> None)
+        (shrink case)
+    in
+    match next with
+    | Some (candidate, msg) -> go candidate msg (steps + 1)
+    | None -> (case, message, steps)
+  in
+  go original first_message 0
+
+let run ~name:_ ~count ~seed ~gen ~shrink prop =
+  let rec cases i =
+    if i >= count then Passed count
+    else begin
+      let cs = case_seed ~seed i in
+      let case = gen (Rng.create cs) in
+      match eval prop case with
+      | None -> cases (i + 1)
+      | Some message ->
+        let counterexample, message, shrink_steps =
+          shrink_loop ~shrink ~prop ~first_message:message case
+        in
+        Failed
+          {
+            counterexample;
+            original = case;
+            case_seed = cs;
+            case_index = i;
+            shrink_steps;
+            message;
+          }
+    end
+  in
+  cases 0
+
+let report ~name ~print f =
+  Printf.sprintf
+    "property %s failed on case %d (after %d shrink step%s)\n\
+    \  counterexample: %s\n\
+    \  original:       %s\n\
+    \  error: %s\n\
+    \  replay (regenerate): OVERLAY_PROP_SEED=%d OVERLAY_PROP_COUNT=1 dune runtest -f\n\
+    \  replay (exact case): OVERLAY_PROP_CASE='%s' dune runtest -f"
+    name f.case_index f.shrink_steps
+    (if f.shrink_steps = 1 then "" else "s")
+    (print f.counterexample) (print f.original) f.message f.case_seed
+    (print f.counterexample)
+
+let check ~name ~count ~seed ~gen ~shrink ~print prop =
+  match run ~name ~count ~seed ~gen ~shrink prop with
+  | Passed _ -> ()
+  | Failed f -> failwith (report ~name ~print f)

@@ -1,0 +1,107 @@
+(** Zero-dependency property-testing harness.
+
+    A deliberately small QuickCheck-style engine built directly on the
+    repository's splittable {!Rng}: generator combinators, a driver that
+    runs a property over many generated cases, integrated greedy
+    shrinking, and failure reports that print exact one-line
+    reproduction commands.  No external testing framework is required —
+    the driver returns a structured {!outcome} (or raises via {!check})
+    so it slots under Alcotest, a bare executable, or the CLI equally
+    well.
+
+    Replay protocol (read by {!seed_from_env} / {!count_from_env} and
+    honoured by the certification suite in [test/test_certify.ml]):
+    - [OVERLAY_PROP_SEED]  — master seed for the run;
+    - [OVERLAY_PROP_COUNT] — number of cases to draw;
+    - case [i] of a run draws from a seed derived from the master seed,
+      with case [0] using the master seed itself, so
+      [OVERLAY_PROP_SEED=<case seed> OVERLAY_PROP_COUNT=1] regenerates
+      any failing case exactly. *)
+
+module Gen : sig
+  (** A generator draws a value from a PRNG.  Generators are plain
+      functions, so ordinary [let]-binding composes them. *)
+  type 'a t = Rng.t -> 'a
+
+  val return : 'a -> 'a t
+  val map : ('a -> 'b) -> 'a t -> 'b t
+  val bind : 'a t -> ('a -> 'b t) -> 'b t
+  val pair : 'a t -> 'b t -> ('a * 'b) t
+
+  (** [int_range lo hi] draws uniformly from the inclusive range.
+      Raises [Invalid_argument] when [lo > hi]. *)
+  val int_range : int -> int -> int t
+
+  (** [float_range lo hi] draws uniformly from [\[lo, hi)]. *)
+  val float_range : float -> float -> float t
+
+  val bool : bool t
+
+  (** [choose xs] picks uniformly from a non-empty list. *)
+  val choose : 'a list -> 'a t
+
+  (** [oneof gs] picks one generator uniformly, then draws from it. *)
+  val oneof : 'a t list -> 'a t
+
+  (** [array_n n g] draws [n] independent values. *)
+  val array_n : int -> 'a t -> 'a array t
+end
+
+type 'a failure = {
+  counterexample : 'a;   (** smallest failing case found *)
+  original : 'a;         (** the case as first generated *)
+  case_seed : int;       (** seed that regenerates [original] as case 0 *)
+  case_index : int;      (** index within the run *)
+  shrink_steps : int;    (** accepted shrinks from [original] *)
+  message : string;      (** the property's failure message *)
+}
+
+type 'a outcome =
+  | Passed of int  (** number of cases that ran *)
+  | Failed of 'a failure
+
+(** [seed_from_env ~default] reads [OVERLAY_PROP_SEED] (decimal),
+    falling back to [default] when unset or unparsable. *)
+val seed_from_env : default:int -> int
+
+(** [count_from_env ~default] reads [OVERLAY_PROP_COUNT] likewise. *)
+val count_from_env : default:int -> int
+
+(** [case_seed ~seed i] is the derived seed for case [i]
+    ([case_seed ~seed 0 = seed]). *)
+val case_seed : seed:int -> int -> int
+
+(** [run ~name ~count ~seed ~gen ~shrink prop] draws [count] cases and
+    checks [prop] on each ([Ok ()] = pass, [Error msg] = fail).  On the
+    first failure the case is shrunk greedily: [shrink c] proposes
+    smaller candidates, the first candidate that still fails becomes the
+    new counterexample, until no candidate fails.  A property that
+    raises is treated as failing with the exception text (including
+    during shrinking). *)
+val run :
+  name:string ->
+  count:int ->
+  seed:int ->
+  gen:'a Gen.t ->
+  shrink:('a -> 'a list) ->
+  ('a -> (unit, string) result) ->
+  'a outcome
+
+(** [report ~name ~print f] renders a multi-line failure report ending
+    with two exact reproduction commands: an
+    [OVERLAY_PROP_SEED=... OVERLAY_PROP_COUNT=1] line that regenerates
+    the unshrunk case, and an [OVERLAY_PROP_CASE='...'] line (using
+    [print]) that replays the shrunk counterexample directly. *)
+val report : name:string -> print:('a -> string) -> 'a failure -> string
+
+(** [check ~name ~count ~seed ~gen ~shrink ~print prop] is {!run} that
+    raises [Failure] with the {!report} when the property fails. *)
+val check :
+  name:string ->
+  count:int ->
+  seed:int ->
+  gen:'a Gen.t ->
+  shrink:('a -> 'a list) ->
+  print:('a -> string) ->
+  ('a -> (unit, string) result) ->
+  unit

@@ -1,0 +1,212 @@
+type algorithm = Maxflow | Mcf | Rounding | Online | Single_tree | Refinement
+type family = Waxman | Barabasi | Two_level
+
+let all_algorithms = [ Maxflow; Mcf; Rounding; Online; Single_tree; Refinement ]
+let all_families = [ Waxman; Barabasi; Two_level ]
+
+let algorithm_name = function
+  | Maxflow -> "maxflow"
+  | Mcf -> "mcf"
+  | Rounding -> "rounding"
+  | Online -> "online"
+  | Single_tree -> "single_tree"
+  | Refinement -> "refinement"
+
+let family_name = function
+  | Waxman -> "waxman"
+  | Barabasi -> "barabasi"
+  | Two_level -> "two_level"
+
+type case = {
+  algo : algorithm;
+  family : family;
+  mode : Overlay.mode;
+  nodes : int;
+  n_sessions : int;
+  session_size : int;
+  trees_per_session : int;
+  epsilon : float;
+  jobs : int;
+  instance_seed : int;
+}
+
+let gen ~algo ~family ~mode ~jobs rng =
+  let open Prop.Gen in
+  {
+    algo;
+    family;
+    mode;
+    nodes = int_range 10 24 rng;
+    n_sessions = int_range 1 3 rng;
+    session_size = int_range 3 5 rng;
+    trees_per_session = int_range 1 4 rng;
+    (* coarse palette, valid for MaxFlow (< 1/2) and MCF (< 1/3) *)
+    epsilon = choose [ 0.3; 0.25; 0.15 ] rng;
+    jobs;
+    instance_seed = int_range 0 999_983 rng;
+  }
+
+let shrink c =
+  let candidates = ref [] in
+  let add c' = candidates := c' :: !candidates in
+  if c.jobs > 1 then add { c with jobs = 1 };
+  if c.trees_per_session > 1 then
+    add { c with trees_per_session = c.trees_per_session - 1 };
+  if c.session_size > 3 then add { c with session_size = c.session_size - 1 };
+  if c.n_sessions > 1 then begin
+    add { c with n_sessions = c.n_sessions - 1 };
+    if c.n_sessions > 2 then add { c with n_sessions = 1 }
+  end;
+  if c.nodes > 10 then begin
+    add { c with nodes = c.nodes - 1 };
+    if c.nodes > 12 then add { c with nodes = max 10 (c.nodes / 2) }
+  end;
+  (* built back-to-front, so nodes shrinks are tried first *)
+  !candidates
+
+let mode_name = function Overlay.Ip -> "ip" | Overlay.Arbitrary -> "arbitrary"
+
+let case_to_string c =
+  Printf.sprintf
+    "algo=%s,family=%s,mode=%s,nodes=%d,sessions=%d,size=%d,trees=%d,eps=%g,jobs=%d,seed=%d"
+    (algorithm_name c.algo) (family_name c.family) (mode_name c.mode) c.nodes
+    c.n_sessions c.session_size c.trees_per_session c.epsilon c.jobs
+    c.instance_seed
+
+let case_of_string s =
+  let default =
+    {
+      algo = Maxflow;
+      family = Waxman;
+      mode = Overlay.Ip;
+      nodes = 12;
+      n_sessions = 1;
+      session_size = 3;
+      trees_per_session = 1;
+      epsilon = 0.25;
+      jobs = 1;
+      instance_seed = 0;
+    }
+  in
+  let parse_field acc kv =
+    match acc with
+    | Error _ -> acc
+    | Ok c -> (
+      match String.index_opt kv '=' with
+      | None -> Error (Printf.sprintf "malformed field %S (expected key=value)" kv)
+      | Some i -> (
+        let key = String.sub kv 0 i in
+        let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+        let int_field f =
+          match int_of_string_opt v with
+          | Some n -> Ok (f n)
+          | None -> Error (Printf.sprintf "field %s: %S is not an int" key v)
+        in
+        match key with
+        | "algo" -> (
+          match
+            List.find_opt (fun a -> algorithm_name a = v) all_algorithms
+          with
+          | Some a -> Ok { c with algo = a }
+          | None -> Error (Printf.sprintf "unknown algo %S" v))
+        | "family" -> (
+          match List.find_opt (fun f -> family_name f = v) all_families with
+          | Some f -> Ok { c with family = f }
+          | None -> Error (Printf.sprintf "unknown family %S" v))
+        | "mode" -> (
+          match v with
+          | "ip" -> Ok { c with mode = Overlay.Ip }
+          | "arbitrary" -> Ok { c with mode = Overlay.Arbitrary }
+          | _ -> Error (Printf.sprintf "unknown mode %S" v))
+        | "nodes" -> int_field (fun n -> { c with nodes = n })
+        | "sessions" -> int_field (fun n -> { c with n_sessions = n })
+        | "size" -> int_field (fun n -> { c with session_size = n })
+        | "trees" -> int_field (fun n -> { c with trees_per_session = n })
+        | "eps" -> (
+          match float_of_string_opt v with
+          | Some e -> Ok { c with epsilon = e }
+          | None -> Error (Printf.sprintf "field eps: %S is not a float" v))
+        | "jobs" -> int_field (fun n -> { c with jobs = n })
+        | "seed" -> int_field (fun n -> { c with instance_seed = n })
+        | _ -> Error (Printf.sprintf "unknown field %S" key)))
+  in
+  List.fold_left parse_field (Ok default)
+    (String.split_on_char ',' (String.trim s))
+
+let instance c =
+  let rng = Rng.create c.instance_seed in
+  let topo =
+    match c.family with
+    | Waxman -> Waxman.generate rng { Waxman.default_params with n = c.nodes }
+    | Barabasi ->
+      Barabasi.generate rng { Barabasi.default_params with n = c.nodes }
+    | Two_level ->
+      Two_level.generate rng
+        (Two_level.small_params ~n_as:2 ~routers_per_as:(max 2 (c.nodes / 2)))
+  in
+  let g = topo.Topology.graph in
+  let n = Graph.n_vertices g in
+  let size = min c.session_size n in
+  let sessions =
+    Array.init c.n_sessions (fun id ->
+        Session.random rng ~id ~topology_size:n ~size
+          ~demand:(1.0 +. float_of_int id))
+  in
+  (g, sessions)
+
+let with_pool c f =
+  if c.jobs <= 1 then f Par.serial
+  else begin
+    let pool = Par.create ~jobs:c.jobs () in
+    Fun.protect ~finally:(fun () -> Par.shutdown pool) (fun () -> f pool)
+  end
+
+let solve_case c =
+  let g, sessions = instance c in
+  let fresh () = Array.map (Overlay.create g c.mode) sessions in
+  with_pool c (fun par ->
+      match c.algo with
+      | Maxflow ->
+        let overlays = fresh () in
+        let r = Max_flow.solve ~par g overlays ~epsilon:c.epsilon in
+        Check.certify_max_flow g overlays r
+      | Mcf ->
+        let overlays = fresh () in
+        let scaling =
+          if c.instance_seed land 1 = 0 then
+            Max_concurrent_flow.Maxflow_weighted
+          else Max_concurrent_flow.Proportional
+        in
+        let r =
+          Max_concurrent_flow.solve ~par g overlays ~epsilon:c.epsilon ~scaling
+        in
+        Check.certify_mcf g overlays ~scaling r
+      | Rounding ->
+        let r =
+          Max_concurrent_flow.solve ~par g (fresh ()) ~epsilon:c.epsilon
+            ~scaling:Max_concurrent_flow.Proportional
+        in
+        let rounded =
+          Random_rounding.round
+            (Rng.create (c.instance_seed + 1))
+            g
+            ~fractional:r.Max_concurrent_flow.solution
+            ~trees_per_session:c.trees_per_session
+        in
+        Check.certify g rounded.Random_rounding.solution
+      | Online ->
+        let r = Online.solve g (fresh ()) ~sigma:20.0 in
+        Check.certify g r.Online.solution
+      | Single_tree ->
+        let r = Baseline.single_tree g (fresh ()) in
+        Check.certify g r.Baseline.solution
+      | Refinement ->
+        let r =
+          Refinement.improve g (fresh ())
+            {
+              Refinement.trees_per_session = c.trees_per_session;
+              rounds = 2;
+              sigma = 20.0;
+            }
+        in
+        Check.certify g r.Refinement.solution)

@@ -68,7 +68,7 @@ let test_maxflow_feasible () =
   let g, sessions = make_env ~seed:1 ~n:50 ~sizes:[| 7; 5 |] ~demand:100.0 in
   let overlays = Array.map (Overlay.create g Overlay.Ip) sessions in
   let r = Max_flow.solve g overlays ~epsilon:0.05 in
-  checkb "feasible" true (Solution.is_feasible r.Max_flow.solution g ~tol:1e-6);
+  checkb "feasible" true (Solution.is_feasible r.Max_flow.solution g ~tol:Check.default_tol);
   checkb "positive throughput" true
     (Solution.overall_throughput r.Max_flow.solution > 0.0);
   checkb "counts MST ops" true (r.Max_flow.mst_operations > 0)
@@ -110,7 +110,7 @@ let test_mcf_feasible_and_fair () =
       ~scaling:Max_concurrent_flow.Maxflow_weighted
   in
   let s = r.Max_concurrent_flow.solution in
-  checkb "feasible" true (Solution.is_feasible s g ~tol:1e-6);
+  checkb "feasible" true (Solution.is_feasible s g ~tol:Check.default_tol);
   checkb "both sessions served" true
     (Solution.session_rate s 0 > 0.0 && Solution.session_rate s 1 > 0.0);
   checkb "zetas positive" true
@@ -169,7 +169,7 @@ let test_rounding_feasible_and_bounded () =
   List.iter
     (fun n_trees ->
       let r = Random_rounding.round rng g ~fractional ~trees_per_session:n_trees in
-      checkb "feasible" true (Solution.is_feasible r.Random_rounding.solution g ~tol:1e-6);
+      checkb "feasible" true (Solution.is_feasible r.Random_rounding.solution g ~tol:Check.default_tol);
       Array.iteri
         (fun i d ->
           checkb
@@ -220,7 +220,7 @@ let test_online_feasible () =
   let replicas = Session.replicate sessions ~copies:8 ~demand:1.0 in
   let overlays = Array.map (Overlay.create g Overlay.Ip) replicas in
   let r = Online.solve g overlays ~sigma:30.0 in
-  checkb "feasible" true (Solution.is_feasible r.Online.solution g ~tol:1e-6);
+  checkb "feasible" true (Solution.is_feasible r.Online.solution g ~tol:Check.default_tol);
   checkb "one tree per session" true
     (Array.for_all (fun (_ : Otree.t) -> true) r.Online.trees);
   Array.iteri
@@ -237,7 +237,7 @@ let test_online_sigma_sensitivity () =
     let replicas = Session.replicate sessions ~copies:12 ~demand:1.0 in
     let overlays = Array.map (Overlay.create g Overlay.Ip) replicas in
     let r = Online.solve g overlays ~sigma in
-    checkb "feasible" true (Solution.is_feasible r.Online.solution g ~tol:1e-6);
+    checkb "feasible" true (Solution.is_feasible r.Online.solution g ~tol:Check.default_tol);
     let distinct =
       Metrics.aggregate_replicated_trees r.Online.solution
         ~original_of_slot:(Array.make 12 0) ~originals:1
@@ -274,7 +274,7 @@ let test_single_tree_baseline () =
   let g, sessions = make_env ~seed:13 ~n:40 ~sizes:[| 6; 4 |] ~demand:10.0 in
   let overlays = Array.map (Overlay.create g Overlay.Ip) sessions in
   let r = Baseline.single_tree g overlays in
-  checkb "feasible" true (Solution.is_feasible r.Baseline.solution g ~tol:1e-6);
+  checkb "feasible" true (Solution.is_feasible r.Baseline.solution g ~tol:Check.default_tol);
   Array.iteri
     (fun i _ -> checkb "one tree" true (Solution.n_trees r.Baseline.solution i = 1))
     sessions
@@ -283,7 +283,7 @@ let test_interior_disjoint_baseline () =
   let g, sessions = make_env ~seed:14 ~n:40 ~sizes:[| 6; 4 |] ~demand:10.0 in
   let overlays = Array.map (Overlay.create g Overlay.Ip) sessions in
   let r = Baseline.interior_disjoint g overlays ~trees_per_session:3 in
-  checkb "feasible" true (Solution.is_feasible r.Baseline.solution g ~tol:1e-6);
+  checkb "feasible" true (Solution.is_feasible r.Baseline.solution g ~tol:Check.default_tol);
   Array.iteri
     (fun i _ ->
       let n = Solution.n_trees r.Baseline.solution i in

@@ -1,0 +1,383 @@
+(* Certification kernel + property harness: a randomized sweep proving
+   Check.certify accepts every solver's output across the full
+   algorithm x topology x routing-mode x worker matrix, negative tests
+   proving it rejects hand-corrupted solutions with named violations,
+   and self-tests of the Prop engine (shrinking, replay seeds, case
+   round-trip). *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let verdict_to_string v = Format.asprintf "%a" Check.pp_verdict v
+
+let names_of v = List.map Check.violation_name v.Check.violations
+
+let assert_names ~what expected v =
+  checkb
+    (Printf.sprintf "%s rejected" what)
+    false (Check.ok v);
+  List.iter
+    (fun name ->
+      checkb
+        (Printf.sprintf "%s names %s (got: %s)" what name
+           (String.concat "," (names_of v)))
+        true
+        (List.mem name (names_of v)))
+    expected
+
+(* --- the randomized certification sweep -------------------------------- *)
+
+let master_seed = Prop.seed_from_env ~default:2026
+let cases_per_combo = Prop.count_from_env ~default:3
+
+let property_for algo () =
+  let combo = ref 0 in
+  List.iter
+    (fun family ->
+      List.iter
+        (fun mode ->
+          List.iter
+            (fun jobs ->
+              incr combo;
+              (* distinct master seed per combo, derived so combo
+                 ordering never aliases case streams *)
+              let seed = Prop.case_seed ~seed:master_seed (1000 + !combo) in
+              Prop.check
+                ~name:
+                  (Printf.sprintf "certify %s/%s/%s/j%d"
+                     (Prop_overlay.algorithm_name algo)
+                     (Prop_overlay.family_name family)
+                     (match mode with
+                     | Overlay.Ip -> "ip"
+                     | Overlay.Arbitrary -> "arbitrary")
+                     jobs)
+                ~count:cases_per_combo ~seed
+                ~gen:(Prop_overlay.gen ~algo ~family ~mode ~jobs)
+                ~shrink:Prop_overlay.shrink ~print:Prop_overlay.case_to_string
+                (fun case ->
+                  let v = Prop_overlay.solve_case case in
+                  if Check.ok v then Ok () else Error (verdict_to_string v)))
+            [ 1; 2 ])
+        [ Overlay.Ip; Overlay.Arbitrary ])
+    Prop_overlay.all_families
+
+(* OVERLAY_PROP_CASE replay hook: when set, also run exactly that case
+   (the property sweep still runs; this pinpoints the reported one). *)
+let test_replay_case () =
+  match Sys.getenv_opt "OVERLAY_PROP_CASE" with
+  | None -> ()
+  | Some s -> (
+    match Prop_overlay.case_of_string s with
+    | Error msg -> Alcotest.failf "OVERLAY_PROP_CASE: %s" msg
+    | Ok case ->
+      let v = Prop_overlay.solve_case case in
+      if not (Check.ok v) then
+        Alcotest.failf "replayed case %s:@\n%s"
+          (Prop_overlay.case_to_string case)
+          (verdict_to_string v))
+
+(* --- negative tests: corrupted solutions must be rejected -------------- *)
+
+let base_case =
+  {
+    Prop_overlay.algo = Prop_overlay.Maxflow;
+    family = Prop_overlay.Waxman;
+    mode = Overlay.Ip;
+    nodes = 16;
+    n_sessions = 2;
+    session_size = 4;
+    trees_per_session = 2;
+    epsilon = 0.15;
+    jobs = 1;
+    instance_seed = 424242;
+  }
+
+let solved_instance () =
+  let g, sessions = Prop_overlay.instance base_case in
+  let overlays = Array.map (Overlay.create g Overlay.Ip) sessions in
+  let r = Max_flow.solve g overlays ~epsilon:base_case.Prop_overlay.epsilon in
+  (g, sessions, overlays, r)
+
+(* rebuild a solution, replacing session [slot]'s trees via [f] *)
+let rebuild_solution sessions solution ~slot ~f =
+  let corrupted = Solution.create sessions in
+  Array.iteri
+    (fun i _ ->
+      List.iter
+        (fun (tree, rate) ->
+          let tree, rate = if i = slot then f tree rate else (tree, rate) in
+          Solution.add corrupted tree rate)
+        (Solution.trees solution i))
+    sessions;
+  corrupted
+
+let test_accepts_honest () =
+  let g, _, overlays, r = solved_instance () in
+  let v = Check.certify_max_flow g overlays r in
+  checkb
+    (Printf.sprintf "honest run certifies (%s)" (verdict_to_string v))
+    true (Check.ok v)
+
+let test_rejects_inflated_rate () =
+  let g, sessions, _, r = solved_instance () in
+  let inflated =
+    rebuild_solution sessions r.Max_flow.solution ~slot:0
+      ~f:(fun tree rate -> (tree, rate *. 1000.0))
+  in
+  assert_names ~what:"inflated rate" [ "overload" ] (Check.certify g inflated)
+
+let test_rejects_non_spanning () =
+  let g, sessions, _, r = solved_instance () in
+  (* drop one overlay edge (and its route) from every tree of slot 0 *)
+  let corrupted =
+    rebuild_solution sessions r.Max_flow.solution ~slot:0 ~f:(fun tree rate ->
+        let n = Array.length tree.Otree.pairs in
+        let tree' =
+          Otree.build ~session_id:tree.Otree.session_id
+            ~pairs:(Array.sub tree.Otree.pairs 0 (n - 1))
+            ~routes:(Array.sub tree.Otree.routes 0 (n - 1))
+        in
+        (tree', rate))
+  in
+  assert_names ~what:"non-spanning tree" [ "not_spanning" ]
+    (Check.certify g corrupted)
+
+let test_rejects_wrong_session () =
+  let g, sessions, _, r = solved_instance () in
+  (* relabel session 0's trees as session 1's: Solution files them by
+     id, so they land in slot 1 where their routes connect the wrong
+     members *)
+  let corrupted = Solution.create sessions in
+  List.iter
+    (fun (tree, rate) ->
+      Solution.add corrupted { tree with Otree.session_id = 1 } rate)
+    (Solution.trees r.Max_flow.solution 0);
+  List.iter
+    (fun (tree, rate) -> Solution.add corrupted tree rate)
+    (Solution.trees r.Max_flow.solution 1);
+  assert_names ~what:"misattributed tree" [ "route_endpoints" ]
+    (Check.certify g corrupted)
+
+let test_rejects_broken_route () =
+  let g, sessions, _, r = solved_instance () in
+  (* append a backtracking hop: the walk ends off the destination *)
+  let corrupted =
+    rebuild_solution sessions r.Max_flow.solution ~slot:0 ~f:(fun tree rate ->
+        let routes = Array.copy tree.Otree.routes in
+        let rt = routes.(0) in
+        let last = rt.Route.edges.(Array.length rt.Route.edges - 1) in
+        routes.(0) <- { rt with Route.edges = Array.append rt.Route.edges [| last |] };
+        ( Otree.build ~session_id:tree.Otree.session_id ~pairs:tree.Otree.pairs
+            ~routes,
+          rate ))
+  in
+  assert_names ~what:"broken route" [ "broken_route" ]
+    (Check.certify g corrupted)
+
+let test_rejects_usage_tampering () =
+  let g, sessions, _, r = solved_instance () in
+  let corrupted =
+    rebuild_solution sessions r.Max_flow.solution ~slot:0 ~f:(fun tree rate ->
+        let usage = Array.copy tree.Otree.usage in
+        let e, n = usage.(0) in
+        usage.(0) <- (e, n + 1);
+        ({ tree with Otree.usage }, rate))
+  in
+  assert_names ~what:"tampered usage table" [ "usage_mismatch" ]
+    (Check.certify g corrupted)
+
+let test_rejects_weak_duality_breach () =
+  let g, _, overlays, r = solved_instance () in
+  (* x3 pushes the primal past the dual bound: the run is (1-2eps)
+     optimal, so tripling clears the upper bound with margin *)
+  Solution.scale r.Max_flow.solution 3.0;
+  assert_names ~what:"scaled-up solution" [ "weak_duality" ]
+    (Check.certify_max_flow g overlays r)
+
+let test_rejects_duality_gap () =
+  let g, _, overlays, r = solved_instance () in
+  (* x0.5 stays feasible but lands below the (1-2eps)=0.7 factor *)
+  Solution.scale r.Max_flow.solution 0.5;
+  assert_names ~what:"scaled-down solution" [ "duality_gap" ]
+    (Check.certify_max_flow g overlays r)
+
+let mcf_instance () =
+  let g, sessions = Prop_overlay.instance base_case in
+  let overlays = Array.map (Overlay.create g Overlay.Ip) sessions in
+  let scaling = Max_concurrent_flow.Proportional in
+  let r = Max_concurrent_flow.solve g overlays ~epsilon:0.15 ~scaling in
+  (g, overlays, scaling, r)
+
+let test_mcf_honest_and_scaling_violations () =
+  let g, overlays, scaling, r = mcf_instance () in
+  let v = Check.certify_mcf g overlays ~scaling r in
+  checkb
+    (Printf.sprintf "honest mcf certifies (%s)" (verdict_to_string v))
+    true (Check.ok v);
+  (* global tampering: not a power-of-two multiple of the derived base *)
+  let tampered_all =
+    { r with
+      Max_concurrent_flow.working_demands =
+        Array.map (fun w -> w *. 1.7) r.Max_concurrent_flow.working_demands }
+  in
+  assert_names ~what:"globally tampered working demands"
+    [ "scaling_violation" ]
+    (Check.certify_mcf g overlays ~scaling tampered_all);
+  (* per-slot tampering: breaks the demand direction itself *)
+  let wd = Array.copy r.Max_concurrent_flow.working_demands in
+  wd.(1) <- wd.(1) *. 1.5;
+  let tampered_one = { r with Max_concurrent_flow.working_demands = wd } in
+  assert_names ~what:"per-slot tampered working demand"
+    [ "scaling_violation" ]
+    (Check.certify_mcf g overlays ~scaling tampered_one)
+
+let test_violation_names_stable () =
+  let all =
+    [
+      (Check.Negative_rate { slot = 0; rate = -1.0 }, "negative_rate");
+      ( Check.Wrong_session { slot = 0; tree_session_id = 1; expected = 0 },
+        "wrong_session" );
+      ( Check.Not_spanning { slot = 0; n_members = 3; detail = "d" },
+        "not_spanning" );
+      ( Check.Route_endpoints
+          { slot = 0; pair = (0, 1); src = 1; dst = 2; expected_src = 3;
+            expected_dst = 4 },
+        "route_endpoints" );
+      (Check.Broken_route { slot = 0; pair = (0, 1) }, "broken_route");
+      ( Check.Usage_mismatch { slot = 0; edge = 0; claimed = 1; recomputed = 2 },
+        "usage_mismatch" );
+      (Check.Overload { edge = 0; load = 2.0; capacity = 1.0 }, "overload");
+      (Check.Weak_duality { primal = 2.0; dual_bound = 1.0 }, "weak_duality");
+      ( Check.Duality_gap
+          { primal = 1.0; dual_bound = 2.0; claimed = 0.9; achieved = 0.5 },
+        "duality_gap" );
+      ( Check.Scaling_violation
+          { slot = 0; expected = 1.0; actual = 2.0; detail = "d" },
+        "scaling_violation" );
+    ]
+  in
+  List.iter
+    (fun (v, name) ->
+      Alcotest.(check string) name name (Check.violation_name v);
+      checkb
+        (Printf.sprintf "pp %s nonempty" name)
+        true
+        (String.length (Format.asprintf "%a" Check.pp_violation v) > 0))
+    all
+
+(* --- Prop engine self-tests -------------------------------------------- *)
+
+let test_case_seed_replay () =
+  checki "case 0 uses the master seed" 77 (Prop.case_seed ~seed:77 0);
+  checkb "derived seeds differ" true
+    (Prop.case_seed ~seed:77 1 <> Prop.case_seed ~seed:77 2);
+  checkb "derived seeds nonnegative" true (Prop.case_seed ~seed:77 5 >= 0)
+
+let test_shrinking_converges () =
+  let gen = Prop.Gen.int_range 0 10_000 in
+  let shrink x = if x > 0 then [ x / 2; x - 1 ] else [] in
+  match
+    Prop.run ~name:"ge50" ~count:200 ~seed:11 ~gen ~shrink (fun x ->
+        if x < 50 then Ok () else Error (Printf.sprintf "%d >= 50" x))
+  with
+  | Prop.Passed _ -> Alcotest.fail "expected a counterexample"
+  | Prop.Failed f ->
+    checki "shrinks to the boundary" 50 f.Prop.counterexample;
+    checkb "original at least as large" true (f.Prop.original >= 50);
+    let report = Prop.report ~name:"ge50" ~print:string_of_int f in
+    let contains needle =
+      let nl = String.length needle and hl = String.length report in
+      let rec at i =
+        i + nl <= hl && (String.sub report i nl = needle || at (i + 1))
+      in
+      at 0
+    in
+    checkb "report has seed replay line" true
+      (contains (Printf.sprintf "OVERLAY_PROP_SEED=%d" f.Prop.case_seed));
+    checkb "report has exact-case replay line" true
+      (contains "OVERLAY_PROP_CASE='50'")
+
+let test_case_roundtrip () =
+  List.iter
+    (fun algo ->
+      List.iter
+        (fun family ->
+          List.iter
+            (fun mode ->
+              let case =
+                Prop_overlay.gen ~algo ~family ~mode ~jobs:2 (Rng.create 5)
+              in
+              match Prop_overlay.case_of_string
+                      (Prop_overlay.case_to_string case)
+              with
+              | Ok case' ->
+                Alcotest.(check string)
+                  "round-trip"
+                  (Prop_overlay.case_to_string case)
+                  (Prop_overlay.case_to_string case');
+                checkb "round-trip equal" true (case = case')
+              | Error msg -> Alcotest.failf "round-trip failed: %s" msg)
+            [ Overlay.Ip; Overlay.Arbitrary ])
+        Prop_overlay.all_families)
+    Prop_overlay.all_algorithms;
+  (match Prop_overlay.case_of_string "algo=bogus" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bogus algo accepted");
+  match Prop_overlay.case_of_string "nodes=twelve" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-numeric field accepted"
+
+let test_shrink_priority () =
+  let c =
+    { base_case with Prop_overlay.nodes = 20; n_sessions = 3; session_size = 5;
+      trees_per_session = 3; jobs = 2 }
+  in
+  match Prop_overlay.shrink c with
+  | first :: _ ->
+    checkb "node count shrinks first" true
+      (first.Prop_overlay.nodes < c.Prop_overlay.nodes)
+  | [] -> Alcotest.fail "shrinkable case produced no candidates"
+
+let suite =
+  let prop_tests =
+    List.map
+      (fun algo ->
+        Alcotest.test_case
+          (Printf.sprintf "property: certify %s across the matrix"
+             (Prop_overlay.algorithm_name algo))
+          `Slow (property_for algo))
+      Prop_overlay.all_algorithms
+  in
+  prop_tests
+  @ [
+      Alcotest.test_case "OVERLAY_PROP_CASE replay hook" `Quick
+        test_replay_case;
+      Alcotest.test_case "honest maxflow run certifies" `Quick
+        test_accepts_honest;
+      Alcotest.test_case "inflated rate -> overload" `Quick
+        test_rejects_inflated_rate;
+      Alcotest.test_case "dropped overlay edge -> not_spanning" `Quick
+        test_rejects_non_spanning;
+      Alcotest.test_case "misattributed tree -> route_endpoints" `Quick
+        test_rejects_wrong_session;
+      Alcotest.test_case "backtracking route -> broken_route" `Quick
+        test_rejects_broken_route;
+      Alcotest.test_case "tampered usage -> usage_mismatch" `Quick
+        test_rejects_usage_tampering;
+      Alcotest.test_case "scaled-up solution -> weak_duality" `Quick
+        test_rejects_weak_duality_breach;
+      Alcotest.test_case "scaled-down solution -> duality_gap" `Quick
+        test_rejects_duality_gap;
+      Alcotest.test_case "mcf scaling tampering -> scaling_violation" `Quick
+        test_mcf_honest_and_scaling_violations;
+      Alcotest.test_case "violation names are stable" `Quick
+        test_violation_names_stable;
+      Alcotest.test_case "prop: case-0 seed replays the master" `Quick
+        test_case_seed_replay;
+      Alcotest.test_case "prop: shrinking converges to the boundary" `Quick
+        test_shrinking_converges;
+      Alcotest.test_case "prop: case string round-trips" `Quick
+        test_case_roundtrip;
+      Alcotest.test_case "prop: shrink tries node count first" `Quick
+        test_shrink_priority;
+    ]

@@ -58,7 +58,7 @@ let test_maxflow_sweep_rows () =
       checkb "trees found" true (r.Exp_tables.trees1 > 0 && r.Exp_tables.trees2 > 0);
       checkb "feasible" true
         (Solution.is_feasible r.Exp_tables.result.Max_flow.solution
-           s.Setup.topology.Topology.graph ~tol:1e-6))
+           s.Setup.topology.Topology.graph ~tol:Check.default_tol))
     rows;
   let rendered = Exp_tables.render_mf ~title:"test" rows in
   checkb "rendered" true (String.length rendered > 0)

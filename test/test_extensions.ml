@@ -166,7 +166,7 @@ let test_fleischer_matches_paper_variant () =
   let fp = Solution.concurrent_ratio paper.Max_concurrent_flow.solution in
   let ff = Solution.concurrent_ratio fleischer.Max_concurrent_flow.solution in
   checkb "feasible" true
-    (Solution.is_feasible fleischer.Max_concurrent_flow.solution g ~tol:1e-6);
+    (Solution.is_feasible fleischer.Max_concurrent_flow.solution g ~tol:Check.default_tol);
   checkb
     (Printf.sprintf "objectives close (%.4f vs %.4f)" fp ff)
     true

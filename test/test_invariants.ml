@@ -59,7 +59,7 @@ let test_invariant_sweep () =
           checkb
             (Printf.sprintf "seed %d %s feasible" seed name)
             true
-            (Solution.is_feasible solution g ~tol:1e-6);
+            (Solution.is_feasible solution g ~tol:Check.default_tol);
           checkb
             (Printf.sprintf "seed %d %s within cut bounds" seed name)
             true

@@ -126,7 +126,7 @@ let test_mesh_solve_feasible_and_below_optimum () =
   let mesh =
     Mesh_protocol.solve (Rng.create 3) g overlays Mesh_protocol.default_config
   in
-  checkb "feasible" true (Solution.is_feasible mesh.Baseline.solution g ~tol:1e-6);
+  checkb "feasible" true (Solution.is_feasible mesh.Baseline.solution g ~tol:Check.default_tol);
   let mf_overlays = Array.map (Overlay.create g Overlay.Ip) sessions in
   let mf = Max_flow.solve g mf_overlays ~epsilon:0.05 in
   checkb "below multi-tree optimum" true
@@ -184,7 +184,7 @@ let test_forest_solve_feasible () =
   let forest =
     Stripe_forest.solve (Rng.create 6) g overlays Stripe_forest.default_config
   in
-  checkb "feasible" true (Solution.is_feasible forest.Baseline.solution g ~tol:1e-6);
+  checkb "feasible" true (Solution.is_feasible forest.Baseline.solution g ~tol:Check.default_tol);
   Array.iteri
     (fun i _ ->
       checki "stripes per session" Stripe_forest.default_config.Stripe_forest.stripes

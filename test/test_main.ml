@@ -21,4 +21,5 @@ let () =
       ("par", Test_par.suite);
       ("par-determinism", Test_par_determinism.suite);
       ("io-and-protocols", Test_io_protocol.suite);
+      ("certify", Test_certify.suite);
     ]

@@ -21,7 +21,7 @@ let test_refinement_feasible_and_monotone () =
         Refinement.improve g overlays
           { Refinement.trees_per_session = 4; rounds = 6; sigma = 30.0 }
       in
-      checkb "feasible" true (Solution.is_feasible r.Refinement.solution g ~tol:1e-6);
+      checkb "feasible" true (Solution.is_feasible r.Refinement.solution g ~tol:Check.default_tol);
       checkb
         (Printf.sprintf "objective non-decreasing (%.4f -> %.4f)"
            r.Refinement.initial_objective r.Refinement.final_objective)
@@ -54,7 +54,7 @@ let test_refinement_zero_rounds_is_greedy () =
       { Refinement.trees_per_session = 2; rounds = 0; sigma = 30.0 }
   in
   checkb "no rounds used" true (r.Refinement.rounds_used = 0);
-  checkb "still feasible" true (Solution.is_feasible r.Refinement.solution g ~tol:1e-6)
+  checkb "still feasible" true (Solution.is_feasible r.Refinement.solution g ~tol:Check.default_tol)
 
 let test_refinement_vs_fractional_bound () =
   (* the heuristic cannot exceed the fractional max-min optimum *)

@@ -191,6 +191,131 @@ let test_reader_strictness () =
       (List.length r.Obs_export.r_issues >= 3)
   | Error msg -> Alcotest.failf "anomalous stream rejected outright: %s" msg)
 
+(* Byte-level fixture corpus for the reader's error paths: structural
+   failures must be Error, recoverable anomalies must land in r_issues
+   with the events still usable. *)
+let test_reader_error_corpus () =
+  let read_str content =
+    with_tmp (fun path ->
+        let oc = open_out path in
+        output_string oc content;
+        close_out oc;
+        Obs_export.read_trace path)
+  in
+  let issue_mentions r sub =
+    List.exists
+      (fun m ->
+        let n = String.length sub and ln = String.length m in
+        let rec go i = i + n <= ln && (String.sub m i n = sub || go (i + 1)) in
+        go 0)
+      r.Obs_export.r_issues
+  in
+  let expect_error ~what content =
+    match read_str content with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s accepted" what
+  in
+  let expect_issue ~what ~mention content =
+    match read_str content with
+    | Error msg -> Alcotest.failf "%s rejected outright: %s" what msg
+    | Ok r ->
+      checkb
+        (Printf.sprintf "%s reported (issues: %s)" what
+           (String.concat " | " r.Obs_export.r_issues))
+        true (issue_mentions r mention);
+      r
+  in
+  (* schema 1: file truncated mid-JSON, at a byte offset inside the
+     events array of a real capture *)
+  with_tmp (fun path ->
+      let tr = Obs.Trace.create ~capacity:64 () in
+      ignore (emit_sample (Obs.Trace.sink tr));
+      Obs_export.trace_to_file path tr;
+      let whole =
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      expect_error ~what:"file truncated mid-JSON"
+        (String.sub whole 0 (String.length whole * 3 / 5)));
+  (* schema 1: corrupted seq numbering *)
+  let r =
+    expect_issue ~what:"schema-1 seq gap" ~mention:"seq 5"
+      "{\"schema\":\"overlay-obs-trace/1\",\"emitted\":2,\"dropped\":0,\"events\":[\
+       {\"seq\":0,\"t\":1.0,\"kind\":\"iter_start\",\"session\":0,\"a\":1,\"b\":0},\
+       {\"seq\":5,\"t\":2.0,\"kind\":\"iter_end\",\"session\":0,\"a\":1,\"b\":0}]}"
+  in
+  checki "both events kept despite the gap" 2 (Array.length r.Obs_export.r_events);
+  (* schema 1: unknown kind is excluded but reported, and keeps its slot
+     in the seq validation *)
+  let r =
+    expect_issue ~what:"schema-1 unknown kind" ~mention:"future_kind"
+      "{\"schema\":\"overlay-obs-trace/1\",\"emitted\":3,\"dropped\":0,\"events\":[\
+       {\"seq\":0,\"t\":1.0,\"kind\":\"iter_start\",\"session\":0,\"a\":1,\"b\":0},\
+       {\"seq\":1,\"t\":1.5,\"kind\":\"future_kind\",\"session\":0,\"a\":0,\"b\":0},\
+       {\"seq\":2,\"t\":2.0,\"kind\":\"iter_end\",\"session\":0,\"a\":1,\"b\":0}]}"
+  in
+  checki "unknown kind excluded" 2 (Array.length r.Obs_export.r_events);
+  checkb "no spurious seq issue around the skipped kind" true
+    (not (issue_mentions r "seq"));
+  (* schema 1: envelope counters disagreeing with the payload *)
+  ignore
+    (expect_issue ~what:"schema-1 recorded mismatch" ~mention:"recorded=5"
+       "{\"schema\":\"overlay-obs-trace/1\",\"emitted\":1,\"recorded\":5,\"dropped\":0,\"events\":[\
+        {\"seq\":0,\"t\":1.0,\"kind\":\"iter_start\",\"session\":0,\"a\":1,\"b\":0}]}");
+  ignore
+    (expect_issue ~what:"schema-1 emitted mismatch" ~mention:"emitted=9"
+       "{\"schema\":\"overlay-obs-trace/1\",\"emitted\":9,\"dropped\":0,\"events\":[\
+        {\"seq\":0,\"t\":1.0,\"kind\":\"iter_start\",\"session\":0,\"a\":1,\"b\":0}]}");
+  (* structural field failures are fatal, not issues *)
+  let event_with fields =
+    Printf.sprintf
+      "{\"schema\":\"overlay-obs-trace/1\",\"emitted\":1,\"dropped\":0,\"events\":[{%s}]}"
+      fields
+  in
+  expect_error ~what:"missing t field"
+    (event_with "\"seq\":0,\"kind\":\"iter_start\",\"session\":0,\"a\":1,\"b\":0");
+  expect_error ~what:"non-numeric a"
+    (event_with
+       "\"seq\":0,\"t\":1.0,\"kind\":\"iter_start\",\"session\":0,\"a\":\"x\",\"b\":0");
+  expect_error ~what:"non-integer seq"
+    (event_with
+       "\"seq\":0.5,\"t\":1.0,\"kind\":\"iter_start\",\"session\":0,\"a\":1,\"b\":0");
+  expect_error ~what:"missing name and session"
+    (event_with "\"seq\":0,\"t\":1.0,\"kind\":\"iter_start\",\"a\":1,\"b\":0");
+  (* schema 2: events after the footer *)
+  ignore
+    (expect_issue ~what:"schema-2 event after footer" ~mention:"after the footer"
+       "{\"schema\":\"overlay-obs-trace/2\"}\n\
+        {\"seq\":0,\"t\":1.0,\"kind\":\"iter_start\",\"session\":0,\"a\":1,\"b\":0}\n\
+        {\"footer\":true,\"emitted\":1,\"dropped\":0}\n\
+        {\"seq\":1,\"t\":2.0,\"kind\":\"iter_end\",\"session\":0,\"a\":1,\"b\":0}\n");
+  (* schema 2: duplicate footer *)
+  ignore
+    (expect_issue ~what:"schema-2 duplicate footer" ~mention:"duplicate footer"
+       "{\"schema\":\"overlay-obs-trace/2\"}\n\
+        {\"seq\":0,\"t\":1.0,\"kind\":\"iter_start\",\"session\":0,\"a\":1,\"b\":0}\n\
+        {\"footer\":true,\"emitted\":1,\"dropped\":0}\n\
+        {\"footer\":true,\"emitted\":1,\"dropped\":0}\n");
+  (* schema 2: footer count anomalies *)
+  ignore
+    (expect_issue ~what:"schema-2 footer emitted mismatch" ~mention:"emitted=7"
+       "{\"schema\":\"overlay-obs-trace/2\"}\n\
+        {\"seq\":0,\"t\":1.0,\"kind\":\"iter_start\",\"session\":0,\"a\":1,\"b\":0}\n\
+        {\"footer\":true,\"emitted\":7,\"dropped\":0}\n");
+  ignore
+    (expect_issue ~what:"schema-2 footer without emitted"
+       ~mention:"no emitted count"
+       "{\"schema\":\"overlay-obs-trace/2\"}\n\
+        {\"seq\":0,\"t\":1.0,\"kind\":\"iter_start\",\"session\":0,\"a\":1,\"b\":0}\n\
+        {\"footer\":true}\n");
+  (* schema 2: a structurally broken event line is fatal *)
+  expect_error ~what:"schema-2 non-numeric t"
+    "{\"schema\":\"overlay-obs-trace/2\"}\n\
+     {\"seq\":0,\"t\":\"later\",\"kind\":\"iter_start\",\"session\":0,\"a\":1,\"b\":0}\n\
+     {\"footer\":true,\"emitted\":1,\"dropped\":0}\n"
+
 (* ---------- analysis on hand-built events ---------- *)
 
 let ev seq time kind session a b = { Obs.Event.seq; time; kind; session; a; b }
@@ -411,6 +536,8 @@ let suite =
     Alcotest.test_case "schema-2 stream round trip" `Quick test_roundtrip_schema2;
     Alcotest.test_case "ring-wraparound read" `Quick test_wraparound_read;
     Alcotest.test_case "reader strictness" `Quick test_reader_strictness;
+    Alcotest.test_case "reader error-path corpus" `Quick
+      test_reader_error_corpus;
     Alcotest.test_case "kind counts" `Quick test_kind_counts;
     Alcotest.test_case "convergence report" `Quick test_convergence_report;
     Alcotest.test_case "span profile" `Quick test_span_profile;
