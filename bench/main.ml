@@ -806,6 +806,7 @@ let run_par_bench () =
           speedup equal)
       runs;
     ( name,
+      runs,
       Json_export.Object_
         [
           ("ratio", Json_export.Number ratio);
@@ -826,8 +827,8 @@ let run_par_bench () =
                  runs) );
         ] )
   in
-  let arb = report "arbitrary" Overlay.Arbitrary ~ratio:0.92 in
-  let ip = report "ip" Overlay.Ip ~ratio:0.95 in
+  let arb_name, arb_runs, arb_json = report "arbitrary" Overlay.Arbitrary ~ratio:0.92 in
+  let ip_name, _, ip_json = report "ip" Overlay.Ip ~ratio:0.95 in
   let note =
     if host_domains >= 4 then
       "speedups measured on a host with >= 4 available cores"
@@ -848,18 +849,262 @@ let run_par_bench () =
             "Setup A: 100-node Waxman, sessions of 7 and 5, MaxFlow" );
         ("host_recommended_domains", Json_export.Number (float_of_int host_domains));
         ("note", Json_export.String note);
-        (fst arb, snd arb);
-        (fst ip, snd ip);
+        (arb_name, arb_json);
+        (ip_name, ip_json);
       ]
   in
   Json_export.to_file "BENCH_par.json" json;
-  Printf.printf "wrote BENCH_par.json\n"
+  Printf.printf "wrote BENCH_par.json\n";
+  (* -j 2 must not regress arbitrary mode: small member sets run inline
+     (Par.parallel_for's min_chunk threshold), so adding a worker can be
+     a wash but never the historical slowdown. *)
+  (match List.find_opt (fun (jobs, _, _, _) -> jobs = 2) arb_runs with
+  | Some (_, _, speedup, _) when speedup < 0.95 ->
+    Printf.printf "FAIL: arbitrary -j2 speedup %.2fx < 0.95x vs -j1\n" speedup;
+    exit 1
+  | Some (_, _, speedup, _) ->
+    Printf.printf "arbitrary -j2 speedup %.2fx >= 0.95x: ok\n" speedup
+  | None -> ())
+
+(* ------------------------------------------------------------- *)
+(* Cache-flat kernel: flat engine vs record engine                *)
+(* ------------------------------------------------------------- *)
+
+(* Flat twin of [mst_workload]: same update schedule, but the dual
+   lengths live in an array bound to the overlay
+   ([Overlay.bind_lengths]) and the MST runs on the flat CSR Prim.
+   [~flat:false] pins the identical schedule to the record engine (the
+   incremental path [run_mst_bench] measures as mst-ip-cached). *)
+let flat_mst_workload ~flat =
+  let g = setup_a.Setup.topology.Topology.graph in
+  let o = Overlay.create g Overlay.Ip setup_a.Setup.sessions.(0) in
+  Overlay.set_flat o flat;
+  let covered = Overlay.covered_edges o in
+  let nc = Array.length covered in
+  let m = Graph.n_edges g in
+  let lens = Array.make m 1.0 in
+  let length i = lens.(i) in
+  Overlay.begin_incremental o;
+  if flat then Overlay.bind_lengths o lens;
+  let step = ref 0 in
+  fun () ->
+    incr step;
+    for j = 0 to 4 do
+      let e = covered.(((!step * 7) + (j * 13)) mod nc) in
+      lens.(e) <- lens.(e) *. 1.01;
+      Overlay.notify_length_increase o e
+    done;
+    if !step mod 4096 = 0 then begin
+      Array.iteri (fun i v -> lens.(i) <- v *. 1e-30) lens;
+      Overlay.notify_rescale o
+    end;
+    ignore (Overlay.min_spanning_tree o ~length)
+
+(* Drive both engines through one shared schedule and demand the same
+   tree at every step — the micro-level equality behind the solver-level
+   [same_solver_output] check below. *)
+let flat_lockstep_equal ~steps =
+  let g = setup_a.Setup.topology.Topology.graph in
+  let mk flat =
+    let o = Overlay.create g Overlay.Ip setup_a.Setup.sessions.(0) in
+    Overlay.set_flat o flat;
+    Overlay.begin_incremental o;
+    o
+  in
+  let fo = mk true and ro = mk false in
+  let covered = Overlay.covered_edges fo in
+  let nc = Array.length covered in
+  let m = Graph.n_edges g in
+  let lens = Array.make m 1.0 in
+  let length i = lens.(i) in
+  Overlay.bind_lengths fo lens;
+  let ok = ref true in
+  for step = 1 to steps do
+    for j = 0 to 4 do
+      let e = covered.(((step * 7) + (j * 13)) mod nc) in
+      lens.(e) <- lens.(e) *. 1.01;
+      Overlay.notify_length_increase fo e;
+      Overlay.notify_length_increase ro e
+    done;
+    if step mod 512 = 0 then begin
+      Array.iteri (fun i v -> lens.(i) <- v *. 1e-30) lens;
+      Overlay.notify_rescale fo;
+      Overlay.notify_rescale ro
+    end;
+    let tf = Overlay.min_spanning_tree fo ~length in
+    let tr = Overlay.min_spanning_tree ro ~length in
+    if Otree.key tf <> Otree.key tr then ok := false
+  done;
+  !ok
+
+(* Steady-state allocation: length increases confined to covered edges
+   {e outside} the winning tree keep that tree minimal (cut property),
+   so every measured iteration is a steady-state one — same winner,
+   Otree memo hit — and the contract is that it allocates nothing. *)
+let flat_steady_state_words () =
+  let g = setup_a.Setup.topology.Topology.graph in
+  let o = Overlay.create g Overlay.Ip setup_a.Setup.sessions.(0) in
+  let m = Graph.n_edges g in
+  let lens = Array.make m 1.0 in
+  let length i = lens.(i) in
+  Overlay.begin_incremental o;
+  Overlay.bind_lengths o lens;
+  let t0 = Overlay.min_spanning_tree o ~length in
+  let off_tree =
+    Array.of_list
+      (List.filter
+         (fun e -> Otree.n_e t0 e = 0)
+         (Array.to_list (Overlay.covered_edges o)))
+  in
+  let no = Array.length off_tree in
+  if no = 0 then 0.0
+  else begin
+    let step = ref 0 in
+    Obs.Alloc.measure ~warmup:64 ~iters:2048 (fun () ->
+        incr step;
+        for j = 0 to 4 do
+          let e = off_tree.(((!step * 7) + (j * 13)) mod no) in
+          lens.(e) <- lens.(e) *. 1.000001;
+          Overlay.notify_length_increase o e
+        done;
+        ignore (Sys.opaque_identity (Overlay.min_spanning_tree o ~length)))
+  end
+
+let run_flat_bench ~smoke =
+  section "Cache-flat kernel: flat vs record engine";
+  if Overlay.cross_check_enabled () then
+    Printf.printf
+      "note: OVERLAY_CROSS_CHECK is on — every flat weight is re-derived \
+       through the record path, so timing assertions are skipped\n";
+  (* micro: the mst-ip workload on both engines *)
+  let open Bechamel in
+  let open Toolkit in
+  let tests =
+    [
+      Test.make ~name:"mst-ip-flat" (Staged.stage (flat_mst_workload ~flat:true));
+      Test.make ~name:"mst-ip-record"
+        (Staged.stage (flat_mst_workload ~flat:false));
+    ]
+  in
+  let grouped = Test.make_grouped ~name:"flat" tests in
+  let quota = if smoke then 0.25 else 0.5 in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] grouped in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let timings = ref [] in
+  Hashtbl.iter
+    (fun name est ->
+      match Analyze.OLS.estimates est with
+      | Some [ ns ] -> timings := (name, ns) :: !timings
+      | _ -> ())
+    results;
+  let timings = List.sort compare !timings in
+  let t =
+    Tableau.create ~title:"flat vs record MST micro-bench"
+      [ "kernel"; "us/iter"; "iter/s" ]
+  in
+  List.iter
+    (fun (name, ns) ->
+      Tableau.add_row t
+        [ name; Printf.sprintf "%.2f" (ns /. 1e3); Printf.sprintf "%.0f" (1e9 /. ns) ])
+    timings;
+  Tableau.print t;
+  let find name = List.assoc ("flat/" ^ name) timings in
+  let flat_ns = find "mst-ip-flat" and record_ns = find "mst-ip-record" in
+  let speedup = record_ns /. flat_ns in
+  (* allocation + equality *)
+  let steady_words = flat_steady_state_words () in
+  let lockstep = flat_lockstep_equal ~steps:(if smoke then 500 else 2000) in
+  let g = setup_a.Setup.topology.Topology.graph in
+  let ratio = if smoke then 0.92 else 0.95 in
+  let epsilon = Max_flow.ratio_to_epsilon ratio in
+  let solve ~flat =
+    let overlays = Setup.overlays setup_a Overlay.Ip in
+    elapsed (fun () -> Max_flow.solve ~flat g overlays ~epsilon)
+  in
+  ignore (solve ~flat:true) (* warmup *);
+  let flat_r, flat_dt = solve ~flat:true in
+  let rec_r, rec_dt = solve ~flat:false in
+  let equal_output = same_solver_output flat_r rec_r in
+  Printf.printf
+    "mst-ip workload: flat %.2f us/iter, record %.2f us/iter, speedup %.2fx\n\
+     steady-state allocation: %.2f minor words/iter\n\
+     MaxFlow Setup A (ratio %.2f, IP): flat %.2fs, record %.2fs, \
+     solver speedup %.2fx\n\
+     lockstep_equal=%b  equal_output=%b\n"
+    (flat_ns /. 1e3) (record_ns /. 1e3) speedup steady_words ratio flat_dt
+    rec_dt (rec_dt /. flat_dt) lockstep equal_output;
+  if not smoke then begin
+    let json =
+      Json_export.Object_
+        [
+          ( "setup",
+            Json_export.String
+              "Setup A: 100-node Waxman, sessions of 7 and 5, IP mode" );
+          ("ratio", Json_export.Number ratio);
+          ("epsilon", Json_export.Number epsilon);
+          ( "iterations",
+            Json_export.Number (float_of_int flat_r.Max_flow.iterations) );
+          ( "microbench",
+            Json_export.Array_
+              (List.map
+                 (fun (name, ns) ->
+                   Json_export.Object_
+                     [
+                       ("name", Json_export.String name);
+                       ("us_per_iteration", Json_export.Number (ns /. 1e3));
+                       ("iterations_per_sec", Json_export.Number (1e9 /. ns));
+                     ])
+                 timings) );
+          ("speedup_flat_vs_record", Json_export.Number speedup);
+          ("steady_state_minor_words_per_iter", Json_export.Number steady_words);
+          ("solver_flat_s", Json_export.Number flat_dt);
+          ("solver_record_s", Json_export.Number rec_dt);
+          ("solver_speedup", Json_export.Number (rec_dt /. flat_dt));
+          ("lockstep_equal", Json_export.Bool lockstep);
+          ("equal_output", Json_export.Bool equal_output);
+        ]
+    in
+    Json_export.to_file "BENCH_flat.json" json;
+    Printf.printf "wrote BENCH_flat.json\n"
+  end;
+  (* hard gates: bit-identity always; performance unless the cross-check
+     debug mode is inflating the flat path by design *)
+  let fail = ref false in
+  let check name ok =
+    if not ok then begin
+      Printf.printf "FAIL: %s\n" name;
+      fail := true
+    end
+  in
+  check "flat/record lockstep trees identical" lockstep;
+  check "flat/record solver output identical" equal_output;
+  if not (Overlay.cross_check_enabled ()) then begin
+    check
+      (Printf.sprintf "flat >= 5x record on the mst-ip workload (got %.2fx)"
+         speedup)
+      (speedup >= 5.0);
+    check
+      (Printf.sprintf "steady-state allocation ~0 (got %.2f words/iter)"
+         steady_words)
+      (steady_words < 8.0)
+  end;
+  if !fail then exit 1
 
 let mst_only = Array.exists (fun a -> a = "--mst") Sys.argv
 let obs_only = Array.exists (fun a -> a = "--obs") Sys.argv
 let par_only = Array.exists (fun a -> a = "--par") Sys.argv
+let flat_only = Array.exists (fun a -> a = "--flat") Sys.argv
+let smoke = Array.exists (fun a -> a = "--smoke") Sys.argv
 
 let () =
+  if flat_only then begin
+    run_flat_bench ~smoke;
+    exit 0
+  end;
   if mst_only then begin
     run_mst_bench ();
     exit 0
@@ -899,6 +1144,7 @@ let () =
         run_robustness ();
         run_bechamel ();
         run_mst_bench ();
+        run_flat_bench ~smoke;
         run_obs_bench ();
         run_par_bench ())
   in

@@ -43,6 +43,7 @@ type state = {
   epsilon : float;
   m : int;
   lens : float array;
+  caps : float array;          (* edge id -> capacity, read without a closure *)
   mutable ln_base : float;
   mutable s_cache : float;     (* sum_e c_e lens_e *)
   ln_delta : float;
@@ -63,7 +64,8 @@ let make_state graph ~epsilon =
         else acc)
       0.0
   in
-  { graph; epsilon; m; lens; ln_base = ln_delta; s_cache; ln_delta }
+  let caps = Array.init m (fun id -> Graph.capacity graph id) in
+  { graph; epsilon; m; lens; caps; ln_base = ln_delta; s_cache; ln_delta }
 
 let refresh_dual st =
   st.s_cache <-
@@ -90,25 +92,36 @@ let renorm obs st overlays =
 (* Route [c] units along [tree], updating lengths and the dual sum. *)
 let route obs st overlays solution tree c =
   Solution.add solution tree c;
+  (* batched dual update: one pass over the tree's physical edges
+     writing the length array, then one notify sweep per overlay
+     through the flat incidence index.  Every usage edge here has
+     positive capacity (a zero-capacity edge would have zeroed the
+     bottleneck and prevented the routing), so the sweep marks exactly
+     the edges the per-edge interleaving marked; after >= before
+     always, so the monotone fast path applies. *)
+  let usage = tree.Otree.usage in
   let needs_renorm = ref false in
-  Otree.iter_usage tree (fun id count ->
-      let ce = Graph.capacity st.graph id in
-      if ce > 0.0 then begin
-        let before = st.lens.(id) in
-        let after =
-          before *. (1.0 +. (st.epsilon *. float_of_int count *. c /. ce))
-        in
-        st.lens.(id) <- after;
-        (* after >= before always: the monotone fast path applies *)
-        Array.iter (fun o -> Overlay.notify_length_increase o id) overlays;
-        st.s_cache <- st.s_cache +. (ce *. (after -. before));
-        if after > renorm_threshold then needs_renorm := true
-      end);
+  for u = 0 to Array.length usage - 1 do
+    let id, count = usage.(u) in
+    let ce = st.caps.(id) in
+    if ce > 0.0 then begin
+      let before = st.lens.(id) in
+      let after =
+        before *. (1.0 +. (st.epsilon *. float_of_int count *. c /. ce))
+      in
+      st.lens.(id) <- after;
+      st.s_cache <- st.s_cache +. (ce *. (after -. before));
+      if after > renorm_threshold then needs_renorm := true
+    end
+  done;
+  for s = 0 to Array.length overlays - 1 do
+    Overlay.notify_increase_usage overlays.(s) usage
+  done;
   if !needs_renorm then renorm obs st overlays
 
 (* ln of the tree's real length (weight in lens units times base). *)
 let ln_tree_length st tree =
-  let w = Otree.weight tree ~length:(fun id -> st.lens.(id)) in
+  let w = Otree.weight_arr tree st.lens in
   if w <= 0.0 then neg_infinity else log w +. st.ln_base
 
 (* --- the paper's Table III main loop ------------------------------- *)
@@ -136,7 +149,7 @@ let run_paper obs st overlays working solution =
       let remaining = ref working.(i) in
       while (not !finished) && !remaining > 1e-15 do
         let tree = Overlay.min_spanning_tree overlays.(i) ~length in
-        let bottleneck = Otree.bottleneck tree ~capacity:(Graph.capacity st.graph) in
+        let bottleneck = Otree.bottleneck_arr tree st.caps in
         let c = Float.min !remaining bottleneck in
         if c <= 0.0 || c = infinity then remaining := 0.0
         else begin
@@ -206,9 +219,7 @@ let run_fleischer obs st overlays working solution =
         match tree with
         | None -> commodity_done := true
         | Some tree ->
-          let bottleneck =
-            Otree.bottleneck tree ~capacity:(Graph.capacity st.graph)
-          in
+          let bottleneck = Otree.bottleneck_arr tree st.caps in
           let c = Float.min remaining.(i) bottleneck in
           if c <= 0.0 || c = infinity then commodity_done := true
           else begin
@@ -231,8 +242,9 @@ let run_fleischer obs st overlays working solution =
 
 (* --- common driver --------------------------------------------------- *)
 
-let solve ?(variant = Paper) ?(incremental = true) ?(obs = Obs.Sink.null)
-    ?(par = Par.serial) graph overlays ~epsilon ~scaling =
+let solve ?(variant = Paper) ?(incremental = true) ?(flat = true)
+    ?(obs = Obs.Sink.null) ?(par = Par.serial) graph overlays ~epsilon
+    ~scaling =
   if epsilon <= 0.0 || epsilon >= 1.0 /. 3.0 then
     invalid_arg "Max_concurrent_flow.solve: epsilon out of (0, 1/3)";
   let k = Array.length overlays in
@@ -269,7 +281,8 @@ let solve ?(variant = Paper) ?(incremental = true) ?(obs = Obs.Sink.null)
           Array.iteri
             (fun i o ->
               let rate, _ =
-                Max_flow.solve_single ~incremental ~obs ~par graph o ~epsilon
+                Max_flow.solve_single ~incremental ~flat ~obs ~par graph o
+                  ~epsilon
               in
               zetas.(i) <- rate)
             overlays
@@ -286,7 +299,7 @@ let solve ?(variant = Paper) ?(incremental = true) ?(obs = Obs.Sink.null)
               in
               for i = lo to hi - 1 do
                 let rate, _ =
-                  Max_flow.solve_single ~incremental ~obs:wobs graph
+                  Max_flow.solve_single ~incremental ~flat ~obs:wobs graph
                     overlays.(i) ~epsilon
                 in
                 zetas.(i) <- rate
@@ -311,6 +324,11 @@ let solve ?(variant = Paper) ?(incremental = true) ?(obs = Obs.Sink.null)
       Array.map (fun session -> session.Session.demand *. s) sessions
   in
   let st = make_state graph ~epsilon in
+  (* flat engine for the main loop: [length] below is backed by
+     [st.lens], so the overlays may read the array directly *)
+  let saved_flat = Array.map Overlay.flat_enabled overlays in
+  if flat then Array.iter (fun o -> Overlay.bind_lengths o st.lens) overlays
+  else Array.iter (fun o -> Overlay.set_flat o false) overlays;
   let solution = Solution.create sessions in
   if Obs.Sink.enabled obs then
     Array.iter (fun o -> Overlay.set_sink o obs) overlays;
@@ -320,6 +338,8 @@ let solve ?(variant = Paper) ?(incremental = true) ?(obs = Obs.Sink.null)
     Fun.protect
       ~finally:(fun () ->
         if incremental then Array.iter Overlay.end_incremental overlays;
+        Array.iter Overlay.unbind_lengths overlays;
+        Array.iteri (fun i o -> Overlay.set_flat o saved_flat.(i)) overlays;
         if Obs.Sink.enabled obs then Array.iter Overlay.clear_sink overlays;
         if arbitrary then Array.iter Overlay.clear_par overlays)
       (fun () ->

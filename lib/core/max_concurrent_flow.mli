@@ -73,6 +73,12 @@ val ratio_to_epsilon : float -> float
     [~incremental:false] forces from-scratch weight recomputation (same
     output bit for bit).
 
+    [flat] (default [true]) runs both the preprocessing and the main
+    loop on the cache-flat kernel — dual-length array bound to the
+    overlays, flat CSR Prim, batched dual updates with one notify sweep
+    per overlay.  [~flat:false] re-engages the historical record engine;
+    output is bit-identical either way (see {!Max_flow.solve}).
+
     [obs] (default [Obs.Sink.null]) receives the run's event trace:
     [Run_start] (run name ["mcf"], [a] = session count, [b] = epsilon);
     a [Span_open]/[Span_close] pair named ["mcf.preprocess"] enclosing
@@ -99,6 +105,7 @@ val ratio_to_epsilon : float -> float
 val solve :
   ?variant:variant ->
   ?incremental:bool ->
+  ?flat:bool ->
   ?obs:Obs.Sink.t ->
   ?par:Par.t ->
   Graph.t ->

@@ -29,8 +29,8 @@ let c_iterations =
 let c_rescales =
   Obs.Counter.make ~doc:"MaxFlow dual-length renormalizations" "maxflow.rescales"
 
-let solve ?(incremental = true) ?(obs = Obs.Sink.null) ?(par = Par.serial)
-    graph overlays ~epsilon =
+let solve ?(incremental = true) ?(flat = true) ?(obs = Obs.Sink.null)
+    ?(par = Par.serial) graph overlays ~epsilon =
   if epsilon <= 0.0 || epsilon >= 0.5 then
     invalid_arg "Max_flow.solve: epsilon out of (0, 0.5)";
   let k = Array.length overlays in
@@ -68,11 +68,20 @@ let solve ?(incremental = true) ?(obs = Obs.Sink.null) ?(par = Par.serial)
   (* d_e starts at delta for every edge: lens = 1, ln_base = ln delta *)
   let ln_base = ref ln_delta in
   let length id = lens.(id) in
+  (* flat engine: the [length] closure is backed by [lens], so the
+     overlays may read the array directly; [set_flat false] re-engages
+     the record paths end to end (the equivalence reference) *)
+  let saved_flat = Array.map Overlay.flat_enabled overlays in
+  if flat then Array.iter (fun o -> Overlay.bind_lengths o lens) overlays
+  else Array.iter (fun o -> Overlay.set_flat o false) overlays;
   let solution = Solution.create sessions in
   let iterations = ref 0 in
-  let normalizer i =
-    smax /. float_of_int (Session.receivers sessions.(i))
+  (* per-session normalizers and per-edge capacities, precomputed: the
+     same IEEE values the closures produced, without a call per use *)
+  let norm =
+    Array.init k (fun i -> smax /. float_of_int (Session.receivers sessions.(i)))
   in
+  let caps = Array.init m (fun id -> Graph.capacity graph id) in
   Obs.Counter.incr c_runs;
   Obs.Sink.emit obs Obs.Run_start ~session:run_name ~a:(float_of_int k)
     ~b:epsilon;
@@ -82,6 +91,8 @@ let solve ?(incremental = true) ?(obs = Obs.Sink.null) ?(par = Par.serial)
   Fun.protect
     ~finally:(fun () ->
       if incremental then Array.iter Overlay.end_incremental overlays;
+      Array.iter Overlay.unbind_lengths overlays;
+      Array.iteri (fun i o -> Overlay.set_flat o saved_flat.(i)) overlays;
       if Obs.Sink.enabled obs then Array.iter Overlay.clear_sink overlays;
       if arbitrary then Array.iter Overlay.clear_par overlays)
     (fun () ->
@@ -122,10 +133,14 @@ let solve ?(incremental = true) ?(obs = Obs.Sink.null) ?(par = Par.serial)
       in
       let eval i =
         let tree = Overlay.min_spanning_tree overlays.(i) ~length in
-        let w = Otree.weight tree ~length *. normalizer i in
+        (* [weight_arr] is the closure fold in array form: same operand
+           order, bit-identical weight, no per-edge call *)
+        let w = Otree.weight_arr tree lens *. norm.(i) in
         low_w.(i) <- w;
         w_of.(i) <- w;
-        trees.(i) <- Some tree
+        match trees.(i) with
+        | Some prev when prev == tree -> ()
+        | _ -> trees.(i) <- Some tree
       in
       while not !stop do
         let i0 = ref 0 in
@@ -187,24 +202,32 @@ let solve ?(incremental = true) ?(obs = Obs.Sink.null) ?(par = Par.serial)
           else begin
             incr iterations;
             Obs.Counter.incr c_iterations;
-            Obs.Sink.emit obs Obs.Iter_start ~session:winner
-              ~a:(float_of_int !iterations) ~b:0.0;
-            let c = Otree.bottleneck tree ~capacity:(Graph.capacity graph) in
+            if Obs.Sink.enabled obs then
+              Obs.Sink.emit obs Obs.Iter_start ~session:winner
+                ~a:(float_of_int !iterations) ~b:0.0;
+            let c = Otree.bottleneck_arr tree caps in
             if c <= 0.0 || c = infinity then stop := true
             else begin
               Solution.add solution tree c;
+              (* batched dual update: one pass over the winning tree's
+                 physical edges writing [lens], then one notify sweep
+                 through each overlay's flat incidence index.  Identical
+                 to the per-edge interleaving — the overlays read [lens]
+                 only at the next MST call, and dirty sets are unions
+                 (growth > 1 always: the monotone fast path applies). *)
+              let usage = tree.Otree.usage in
               let needs_renorm = ref false in
-              Otree.iter_usage tree (fun id count ->
-                  let ce = Graph.capacity graph id in
-                  let growth =
-                    1.0 +. (epsilon *. float_of_int count *. c /. ce)
-                  in
-                  lens.(id) <- lens.(id) *. growth;
-                  for s = 0 to k - 1 do
-                    (* growth > 1 always: the monotone fast path applies *)
-                    Overlay.notify_length_increase overlays.(s) id
-                  done;
-                  if lens.(id) > renorm_threshold then needs_renorm := true);
+              for u = 0 to Array.length usage - 1 do
+                let id, count = usage.(u) in
+                let growth =
+                  1.0 +. (epsilon *. float_of_int count *. c /. caps.(id))
+                in
+                lens.(id) <- lens.(id) *. growth;
+                if lens.(id) > renorm_threshold then needs_renorm := true
+              done;
+              for s = 0 to k - 1 do
+                Overlay.notify_increase_usage overlays.(s) usage
+              done;
               if !needs_renorm then begin
                 let scale = 1.0 /. renorm_threshold in
                 for id = 0 to m - 1 do
@@ -216,8 +239,9 @@ let solve ?(incremental = true) ?(obs = Obs.Sink.null) ?(par = Par.serial)
                 Obs.Counter.incr c_rescales;
                 Obs.Sink.emit obs Obs.Rescale ~session:(-1) ~a:!ln_base ~b:0.0
               end;
-              Obs.Sink.emit obs Obs.Iter_end ~session:winner
-                ~a:(float_of_int !iterations) ~b:c
+              if Obs.Sink.enabled obs then
+                Obs.Sink.emit obs Obs.Iter_end ~session:winner
+                  ~a:(float_of_int !iterations) ~b:c
             end
           end
         end
@@ -247,8 +271,10 @@ let solve ?(incremental = true) ?(obs = Obs.Sink.null) ?(par = Par.serial)
     dual_ln_base = !ln_base;
   }
 
-let solve_single ?incremental ?obs ?par graph overlay ~epsilon =
-  let result = solve ?incremental ?obs ?par graph [| overlay |] ~epsilon in
+let solve_single ?incremental ?flat ?obs ?par graph overlay ~epsilon =
+  let result =
+    solve ?incremental ?flat ?obs ?par graph [| overlay |] ~epsilon
+  in
   (* the single session keeps its own id; rate lookup goes through the
      session array of the fresh solution, which has exactly one slot *)
   let sessions = Solution.sessions result.solution in

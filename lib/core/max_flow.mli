@@ -46,6 +46,16 @@ val ratio_to_epsilon : float -> float
     the from-scratch recompute path (same output bit for bit, used by
     the bench to measure the engine).
 
+    [flat] (default [true]) runs the iteration on the cache-flat kernel:
+    the dual-length array is bound to the overlays
+    ({!Overlay.bind_lengths}), MSTs run on the flat CSR Prim, dual
+    updates are batched (one pass writing the length array, one notify
+    sweep per overlay through the flat incidence index), and weights /
+    bottlenecks are read with the array variants.  Output is
+    bit-identical to [~flat:false] (the historical record engine, kept
+    as the equivalence reference); only allocation and speed differ.
+    Steady-state iterations — winner tree unchanged — allocate nothing.
+
     [obs] (default [Obs.Sink.null]) receives the run's event trace:
     [Run_start] (run name ["maxflow"], [a] = session count, [b] =
     epsilon), one [Iter_start]/[Iter_end] pair per accepted augmentation
@@ -67,6 +77,7 @@ val ratio_to_epsilon : float -> float
     count, including [Par.serial]. *)
 val solve :
   ?incremental:bool ->
+  ?flat:bool ->
   ?obs:Obs.Sink.t ->
   ?par:Par.t ->
   Graph.t ->
@@ -80,6 +91,7 @@ val solve :
     result.  [obs] and [par] as in {!solve}. *)
 val solve_single :
   ?incremental:bool ->
+  ?flat:bool ->
   ?obs:Obs.Sink.t ->
   ?par:Par.t ->
   Graph.t ->

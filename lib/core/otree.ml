@@ -56,6 +56,28 @@ let bottleneck t ~capacity =
     (fun acc (id, c) -> Float.min acc (capacity id /. float_of_int c))
     infinity t.usage
 
+(* Array-indexed twins of [weight]/[bottleneck]: same operation order
+   (bit-identical results), but no closure call per edge and no boxed
+   fold accumulator — the local refs stay unboxed. *)
+
+let weight_arr t lens =
+  let acc = ref 0.0 in
+  let usage = t.usage in
+  for i = 0 to Array.length usage - 1 do
+    let id, c = usage.(i) in
+    acc := !acc +. (float_of_int c *. lens.(id))
+  done;
+  !acc
+
+let bottleneck_arr t caps =
+  let acc = ref infinity in
+  let usage = t.usage in
+  for i = 0 to Array.length usage - 1 do
+    let id, c = usage.(i) in
+    acc := Float.min !acc (caps.(id) /. float_of_int c)
+  done;
+  !acc
+
 let key t =
   let buf = Buffer.create 64 in
   Array.iter

@@ -37,6 +37,17 @@ val weight : t -> length:(int -> float) -> float
     maximum rate the tree can carry alone (Table I line 10). *)
 val bottleneck : t -> capacity:(int -> float) -> float
 
+(** [weight_arr t lens] is [weight t ~length:(fun id -> lens.(id))],
+    bit-identical, but reads the edge-indexed array directly: no
+    closure per edge, no allocation.  Hot-path variant for the flat
+    FPTAS kernel. *)
+val weight_arr : t -> float array -> float
+
+(** [bottleneck_arr t caps] is
+    [bottleneck t ~capacity:(fun id -> caps.(id))], bit-identical,
+    allocation-free. *)
+val bottleneck_arr : t -> float array -> float
+
 (** [key t] is a canonical identity string: the overlay shape plus the
     physical realization.  Two trees with equal keys are the same tree
     (needed to count distinct trees under arbitrary routing, where one

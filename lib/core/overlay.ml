@@ -16,8 +16,29 @@ type ip_engine = {
   table : Ip_routing.t;
   oroutes : Route.t array;     (* overlay edge id -> fixed route (slot a < b) *)
   incidence : Incidence.t;     (* physical edge -> incident overlay edges *)
+  froutes : Flat.Routes.t;     (* flat view of [oroutes] (CSR edge lists) *)
+  finc : Flat.Inc.t;           (* flat view of [incidence] *)
   cached_w : float array;      (* overlay edge id -> cached Route.weight *)
   dirty : bool array;
+  (* Otree memo: overlay edge ids of the last built tree (in Prim pick
+     order, -1-filled when empty) and the tree itself.  Routes are fixed
+     in IP mode, so an identical edge sequence implies an identical
+     tree — the memo returns the previous [Otree.t] physically,
+     making repeated-winner iterations allocation-free. *)
+  memo_oedges : int array;
+  mutable memo_tree : Otree.t option;
+  (* Bounded cache of every winner tree seen, keyed by its overlay edge
+     sequence (the scratch [tree_buf] probes it without copying): the
+     FPTAS winner oscillates among a small set of trees as duals climb,
+     and a hit turns a change-of-winner iteration back into a lookup
+     instead of an [Otree.build].  Reset wholesale past [memo_cap]. *)
+  memo_tbl : (int array, Otree.t) Hashtbl.t;
+  (* Flat dual-length binding: when the solver's [length] closure is
+     backed by an edge-indexed array, binding that array here lets the
+     weight refresh read it directly ([Flat.Routes.weight], bit-identical
+     to the [Route.weight] fold) instead of calling the closure per
+     traversal.  [[||]] means unbound. *)
+  mutable bound_lens : float array;
   mutable all_dirty : bool;
   mutable incremental : bool;  (* engine active: caller promises notifications *)
   (* Monotone fast path: when every stale weight comes from a length
@@ -40,11 +61,18 @@ type t = {
   dyn_ws : Dynamic_routing.workspace option;   (* Some iff mode = Arbitrary *)
   overlay_graph : Graph.t;             (* complete graph on member slots *)
   pair_of_oedge : (int * int) array;   (* overlay edge id -> member slots *)
+  ocsr : Flat.Csr.t;                   (* flat view of [overlay_graph] *)
+  prim_ws : Flat.Prim.ws;              (* reusable Prim working set *)
+  tree_buf : int array;                (* k-1 scratch: Prim output buffer *)
+  mutable use_flat : bool;             (* flat kernel engaged (default) *)
+  mutable cur_length : int -> float;   (* stashed [length] for [refresh_oe] *)
+  mutable refresh_oe : int -> unit;    (* preallocated lazy weight refresh *)
   mutable ops : int;
   mutable weight_ops : int;
   mutable sink : Obs.Sink.t;           (* trace destination; null by default *)
   mutable par : Par.t;                 (* pool for arbitrary-mode Dijkstras *)
 }
+
 
 (* Debug cross-check: every incremental MST recomputes all weights from
    scratch and fails loudly on any divergence from the cache.  Routed
@@ -92,6 +120,26 @@ let build_complete k =
   done;
   (g, Array.of_list (List.rev !pairs))
 
+(* [refresh_oe] must close over both [t] (op counters) and the engine,
+   so it is installed right after the record is built. *)
+let install_refresh t =
+  match t.ip with
+  | None -> ()
+  | Some eng ->
+    t.refresh_oe <-
+      (fun oe ->
+        let w =
+          if Array.length eng.bound_lens > 0 then
+            Flat.Routes.weight eng.froutes oe eng.bound_lens
+          else Route.weight eng.oroutes.(oe) ~length:t.cur_length
+        in
+        eng.cached_w.(oe) <- w;
+        eng.dirty.(oe) <- false;
+        (* registry tally is batched: the flat MST path flushes
+           [t.weight_ops - ops_before] into [c_weight_ops] in one
+           atomic add per call instead of one per refresh *)
+        t.weight_ops <- t.weight_ops + 1)
+
 let create graph mode session =
   let members = session.Session.members in
   if not (Traverse.is_spanning_connected graph ~vertices:members) then
@@ -113,8 +161,14 @@ let create graph mode session =
           table;
           oroutes;
           incidence;
+          froutes = Flat.Routes.of_routes oroutes;
+          finc = Flat.Inc.of_incidence incidence;
           cached_w = Array.make (Array.length pair_of_oedge) 0.0;
           dirty = Array.make (Array.length pair_of_oedge) true;
+          memo_oedges = Array.make (Array.length pair_of_oedge) (-1);
+          memo_tree = None;
+          memo_tbl = Hashtbl.create 64;
+          bound_lens = [||];
           all_dirty = true;
           incremental = false;
           skip_valid = true;
@@ -127,19 +181,30 @@ let create graph mode session =
     | Ip -> None
     | Arbitrary -> Some (Dynamic_routing.workspace graph)
   in
-  {
-    session;
-    graph;
-    mode;
-    ip;
-    dyn_ws;
-    overlay_graph;
-    pair_of_oedge;
-    ops = 0;
-    weight_ops = 0;
-    sink = Obs.Sink.null;
-    par = Par.serial;
-  }
+  let k = Array.length members in
+  let t =
+    {
+      session;
+      graph;
+      mode;
+      ip;
+      dyn_ws;
+      overlay_graph;
+      pair_of_oedge;
+      ocsr = Flat.Csr.of_graph overlay_graph;
+      prim_ws = Flat.Prim.ws ~n:k;
+      tree_buf = Array.make (max (k - 1) 0) (-1);
+      use_flat = true;
+      cur_length = (fun _ -> 0.0);
+      refresh_oe = ignore;
+      ops = 0;
+      weight_ops = 0;
+      sink = Obs.Sink.null;
+      par = Par.serial;
+    }
+  in
+  install_refresh t;
+  t
 
 let same_int_array a b =
   Array.length a = Array.length b
@@ -161,6 +226,10 @@ let with_session t session =
           eng with
           cached_w = Array.make (Array.length eng.cached_w) 0.0;
           dirty = Array.make (Array.length eng.dirty) true;
+          memo_oedges = Array.make (Array.length eng.memo_oedges) (-1);
+          memo_tree = None;
+          memo_tbl = Hashtbl.create 64;
+          bound_lens = [||];
           all_dirty = true;
           incremental = false;
           skip_valid = true;
@@ -168,7 +237,26 @@ let with_session t session =
           in_prev_mst = Array.make (Array.length eng.in_prev_mst) false;
         }
   in
-  { t with session; ip; ops = 0; weight_ops = 0; sink = Obs.Sink.null; par = Par.serial }
+  let k = Array.length t.session.Session.members in
+  let t' =
+    {
+      t with
+      session;
+      ip;
+      (* scratch is per-instance: copies may be evaluated concurrently
+         with the original in a winner sweep *)
+      prim_ws = Flat.Prim.ws ~n:k;
+      tree_buf = Array.make (max (k - 1) 0) (-1);
+      cur_length = (fun _ -> 0.0);
+      refresh_oe = ignore;
+      ops = 0;
+      weight_ops = 0;
+      sink = Obs.Sink.null;
+      par = Par.serial;
+    }
+  in
+  install_refresh t';
+  t'
 
 let session t = t.session
 let mode t = t.mode
@@ -178,6 +266,23 @@ let set_sink t sink = t.sink <- sink
 let clear_sink t = t.sink <- Obs.Sink.null
 let set_par t par = t.par <- par
 let clear_par t = t.par <- Par.serial
+
+(* --- flat kernel controls -------------------------------------------- *)
+
+let set_flat t enabled =
+  t.use_flat <- enabled;
+  if not enabled then
+    match t.ip with None -> () | Some eng -> eng.bound_lens <- [||]
+
+let flat_enabled t = t.use_flat
+
+let bind_lengths t lens =
+  match t.ip with
+  | None -> ()
+  | Some eng -> if t.use_flat then eng.bound_lens <- lens
+
+let unbind_lengths t =
+  match t.ip with None -> () | Some eng -> eng.bound_lens <- [||]
 
 let members t = t.session.Session.members
 
@@ -205,10 +310,15 @@ let end_incremental t =
 let incremental_active t =
   match t.ip with Some eng -> eng.incremental | None -> false
 
+(* Dirty marking walks the flat incidence CSR directly: same edges,
+   same order as [Incidence.iter_incident], no closure allocation. *)
 let mark_incident eng edge =
-  if not eng.all_dirty then
-    Incidence.iter_incident eng.incidence edge (fun oe _mult ->
-        eng.dirty.(oe) <- true)
+  if not eng.all_dirty then begin
+    let off = eng.finc.Flat.Inc.off and oedge = eng.finc.Flat.Inc.oedge in
+    for i = off.(edge) to off.(edge + 1) - 1 do
+      eng.dirty.(oedge.(i)) <- true
+    done
+  end
 
 let notify_length_increase t edge =
   match t.ip with
@@ -224,6 +334,24 @@ let notify_length_update t edge =
       (* direction unknown: a decrease can pull an outside edge into the
          MST, so the monotone skip is off until the next full refresh *)
       eng.skip_valid <- false
+    end
+
+(* Batched form of [notify_length_increase] over a winning tree's usage
+   table [(edge, multiplicity) array]: one sweep through the flat
+   incidence index.  Dirty sets are unions, so the marking order is
+   irrelevant — the result is identical to notifying edge by edge. *)
+let notify_increase_usage t usage =
+  match t.ip with
+  | None -> ()
+  | Some eng ->
+    if eng.incremental && not eng.all_dirty then begin
+      let off = eng.finc.Flat.Inc.off and oedge = eng.finc.Flat.Inc.oedge in
+      for u = 0 to Array.length usage - 1 do
+        let edge, _ = usage.(u) in
+        for i = off.(edge) to off.(edge + 1) - 1 do
+          eng.dirty.(oedge.(i)) <- true
+        done
+      done
     end
 
 let notify_rescale t =
@@ -243,10 +371,20 @@ let count_weight_ops t n =
   t.weight_ops <- t.weight_ops + n;
   Obs.Counter.add c_weight_ops n
 
+(* One overlay edge's weight.  With a bound length array the flat route
+   walk is used ([Flat.Routes.weight] sums the same edges left-to-right
+   as the [Route.weight] fold — bit-identical); otherwise the caller's
+   closure is consulted per traversal, exactly as the record path always
+   did. *)
+let oe_weight eng ~length oe =
+  if Array.length eng.bound_lens > 0 then
+    Flat.Routes.weight eng.froutes oe eng.bound_lens
+  else Route.weight eng.oroutes.(oe) ~length
+
 let refresh_all t eng ~length =
   let n = Array.length eng.cached_w in
   for oe = 0 to n - 1 do
-    eng.cached_w.(oe) <- Route.weight eng.oroutes.(oe) ~length;
+    eng.cached_w.(oe) <- oe_weight eng ~length oe;
     eng.dirty.(oe) <- false
   done;
   eng.all_dirty <- false;
@@ -256,7 +394,7 @@ let refresh_dirty t eng ~length =
   let n = Array.length eng.cached_w in
   for oe = 0 to n - 1 do
     if eng.dirty.(oe) then begin
-      eng.cached_w.(oe) <- Route.weight eng.oroutes.(oe) ~length;
+      eng.cached_w.(oe) <- oe_weight eng ~length oe;
       eng.dirty.(oe) <- false;
       count_weight_ops t 1
     end
@@ -283,6 +421,16 @@ let ip_weights t eng ~length =
   else refresh_all t eng ~length;
   eng.cached_w
 
+(* Top-level recursions (no free variables, hence no closure is
+   allocated at the call sites — these run on the steady-state path,
+   which must allocate nothing). *)
+let rec oedges_clean dirty in_prev oe n =
+  oe >= n || ((not (dirty.(oe) && in_prev.(oe))) && oedges_clean dirty in_prev (oe + 1) n)
+
+let rec same_prefix a b i n = i >= n || (a.(i) = b.(i) && same_prefix a b (i + 1) n)
+
+let memo_cap = 512
+
 (* The monotone skip applies when the engine is on, every stale weight
    stems from an increase, a previous tree exists, and no overlay edge of
    that tree is stale.  Cross-check mode disables it so each call
@@ -294,16 +442,18 @@ let can_skip_mst eng =
   match eng.prev_tree with
   | None -> false
   | Some _ ->
-    let n = Array.length eng.dirty in
-    let rec clean oe =
-      oe >= n || ((not (eng.dirty.(oe) && eng.in_prev_mst.(oe))) && clean (oe + 1))
-    in
-    clean 0
+    oedges_clean eng.dirty eng.in_prev_mst 0 (Array.length eng.dirty)
 
 let mst_oedges t weights =
-  let olength id = weights.(id) in
-  let mst = Mst.prim t.overlay_graph ~length:olength in
-  Array.of_list mst.Mst.edges
+  if t.use_flat then begin
+    ignore (Flat.Prim.into t.prim_ws t.ocsr ~w:weights ~edges:t.tree_buf);
+    Array.sub t.tree_buf 0 (Array.length t.tree_buf)
+  end
+  else begin
+    let olength id = weights.(id) in
+    let mst = Mst.prim t.overlay_graph ~length:olength in
+    mst.Mst.edges
+  end
 
 let mst_from_weights_and_routes t weights routes =
   let oedges = mst_oedges t weights in
@@ -319,8 +469,9 @@ let min_spanning_tree t ~length =
     let eng = Option.get t.ip in
     if can_skip_mst eng then begin
       Obs.Counter.incr c_lazy_skips;
-      Obs.Sink.emit t.sink Obs.Mst_lazy_skip ~session:t.session.Session.id
-        ~a:0.0 ~b:0.0;
+      if Obs.Sink.enabled t.sink then
+        Obs.Sink.emit t.sink Obs.Mst_lazy_skip ~session:t.session.Session.id
+          ~a:0.0 ~b:0.0;
       Option.get eng.prev_tree
     end
     else begin
@@ -336,38 +487,98 @@ let min_spanning_tree t ~length =
         && not (cross_check ())
       in
       let ops_before = t.weight_ops in
-      let mst =
-        if lazy_bounds then
-          Mst.prim_lazy t.overlay_graph
-            ~lower:(fun oe -> eng.cached_w.(oe))
-            ~exact:(fun oe ->
-              if eng.dirty.(oe) then begin
-                eng.cached_w.(oe) <- Route.weight eng.oroutes.(oe) ~length;
-                eng.dirty.(oe) <- false;
-                count_weight_ops t 1
-              end;
-              eng.cached_w.(oe))
-        else begin
-          let weights = ip_weights t eng ~length in
-          Mst.prim t.overlay_graph ~length:(fun oe -> weights.(oe))
-        end
-      in
-      let oedges = Array.of_list mst.Mst.edges in
-      let pairs = Array.map (fun id -> t.pair_of_oedge.(id)) oedges in
-      let tree_routes = Array.map (fun id -> eng.oroutes.(id)) oedges in
+      let nt = Array.length t.tree_buf in
       let tree =
-        Otree.build ~session_id:t.session.Session.id ~pairs ~routes:tree_routes
+        if t.use_flat then begin
+          (* Flat kernel: Prim writes the winning overlay edges into
+             [tree_buf]; an unchanged edge sequence returns the memoized
+             [Otree.t] physically — the whole call allocates nothing. *)
+          t.cur_length <- length;
+          if lazy_bounds then begin
+            ignore
+              (Flat.Prim.lazy_into t.prim_ws t.ocsr ~w:eng.cached_w
+                 ~dirty:eng.dirty ~refresh:t.refresh_oe ~edges:t.tree_buf);
+            (* flush the batched registry tally (see [install_refresh]) *)
+            let refreshed = t.weight_ops - ops_before in
+            if refreshed > 0 then Obs.Counter.add c_weight_ops refreshed
+          end
+          else begin
+            let weights = ip_weights t eng ~length in
+            ignore (Flat.Prim.into t.prim_ws t.ocsr ~w:weights ~edges:t.tree_buf)
+          end;
+          let same =
+            match eng.memo_tree with
+            | None -> false
+            | Some _ -> same_prefix t.tree_buf eng.memo_oedges 0 nt
+          in
+          if same then Option.get eng.memo_tree
+          else begin
+            let tree =
+              match Hashtbl.find eng.memo_tbl t.tree_buf with
+              | tree -> tree (* seen before: no rebuild *)
+              | exception Not_found ->
+                let oedges = Array.sub t.tree_buf 0 nt in
+                let pairs = Array.map (fun id -> t.pair_of_oedge.(id)) oedges in
+                let tree_routes =
+                  Array.map (fun id -> eng.oroutes.(id)) oedges
+                in
+                let tree =
+                  Otree.build ~session_id:t.session.Session.id ~pairs
+                    ~routes:tree_routes
+                in
+                if Hashtbl.length eng.memo_tbl >= memo_cap then
+                  Hashtbl.reset eng.memo_tbl;
+                Hashtbl.add eng.memo_tbl oedges tree;
+                tree
+            in
+            Array.blit t.tree_buf 0 eng.memo_oedges 0 nt;
+            eng.memo_tree <- Some tree;
+            tree
+          end
+        end
+        else begin
+          (* Record path: historical engine, kept as the equivalence
+             reference ([set_flat t false]). *)
+          let mst =
+            if lazy_bounds then
+              Mst.prim_lazy t.overlay_graph
+                ~lower:(fun oe -> eng.cached_w.(oe))
+                ~exact:(fun oe ->
+                  if eng.dirty.(oe) then begin
+                    eng.cached_w.(oe) <- oe_weight eng ~length oe;
+                    eng.dirty.(oe) <- false;
+                    count_weight_ops t 1
+                  end;
+                  eng.cached_w.(oe))
+            else begin
+              let weights = ip_weights t eng ~length in
+              Mst.prim t.overlay_graph ~length:(fun oe -> weights.(oe))
+            end
+          in
+          Array.blit mst.Mst.edges 0 t.tree_buf 0 nt;
+          let pairs = Array.map (fun id -> t.pair_of_oedge.(id)) mst.Mst.edges in
+          let tree_routes =
+            Array.map (fun id -> eng.oroutes.(id)) mst.Mst.edges
+          in
+          Otree.build ~session_id:t.session.Session.id ~pairs
+            ~routes:tree_routes
+        end
       in
       if eng.incremental then begin
         Array.fill eng.in_prev_mst 0 (Array.length eng.in_prev_mst) false;
-        Array.iter (fun oe -> eng.in_prev_mst.(oe) <- true) oedges;
-        eng.prev_tree <- Some tree;
+        for i = 0 to nt - 1 do
+          eng.in_prev_mst.(t.tree_buf.(i)) <- true
+        done;
+        (match eng.prev_tree with
+        | Some prev when prev == tree -> ()
+        | _ -> eng.prev_tree <- Some tree);
         eng.skip_valid <- true
       end;
       Obs.Counter.incr c_recomputes;
-      Obs.Sink.emit t.sink Obs.Mst_recompute ~session:t.session.Session.id
-        ~a:(float_of_int (t.weight_ops - ops_before))
-        ~b:(if lazy_bounds then 1.0 else 0.0);
+      if Obs.Sink.enabled t.sink then
+        Obs.Sink.emit t.sink Obs.Mst_recompute ~session:t.session.Session.id
+          ~a:(float_of_int (t.weight_ops - ops_before))
+          ~b:(if lazy_bounds then 1.0 else 0.0);
       tree
     end
   | Arbitrary ->

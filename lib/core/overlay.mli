@@ -82,6 +82,36 @@ val set_par : t -> Par.t -> unit
 (** [clear_par t] resets the pool to [Par.serial]. *)
 val clear_par : t -> unit
 
+(** {2 Flat kernel controls}
+
+    The overlay evaluates its hot path — weight refresh, Prim, tree
+    construction — on the cache-flat kernel ({!Flat}) by default.  The
+    flat paths are bit-identical to the record paths (same trajectories,
+    same tie-breaks); [set_flat t false] re-engages the historical
+    record engine, kept as the equivalence reference for property tests
+    and benchmarks. *)
+
+(** [set_flat t enabled] toggles the flat kernel (default [true]).
+    Disabling it also unbinds any bound length array. *)
+val set_flat : t -> bool -> unit
+
+(** [flat_enabled t] reports the current engine choice. *)
+val flat_enabled : t -> bool
+
+(** [bind_lengths t lens] declares that, until {!unbind_lengths}, every
+    [length] function passed to {!min_spanning_tree} satisfies
+    [length id = lens.(id)] for the physical edge ids of [t]'s graph.
+    The weight refresh then reads [lens] directly (one flat array walk
+    per route, bit-identical to the [Route.weight] fold) instead of
+    calling the closure per edge traversal.  No-op in [Arbitrary] mode
+    or when the flat kernel is off.  The cross-check debug flag
+    ([OVERLAY_CROSS_CHECK]) re-derives weights through the closure and
+    fails loudly if the promise is broken. *)
+val bind_lengths : t -> float array -> unit
+
+(** [unbind_lengths t] reverts {!bind_lengths}. *)
+val unbind_lengths : t -> unit
+
 (** [min_spanning_tree t ~length] computes the minimum overlay spanning
     tree under the physical edge length function, as an overlay tree
     with realized routes.  Each call counts as one MST operation.  With
@@ -129,6 +159,13 @@ val notify_length_update : t -> int -> unit
     decrease silently corrupts the returned trees — when in doubt, call
     {!notify_length_update}. *)
 val notify_length_increase : t -> int -> unit
+
+(** [notify_increase_usage t usage] is the batched form of
+    {!notify_length_increase} over a winning tree's usage table
+    [(edge, multiplicity) array] — one sweep through the flat incidence
+    index marking every dependent overlay edge stale.  Equivalent to
+    notifying each edge individually (dirty sets are unions). *)
+val notify_increase_usage : t -> (int * int) array -> unit
 
 (** [notify_rescale t] invalidates the whole cache; used after a global
     multiplicative renormalization of the length function (scaling a

@@ -4,6 +4,11 @@ type t = {
   session_array : Session.t array;
   slot_of_id : (int, int) Hashtbl.t;
   per_session : (string, entry) Hashtbl.t array;
+  (* per-session memo of the most recently added entry: the FPTAS adds
+     the same winning tree (physically, via the overlay's Otree memo)
+     for long runs of iterations, and the pointer comparison skips the
+     [Otree.key] string build — the dominant steady-state allocation *)
+  last : entry option array;
 }
 
 let create sessions =
@@ -18,6 +23,7 @@ let create sessions =
     session_array = sessions;
     slot_of_id;
     per_session = Array.map (fun _ -> Hashtbl.create 16) sessions;
+    last = Array.map (fun _ -> None) sessions;
   }
 
 let sessions t = t.session_array
@@ -34,11 +40,19 @@ let add t tree rate =
     | None -> invalid_arg "Solution.add: tree from an unknown session"
   in
   if rate > 0.0 then begin
-    let table = t.per_session.(i) in
-    let key = Otree.key tree in
-    match Hashtbl.find_opt table key with
-    | Some entry -> entry.rate <- entry.rate +. rate
-    | None -> Hashtbl.add table key { tree; rate }
+    match t.last.(i) with
+    | Some entry when entry.tree == tree -> entry.rate <- entry.rate +. rate
+    | _ -> (
+      let table = t.per_session.(i) in
+      let key = Otree.key tree in
+      match Hashtbl.find_opt table key with
+      | Some entry ->
+        entry.rate <- entry.rate +. rate;
+        t.last.(i) <- Some entry
+      | None ->
+        let entry = { tree; rate } in
+        Hashtbl.add table key entry;
+        t.last.(i) <- Some entry)
   end
 
 let scale_session t i factor =

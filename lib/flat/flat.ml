@@ -1,0 +1,299 @@
+module Csr = struct
+  type t = {
+    n : int;
+    off : int array;
+    dst : int array;
+    eid : int array;
+  }
+
+  let of_graph g =
+    let n = Graph.n_vertices g in
+    let off = Array.make (n + 1) 0 in
+    for v = 0 to n - 1 do
+      let d = ref 0 in
+      Graph.iter_neighbors g v (fun _ _ -> incr d);
+      off.(v + 1) <- off.(v) + !d
+    done;
+    let total = off.(n) in
+    let dst = Array.make (max total 1) 0 in
+    let eid = Array.make (max total 1) 0 in
+    (* record the exact iter_neighbors order so flat traversals replay
+       the record path decision-for-decision *)
+    for v = 0 to n - 1 do
+      let c = ref off.(v) in
+      Graph.iter_neighbors g v (fun w id ->
+          dst.(!c) <- w;
+          eid.(!c) <- id;
+          incr c)
+    done;
+    { n; off; dst; eid }
+end
+
+module Routes = struct
+  type t = {
+    off : int array;
+    edge : int array;
+  }
+
+  let of_routes routes =
+    let k = Array.length routes in
+    let off = Array.make (k + 1) 0 in
+    for oe = 0 to k - 1 do
+      off.(oe + 1) <- off.(oe) + Route.hops routes.(oe)
+    done;
+    let edge = Array.make (max off.(k) 1) 0 in
+    for oe = 0 to k - 1 do
+      let c = ref off.(oe) in
+      Route.iter_edges routes.(oe) (fun id ->
+          edge.(!c) <- id;
+          incr c)
+    done;
+    { off; edge }
+
+  let weight t oe lens =
+    let acc = ref 0.0 in
+    let edge = t.edge in
+    (* [off] reads stay checked ([oe] is caller input); the [edge]
+       entries between two valid offsets are in range by construction *)
+    for i = t.off.(oe) to t.off.(oe + 1) - 1 do
+      acc := !acc +. lens.(Array.unsafe_get edge i)
+    done;
+    !acc
+end
+
+module Inc = struct
+  type t = {
+    off : int array;
+    oedge : int array;
+    mult : int array;
+  }
+
+  let of_incidence inc =
+    let m = Incidence.n_edges inc in
+    let off = Array.make (m + 1) 0 in
+    for e = 0 to m - 1 do
+      off.(e + 1) <- off.(e) + Incidence.degree inc e
+    done;
+    let oedge = Array.make (max off.(m) 1) 0 in
+    let mult = Array.make (max off.(m) 1) 0 in
+    for e = 0 to m - 1 do
+      let c = ref off.(e) in
+      Incidence.iter_incident inc e (fun oe n ->
+          oedge.(!c) <- oe;
+          mult.(!c) <- n;
+          incr c)
+    done;
+    { off; oedge; mult }
+end
+
+module Prim = struct
+  (* Same registry counters as Mst so flat/record engines stay
+     comparable in traces and benchmarks (Counter.make is idempotent
+     by name). *)
+  let c_prim = Obs.Counter.make "graph.prim_runs"
+  let c_prim_lazy = Obs.Counter.make "graph.prim_lazy_runs"
+
+  (* The indexed heap is embedded here rather than taken from
+     [Indexed_heap]: without flambda nothing inlines across module
+     boundaries, and on the k-member overlay graphs of the FPTAS the
+     heap traffic IS the MST cost.  The operations below replicate
+     [Indexed_heap.insert]/[decrease]/[remove_min] comparison for
+     comparison (strict [<] everywhere), so the pick order — and with
+     it the Prim trajectory and its tie-breaks — is identical to
+     [Mst.prim]'s.
+
+     Unsafe accesses are confined to the workspace's own arrays and the
+     CSR (both sized at construction; heap indices are bounded by
+     [size <= n]).  Caller-provided arrays ([w], [dirty], [edges]) keep
+     their bounds checks. *)
+  type ws = {
+    in_tree : Bytes.t;
+    best_edge : int array;
+    keys : int array;    (* heap slot -> vertex *)
+    prios : float array; (* heap slot -> priority *)
+    slots : int array;   (* vertex -> heap slot, -1 if absent *)
+    mutable size : int;
+  }
+
+  let ws ~n =
+    let n = max n 1 in
+    {
+      in_tree = Bytes.make n '\000';
+      best_edge = Array.make n (-1);
+      keys = Array.make n (-1);
+      prios = Array.make n 0.0;
+      slots = Array.make n (-1);
+      size = 0;
+    }
+
+  let swap t i j =
+    let ki = Array.unsafe_get t.keys i and kj = Array.unsafe_get t.keys j in
+    let pi = Array.unsafe_get t.prios i and pj = Array.unsafe_get t.prios j in
+    Array.unsafe_set t.keys i kj;
+    Array.unsafe_set t.keys j ki;
+    Array.unsafe_set t.prios i pj;
+    Array.unsafe_set t.prios j pi;
+    Array.unsafe_set t.slots kj i;
+    Array.unsafe_set t.slots ki j
+
+  let rec sift_up t i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if Array.unsafe_get t.prios i < Array.unsafe_get t.prios parent then begin
+        swap t i parent;
+        sift_up t parent
+      end
+    end
+
+  let rec sift_down t i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let smallest = ref i in
+    if l < t.size && Array.unsafe_get t.prios l < Array.unsafe_get t.prios !smallest
+    then smallest := l;
+    if r < t.size && Array.unsafe_get t.prios r < Array.unsafe_get t.prios !smallest
+    then smallest := r;
+    if !smallest <> i then begin
+      swap t i !smallest;
+      sift_down t !smallest
+    end
+
+  (* precondition: [key] not in the heap (slot -1), [size < n] *)
+  let insert t key prio =
+    let i = t.size in
+    Array.unsafe_set t.keys i key;
+    Array.unsafe_set t.prios i prio;
+    Array.unsafe_set t.slots key i;
+    t.size <- i + 1;
+    sift_up t i
+
+  (* precondition: [size > 0]; drops the root, restores heap order *)
+  let remove_min t =
+    let key = Array.unsafe_get t.keys 0 in
+    let last = t.size - 1 in
+    t.size <- last;
+    if last > 0 then begin
+      let k = Array.unsafe_get t.keys last in
+      Array.unsafe_set t.keys 0 k;
+      Array.unsafe_set t.prios 0 (Array.unsafe_get t.prios last);
+      Array.unsafe_set t.slots k 0;
+      sift_down t 0
+    end;
+    Array.unsafe_set t.slots key (-1)
+
+  let reset ws n =
+    ws.size <- 0;
+    Bytes.fill ws.in_tree 0 n '\000';
+    Array.fill ws.best_edge 0 n (-1);
+    Array.fill ws.slots 0 n (-1)
+
+  let into ws csr ~w ~edges =
+    Obs.Counter.incr c_prim;
+    let n = csr.Csr.n in
+    if n = 0 then 0.0
+    else begin
+      reset ws n;
+      let off = csr.Csr.off and dst = csr.Csr.dst and eid = csr.Csr.eid in
+      let in_tree = ws.in_tree in
+      let best_edge = ws.best_edge in
+      let prios = ws.prios and slots = ws.slots in
+      let weight = ref 0.0 in
+      let picked = ref 0 in
+      let n_edges = ref 0 in
+      insert ws 0 0.0;
+      while ws.size > 0 do
+        let v = Array.unsafe_get ws.keys 0 in
+        let key = Array.unsafe_get prios 0 in
+        remove_min ws;
+        if Bytes.unsafe_get in_tree v = '\000' then begin
+          Bytes.unsafe_set in_tree v '\001';
+          incr picked;
+          let be = Array.unsafe_get best_edge v in
+          if be >= 0 then begin
+            edges.(!n_edges) <- be;
+            incr n_edges;
+            weight := !weight +. key
+          end;
+          for i = Array.unsafe_get off v to Array.unsafe_get off (v + 1) - 1 do
+            let u = Array.unsafe_get dst i in
+            if Bytes.unsafe_get in_tree u = '\000' then begin
+              let id = Array.unsafe_get eid i in
+              let len = w.(id) in
+              if len < 0.0 then invalid_arg "Mst.prim: negative edge length";
+              let s = Array.unsafe_get slots u in
+              if s < 0 then begin
+                insert ws u len;
+                Array.unsafe_set best_edge u id
+              end
+              else if len < Array.unsafe_get prios s then begin
+                (* decrease *)
+                Array.unsafe_set prios s len;
+                sift_up ws s;
+                Array.unsafe_set best_edge u id
+              end
+            end
+          done
+        end
+      done;
+      if !picked <> n then failwith "Mst.prim: graph is disconnected";
+      !weight
+    end
+
+  let lazy_into ws csr ~w ~dirty ~refresh ~edges =
+    Obs.Counter.incr c_prim_lazy;
+    let n = csr.Csr.n in
+    if n = 0 then 0.0
+    else begin
+      reset ws n;
+      let off = csr.Csr.off and dst = csr.Csr.dst and eid = csr.Csr.eid in
+      let in_tree = ws.in_tree in
+      let best_edge = ws.best_edge in
+      let prios = ws.prios and slots = ws.slots in
+      let weight = ref 0.0 in
+      let picked = ref 0 in
+      let n_edges = ref 0 in
+      insert ws 0 0.0;
+      while ws.size > 0 do
+        let v = Array.unsafe_get ws.keys 0 in
+        let key = Array.unsafe_get prios 0 in
+        remove_min ws;
+        if Bytes.unsafe_get in_tree v = '\000' then begin
+          Bytes.unsafe_set in_tree v '\001';
+          incr picked;
+          let be = Array.unsafe_get best_edge v in
+          if be >= 0 then begin
+            edges.(!n_edges) <- be;
+            incr n_edges;
+            weight := !weight +. key
+          end;
+          for i = Array.unsafe_get off v to Array.unsafe_get off (v + 1) - 1 do
+            let u = Array.unsafe_get dst i in
+            if Bytes.unsafe_get in_tree u = '\000' then begin
+              let id = Array.unsafe_get eid i in
+              (* stale w.(id) is a lower bound; a bound that already
+                 loses implies the exact length loses too *)
+              let s = Array.unsafe_get slots u in
+              let promising = s < 0 || w.(id) < Array.unsafe_get prios s in
+              if promising then begin
+                if dirty.(id) then refresh id;
+                let len = w.(id) in
+                if len < 0.0 then
+                  invalid_arg "Mst.prim_lazy: negative edge length";
+                (* [refresh] never touches the heap, so [s] is current *)
+                if s < 0 then begin
+                  insert ws u len;
+                  Array.unsafe_set best_edge u id
+                end
+                else if len < Array.unsafe_get prios s then begin
+                  Array.unsafe_set prios s len;
+                  sift_up ws s;
+                  Array.unsafe_set best_edge u id
+                end
+              end
+            end
+          done
+        end
+      done;
+      if !picked <> n then failwith "Mst.prim_lazy: graph is disconnected";
+      !weight
+    end
+end

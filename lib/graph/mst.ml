@@ -1,4 +1,4 @@
-type result = { edges : int list; weight : float }
+type result = { edges : int array; weight : float }
 
 let c_prim = Obs.Counter.make ~doc:"eager Prim MST runs" "graph.prim_runs"
 
@@ -11,7 +11,7 @@ let c_kruskal = Obs.Counter.make ~doc:"Kruskal MST runs" "graph.kruskal_runs"
 let prim g ~length =
   Obs.Counter.incr c_prim;
   let n = Graph.n_vertices g in
-  if n = 0 then { edges = []; weight = 0.0 }
+  if n = 0 then { edges = [||]; weight = 0.0 }
   else begin
     let in_tree = Array.make n false in
     let best_edge = Array.make n (-1) in
@@ -46,7 +46,7 @@ let prim g ~length =
       end
     done;
     if !picked <> n then failwith "Mst.prim: graph is disconnected";
-    { edges = List.rev !edges; weight = !weight }
+    { edges = Array.of_list (List.rev !edges); weight = !weight }
   end
 
 let prim_lazy g ~lower ~exact =
@@ -58,7 +58,7 @@ let prim_lazy g ~lower ~exact =
      is identical to the eager run, bit for bit. *)
   Obs.Counter.incr c_prim_lazy;
   let n = Graph.n_vertices g in
-  if n = 0 then { edges = []; weight = 0.0 }
+  if n = 0 then { edges = [||]; weight = 0.0 }
   else begin
     let in_tree = Array.make n false in
     let best_edge = Array.make n (-1) in
@@ -101,13 +101,13 @@ let prim_lazy g ~lower ~exact =
       end
     done;
     if !picked <> n then failwith "Mst.prim_lazy: graph is disconnected";
-    { edges = List.rev !edges; weight = !weight }
+    { edges = Array.of_list (List.rev !edges); weight = !weight }
   end
 
 let kruskal g ~length =
   Obs.Counter.incr c_kruskal;
   let n = Graph.n_vertices g in
-  if n = 0 then { edges = []; weight = 0.0 }
+  if n = 0 then { edges = [||]; weight = 0.0 }
   else begin
     let all = Graph.edges g in
     let order = Array.map (fun e -> e.Graph.id) all in
@@ -129,21 +129,21 @@ let kruskal g ~length =
       order;
     if Union_find.count uf <> 1 then
       failwith "Mst.kruskal: graph is disconnected";
-    { edges = List.rev !edges; weight = !weight }
+    { edges = Array.of_list (List.rev !edges); weight = !weight }
   end
 
 let spanning_tree_exists g = Traverse.is_connected g
 
 let tree_weight ~length edges =
-  List.fold_left (fun acc id -> acc +. length id) 0.0 edges
+  Array.fold_left (fun acc id -> acc +. length id) 0.0 edges
 
 let is_spanning_tree g edges =
   let n = Graph.n_vertices g in
-  if List.length edges <> max 0 (n - 1) then false
+  if Array.length edges <> max 0 (n - 1) then false
   else begin
     let uf = Union_find.create n in
     let acyclic =
-      List.for_all
+      Array.for_all
         (fun id ->
           let u, v = Graph.endpoints g id in
           Union_find.union uf u v)

@@ -5,9 +5,10 @@
     graph. Kruskal is kept as an independent implementation for
     cross-checking and for sparse graphs. *)
 
-(** Result of a spanning-tree computation. [edges] lists the chosen edge
-    ids; [weight] is their total length. *)
-type result = { edges : int list; weight : float }
+(** Result of a spanning-tree computation. [edges] holds the chosen
+    edge ids (for Prim, in pick order); [weight] is their total
+    length. *)
+type result = { edges : int array; weight : float }
 
 (** [prim g ~length] computes an MST of a {e connected} graph under the
     given edge length function; O(m log n). Raises [Failure] when the
@@ -36,8 +37,8 @@ val kruskal : Graph.t -> length:(int -> float) -> result
 val spanning_tree_exists : Graph.t -> bool
 
 (** [tree_weight ~length edges] sums lengths over edge ids. *)
-val tree_weight : length:(int -> float) -> int list -> float
+val tree_weight : length:(int -> float) -> int array -> float
 
 (** [is_spanning_tree g edges] checks that the edge ids form a spanning
     tree of [g]: n-1 edges, acyclic, connected. *)
-val is_spanning_tree : Graph.t -> int list -> bool
+val is_spanning_tree : Graph.t -> int array -> bool

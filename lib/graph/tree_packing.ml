@@ -1,4 +1,4 @@
-type packing = { trees : (int list * float) list; value : float }
+type packing = { trees : (int array * float) list; value : float }
 
 let partition_ratio g labels =
   let blocks = Hashtbl.create 8 in
@@ -76,7 +76,7 @@ let pack_fptas g ~epsilon =
     let length id = lens.(id) in
     let renorm_threshold = 1e150 in
     (* accumulate rates per distinct tree (keyed by sorted edge ids) *)
-    let tree_rates : (int list, float ref) Hashtbl.t = Hashtbl.create 64 in
+    let tree_rates : (int array, float ref) Hashtbl.t = Hashtbl.create 64 in
     let continue = ref true in
     while !continue do
       let mst = Mst.prim g ~length in
@@ -85,13 +85,17 @@ let pack_fptas g ~epsilon =
         continue := false
       else begin
         let bottleneck =
-          List.fold_left
+          Array.fold_left
             (fun acc id -> Float.min acc (Graph.capacity g id))
             infinity mst.Mst.edges
         in
         if bottleneck <= 0.0 || bottleneck = infinity then continue := false
         else begin
-          let key = List.sort compare mst.Mst.edges in
+          let key =
+            let k = Array.copy mst.Mst.edges in
+            Array.sort compare k;
+            k
+          in
           let cell =
             match Hashtbl.find_opt tree_rates key with
             | Some r -> r
@@ -102,7 +106,7 @@ let pack_fptas g ~epsilon =
           in
           cell := !cell +. bottleneck;
           let needs_renorm = ref false in
-          List.iter
+          Array.iter
             (fun id ->
               let c = Graph.capacity g id in
               lens.(id) <- lens.(id) *. (1.0 +. (epsilon *. bottleneck /. c));
@@ -157,15 +161,15 @@ let pack_greedy g =
       match Mst.kruskal g ~length with
       | exception Failure _ -> continue := false
       | mst ->
-        if List.exists (fun id -> residual.(id) <= 1e-9) mst.Mst.edges then
+        if Array.exists (fun id -> residual.(id) <= 1e-9) mst.Mst.edges then
           continue := false
         else begin
           let bottleneck =
-            List.fold_left
+            Array.fold_left
               (fun acc id -> Float.min acc residual.(id))
               infinity mst.Mst.edges
           in
-          List.iter
+          Array.iter
             (fun id -> residual.(id) <- residual.(id) -. bottleneck)
             mst.Mst.edges;
           trees := (mst.Mst.edges, bottleneck) :: !trees;
@@ -179,7 +183,7 @@ let load g p =
   let loads = Array.make (Graph.n_edges g) 0.0 in
   List.iter
     (fun (edges, rate) ->
-      List.iter (fun id -> loads.(id) <- loads.(id) +. rate) edges)
+      Array.iter (fun id -> loads.(id) <- loads.(id) +. rate) edges)
     p.trees;
   loads
 

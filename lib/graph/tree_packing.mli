@@ -13,9 +13,9 @@
       on any graph, also returning the realizing trees,
     - [pack_greedy]: fast integral peeling used as a baseline. *)
 
-(** A packing: spanning trees (as edge-id lists) with positive rates. *)
+(** A packing: spanning trees (as edge-id arrays) with positive rates. *)
 type packing = {
-  trees : (int list * float) list;
+  trees : (int array * float) list;
   value : float;  (** sum of rates *)
 }
 

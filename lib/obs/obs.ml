@@ -125,6 +125,39 @@ module Gauge = struct
   let value g = Atomic.get g.v
 end
 
+module Alloc = struct
+  let g_per_iter =
+    Gauge.make
+      ~doc:"minor-heap words allocated per iteration (last Alloc.measure)"
+      "alloc.minor_words_per_iter"
+
+  let minor_words = Gc.minor_words
+
+  (* Words allocated by one [Gc.minor_words] call itself (the boxed
+     float result), calibrated once: subtracting it turns a
+     before/after delta into the words allocated by the measured code
+     alone. *)
+  let self_overhead =
+    let v = lazy (
+      let a = Gc.minor_words () in
+      let b = Gc.minor_words () in
+      b -. a)
+    in
+    fun () -> Lazy.force v
+
+  let measure ?(warmup = 0) ~iters f =
+    if iters <= 0 then invalid_arg "Obs.Alloc.measure: iters must be positive";
+    for _ = 1 to warmup do f () done;
+    let before = Gc.minor_words () in
+    for _ = 1 to iters do f () done;
+    let after = Gc.minor_words () in
+    let per_iter =
+      Float.max 0.0 ((after -. before -. self_overhead ()) /. float_of_int iters)
+    in
+    Gauge.set g_per_iter per_iter;
+    per_iter
+end
+
 module Registry = struct
   let counters () =
     Mutex.protect registry_lock (fun () ->

@@ -120,6 +120,29 @@ module Gauge : sig
   val value : t -> float
 end
 
+module Alloc : sig
+  (** Gc-based allocation measurement, centralized so benches and tests
+      agree on methodology.  All figures are minor-heap words ([Gc]
+      counts in words; multiply by the word size for bytes). *)
+
+  (** [minor_words ()] is [Gc.minor_words] — total minor-heap words
+      allocated by this domain so far.  Note the call itself allocates
+      its boxed result; see {!self_overhead}. *)
+  val minor_words : unit -> float
+
+  (** [self_overhead ()] is the words one [minor_words] call allocates
+      (calibrated once).  Subtract it from a before/after delta to get
+      the words allocated by the measured code alone. *)
+  val self_overhead : unit -> float
+
+  (** [measure ?warmup ~iters f] runs [f] [warmup] times untimed, then
+      [iters] times, and returns the overhead-corrected minor words
+      allocated per call (clamped at 0).  The result is also published
+      on the [alloc.minor_words_per_iter] gauge.  Raises
+      [Invalid_argument] when [iters <= 0]. *)
+  val measure : ?warmup:int -> iters:int -> (unit -> unit) -> float
+end
+
 module Registry : sig
   (** Read-side of the process-wide metric registry: everything
       {!Counter.make} and {!Gauge.make} ever created, for dumping into

@@ -170,13 +170,17 @@ let run_on_pool p ~n f =
     | None -> ()
   end
 
-let parallel_for t ~n f =
+let parallel_for ?(min_chunk = 1) t ~n f =
   if n < 0 then invalid_arg "Par.parallel_for: negative n";
+  if min_chunk < 1 then invalid_arg "Par.parallel_for: min_chunk < 1";
   if n = 0 then ()
-  else if n = 1 then
-    (* a single chunk cannot run concurrently with anything — skip the
-       pool round-trip (this is the common one-candidate case of the
-       IP-mode winner sweep) *)
+  else if n < 2 * min_chunk then
+    (* below the dispatch threshold a pool round-trip costs more than
+       it buys: without at least two full chunks of work there is
+       nothing worth overlapping.  min_chunk = 1 keeps only the n = 1
+       case inline (a single chunk cannot run concurrently with
+       anything — the common one-candidate case of the IP-mode winner
+       sweep). *)
     run_inline ~n f
   else
     match t with

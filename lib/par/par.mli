@@ -46,6 +46,7 @@ val jobs : t -> int
 (** Number of workers, [>= 1]. *)
 
 val parallel_for :
+  ?min_chunk:int ->
   t -> n:int -> (worker:int -> lo:int -> hi:int -> unit) -> unit
 (** [parallel_for t ~n f] partitions [0..n-1] into [jobs t] contiguous
     chunks and calls [f ~worker ~lo ~hi] once per non-empty chunk;
@@ -63,7 +64,16 @@ val parallel_for :
 
     Calls from inside a chunk, or on a busy pool from the domain that
     is running it, or with [n = 1] (a single chunk cannot overlap with
-    anything), execute [f ~worker:0 ~lo:0 ~hi:n] inline. *)
+    anything), execute [f ~worker:0 ~lo:0 ~hi:n] inline.
+
+    [min_chunk] (default [1]) is a work-size threshold: when
+    [n < 2 * min_chunk] — not even two full chunks of work — the body
+    runs inline instead of dispatching to the pool, skipping the
+    publish/wake/barrier round-trip that dominates small sweeps.
+    Callers set it to the item count below which one item's work no
+    longer amortizes a dispatch.  Inline and pooled execution are
+    output-identical (same chunks, ascending order), so the threshold
+    can never change a result, only wall clock. *)
 
 val shutdown : t -> unit
 (** Terminate and join the pool's domains (idempotent; a no-op on

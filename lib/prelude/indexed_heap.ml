@@ -76,6 +76,27 @@ let insert_or_decrease t key prio =
   end
   else insert t key prio
 
+let min_elt t =
+  if t.size = 0 then raise Not_found;
+  t.keys.(0)
+
+let min_prio t =
+  if t.size = 0 then raise Not_found;
+  t.prios.(0)
+
+let remove_min t =
+  if t.size = 0 then raise Not_found;
+  let key = t.keys.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    let last = t.size in
+    t.keys.(0) <- t.keys.(last);
+    t.prios.(0) <- t.prios.(last);
+    t.slots.(t.keys.(0)) <- 0;
+    sift_down t 0
+  end;
+  t.slots.(key) <- -1
+
 let pop_min t =
   if t.size = 0 then raise Not_found;
   let key = t.keys.(0) and prio = t.prios.(0) in

@@ -38,5 +38,19 @@ val insert_or_decrease : t -> int -> float -> unit
     priority. Raises [Not_found] when empty. *)
 val pop_min : t -> int * float
 
+(** [min_elt t] is the key with minimum priority, without removing it.
+    Raises [Not_found] when empty.  Together with [min_prio] and
+    [remove_min] this gives a tuple-free (allocation-free) pop for hot
+    loops. *)
+val min_elt : t -> int
+
+(** [min_prio t] is the minimum queued priority. Raises [Not_found]
+    when empty. *)
+val min_prio : t -> float
+
+(** [remove_min t] removes the minimum-priority key. Raises [Not_found]
+    when empty. *)
+val remove_min : t -> unit
+
 (** [clear t] empties the heap. *)
 val clear : t -> unit

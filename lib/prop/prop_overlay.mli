@@ -63,3 +63,12 @@ val instance : case -> Graph.t * Session.t array
     the four tree-based heuristics.  Any pool created for [jobs > 1] is
     shut down before returning. *)
 val solve_case : case -> Check.verdict
+
+(** [flat_equivalence c] runs [c.algo] twice on the same instance — the
+    cache-flat kernel ([~flat:true], the default engine) against the
+    historical record engine ([~flat:false]) — and demands bit-identical
+    results: equal iteration/phase counts and equal per-session
+    (tree key, rate) multisets, compared with exact float equality.
+    Only meaningful for the FPTAS solvers; raises [Invalid_argument]
+    for other algorithms. *)
+val flat_equivalence : case -> (unit, string) result

@@ -80,7 +80,11 @@ let routes_ws ?(par = Par.serial) ws g ~members ~length =
   in
   let par = if k > 1 then par else Par.serial in
   Par.Slots.ensure ws.dijs (Par.jobs par);
-  Par.parallel_for par ~n:k (fun ~worker ~lo ~hi ->
+  (* A source Dijkstra on the session-scale graphs here costs a few µs
+     to a few tens of µs — comparable to a pool dispatch — so small
+     member sets (the paper's setups have k <= 7) run inline and only
+     genuinely wide sessions fan out. *)
+  Par.parallel_for ~min_chunk:8 par ~n:k (fun ~worker ~lo ~hi ->
       for i = lo to hi - 1 do
         run_source worker i
       done);

@@ -20,7 +20,7 @@ let compute_with_metric g ~members ~metric =
       Dijkstra.shortest_path_tree_ws ws g ~length:metric ~source:members.(i)
     in
     for j = i + 1 to k - 1 do
-      match Dijkstra.path_to tree members.(j) with
+      match Dijkstra.path_edges tree members.(j) with
       | None -> failwith "Ip_routing.compute: member pair disconnected"
       | Some edges ->
         (* Keep the route computed from the lower-indexed member so both
@@ -29,8 +29,7 @@ let compute_with_metric g ~members ~metric =
         | Some _ -> ()
         | None ->
           routes.(i).(j) <-
-            Some (Route.make ~src:members.(i) ~dst:members.(j)
-                    (Array.of_list edges)))
+            Some (Route.make ~src:members.(i) ~dst:members.(j) edges))
     done
   done;
   { member_list = Array.copy members; index; routes }

@@ -61,6 +61,36 @@ let property_for algo () =
         [ Overlay.Ip; Overlay.Arbitrary ])
     Prop_overlay.all_families
 
+(* flat-vs-record bit-identity: same matrix shape as [property_for],
+   restricted to the two FPTAS solvers, with a disjoint seed stream
+   (offset 2000 vs the certification sweep's 1000). *)
+let flat_property_for algo () =
+  let combo = ref 0 in
+  List.iter
+    (fun family ->
+      List.iter
+        (fun mode ->
+          List.iter
+            (fun jobs ->
+              incr combo;
+              let seed = Prop.case_seed ~seed:master_seed (2000 + !combo) in
+              Prop.check
+                ~name:
+                  (Printf.sprintf "flat-identity %s/%s/%s/j%d"
+                     (Prop_overlay.algorithm_name algo)
+                     (Prop_overlay.family_name family)
+                     (match mode with
+                     | Overlay.Ip -> "ip"
+                     | Overlay.Arbitrary -> "arbitrary")
+                     jobs)
+                ~count:cases_per_combo ~seed
+                ~gen:(Prop_overlay.gen ~algo ~family ~mode ~jobs)
+                ~shrink:Prop_overlay.shrink ~print:Prop_overlay.case_to_string
+                Prop_overlay.flat_equivalence)
+            [ 1; 2 ])
+        [ Overlay.Ip; Overlay.Arbitrary ])
+    Prop_overlay.all_families
+
 (* OVERLAY_PROP_CASE replay hook: when set, also run exactly that case
    (the property sweep still runs; this pinpoints the reported one). *)
 let test_replay_case () =
@@ -348,7 +378,16 @@ let suite =
           `Slow (property_for algo))
       Prop_overlay.all_algorithms
   in
-  prop_tests
+  let flat_tests =
+    List.map
+      (fun algo ->
+        Alcotest.test_case
+          (Printf.sprintf "property: flat kernel bit-identical for %s"
+             (Prop_overlay.algorithm_name algo))
+          `Slow (flat_property_for algo))
+      [ Prop_overlay.Maxflow; Prop_overlay.Mcf ]
+  in
+  prop_tests @ flat_tests
   @ [
       Alcotest.test_case "OVERLAY_PROP_CASE replay hook" `Quick
         test_replay_case;

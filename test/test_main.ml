@@ -22,4 +22,5 @@ let () =
       ("par-determinism", Test_par_determinism.suite);
       ("io-and-protocols", Test_io_protocol.suite);
       ("certify", Test_certify.suite);
+      ("flat", Test_flat.suite);
     ]
