@@ -37,6 +37,52 @@ let elapsed f =
    of session 1 and of some overall throughput. *)
 let setup_a = Setup.make_a ~seed:4 Setup.default_a
 
+(* ---------------------------------------------------------------- *)
+(* Shared workload metadata                                          *)
+(* ---------------------------------------------------------------- *)
+
+(* Every BENCH_*.json describes the instance it measured with the same
+   fields, derived from the setup values themselves — the flat bench
+   used to hard-code the "Setup A: ..." label, which BENCH_scale.json
+   could not reuse. *)
+let mode_label = function Overlay.Ip -> "IP" | Overlay.Arbitrary -> "arbitrary"
+
+let workload_label ?(name = "Setup A") (setup : Setup.t) ~mode =
+  let sizes =
+    String.concat " and "
+      (Array.to_list
+         (Array.map
+            (fun s -> string_of_int (Session.size s))
+            setup.Setup.sessions))
+  in
+  Printf.sprintf "%s: %d-node topology, sessions of %s, %s mode" name
+    (Topology.n_nodes setup.Setup.topology)
+    sizes (mode_label mode)
+
+let workload_json ?name (setup : Setup.t) ~mode =
+  ( "workload",
+    Json_export.Object_
+      [
+        ("label", Json_export.String (workload_label ?name setup ~mode));
+        ( "nodes",
+          Json_export.Number
+            (float_of_int (Topology.n_nodes setup.Setup.topology)) );
+        ( "links",
+          Json_export.Number
+            (float_of_int (Topology.n_links setup.Setup.topology)) );
+        ( "session_sizes",
+          Json_export.Array_
+            (Array.to_list
+               (Array.map
+                  (fun s -> Json_export.Number (float_of_int (Session.size s)))
+                  setup.Setup.sessions)) );
+        ( "mode",
+          Json_export.String
+            (match mode with Overlay.Ip -> "ip" | Overlay.Arbitrary -> "arbitrary")
+        );
+        ("seed", Json_export.Number (float_of_int setup.Setup.seed));
+      ] )
+
 let ip_ratios =
   if paper_scale then Exp_tables.paper_ratios
   else [ 0.90; 0.92; 0.94; 0.95; 0.96; 0.98 ]
@@ -1042,8 +1088,8 @@ let run_flat_bench ~smoke =
       Json_export.Object_
         [
           ( "setup",
-            Json_export.String
-              "Setup A: 100-node Waxman, sessions of 7 and 5, IP mode" );
+            Json_export.String (workload_label setup_a ~mode:Overlay.Ip) );
+          workload_json setup_a ~mode:Overlay.Ip;
           ("ratio", Json_export.Number ratio);
           ("epsilon", Json_export.Number epsilon);
           ( "iterations",
@@ -1094,15 +1140,250 @@ let run_flat_bench ~smoke =
   end;
   if !fail then exit 1
 
+(* ------------------------------------------------------------- *)
+(* Overlay sparsification: quality-vs-speed frontier at scale     *)
+(* ------------------------------------------------------------- *)
+
+(* One transit-stub instance per target session size: the backbone
+   scales with the member count and each transit router carries 3 stubs
+   of 16 routers, so the topology stays ~1.2x the session size and
+   cross-stub traffic funnels through the backbone.  SCALING.md
+   documents the cost model these instances probe. *)
+let scale_instance ~members ~seed =
+  let transit = max 2 ((members + 39) / 40) in
+  let params =
+    {
+      Transit_stub.default_params with
+      Transit_stub.transit_nodes = transit;
+      transit_m = 2;
+      stubs_per_transit = 3;
+      stub_size = 16;
+      stub_m = 2;
+    }
+  in
+  let rng = Rng.create seed in
+  let topology = Transit_stub.generate rng params in
+  let n = Topology.n_nodes topology in
+  let session =
+    Session.random rng ~id:0 ~topology_size:n ~size:members ~demand:100.0
+  in
+  { Setup.topology; sessions = [| session |]; seed }
+
+let run_scale_bench ~smoke =
+  section "Overlay sparsification: quality-vs-speed frontier";
+  let sizes = if smoke then [ 50 ] else [ 500; 1000; 1500; 5000 ] in
+  (* dense k^2/2 route tables stop being practical past ~1500 members;
+     above the cutoff the full strategy is skipped and quality ratios
+     are recorded only where a full reference exists *)
+  let full_cutoff = if smoke then 50 else 1500 in
+  let ratio_for members =
+    if smoke then 0.85
+    else if members <= 1000 then 0.80
+    else if members <= 1500 then 0.75
+    else 0.70
+  in
+  let tab =
+    Tableau.create ~title:"sparsification frontier (MaxFlow, IP mode)"
+      [
+        "members"; "strategy"; "edges"; "build s"; "solve s"; "iters";
+        "throughput"; "quality"; "speedup"; "cert";
+      ]
+  in
+  let rows = ref [] and instances = ref [] in
+  let fail = ref false in
+  let check name ok =
+    if not ok then begin
+      Printf.printf "FAIL: %s\n" name;
+      fail := true
+    end
+  in
+  let knn_speedups = ref [] in
+  List.iter
+    (fun members ->
+      let setup = scale_instance ~members ~seed:(97 + members) in
+      let g = setup.Setup.topology.Topology.graph in
+      let session = setup.Setup.sessions.(0) in
+      let ratio = ratio_for members in
+      let epsilon = Max_flow.ratio_to_epsilon ratio in
+      let inst_name = Printf.sprintf "Scale %d" members in
+      Printf.printf "\n%s (ratio %.2f, epsilon %.4g)\n%!"
+        (workload_label ~name:inst_name setup ~mode:Overlay.Ip)
+        ratio epsilon;
+      instances :=
+        Json_export.Object_
+          [
+            ("members", Json_export.Number (float_of_int members));
+            workload_json ~name:inst_name setup ~mode:Overlay.Ip;
+          ]
+        :: !instances;
+      let nk = Sparsify.default_k members in
+      let strategies =
+        if smoke then
+          [
+            Sparsify.full;
+            Sparsify.k_nearest nk;
+            Sparsify.cluster (Sparsify.default_clusters members);
+          ]
+        else
+          (if members <= full_cutoff then [ Sparsify.full ] else [])
+          @ [
+              Sparsify.k_nearest nk;
+              Sparsify.random_mix ~random:(nk / 2) ~nearest:(nk - (nk / 2)) ();
+              Sparsify.cluster (Sparsify.default_clusters members);
+              Sparsify.k_nearest ~tree_cap:8 nk;
+            ]
+      in
+      let full_ref = ref None in
+      List.iter
+        (fun spec ->
+          let name = Sparsify.to_string spec in
+          let tag = Printf.sprintf "%s @ %d members" name members in
+          let overlays, build_s =
+            elapsed (fun () ->
+                [| Overlay.create ~sparsify:spec g Overlay.Ip session |])
+          in
+          let o = overlays.(0) in
+          let edges = Overlay.n_overlay_edges o in
+          let uf = Union_find.create members in
+          Array.iter
+            (fun (a, b) -> ignore (Union_find.union uf a b))
+            (Overlay.overlay_pairs o);
+          check (tag ^ ": pruned overlay connected") (Union_find.count uf = 1);
+          let r, solve_s =
+            elapsed (fun () -> Max_flow.solve g overlays ~epsilon)
+          in
+          let throughput = Solution.overall_throughput r.Max_flow.solution in
+          (* certificates are checked against the pruned overlays: the
+             duality gap is relative to the pruned candidate space (see
+             SCALING.md) *)
+          let verdict = Check.certify_max_flow g overlays r in
+          let cert = Check.ok verdict in
+          check (tag ^ ": Check.certify clean") cert;
+          let quality, speedup =
+            match !full_ref with
+            | Some (full_tp, full_solve) when not (Sparsify.is_full spec) ->
+              (Some (throughput /. full_tp), Some (full_solve /. solve_s))
+            | _ -> (None, None)
+          in
+          if Sparsify.is_full spec then full_ref := Some (throughput, solve_s);
+          (match (Sparsify.equal spec (Sparsify.k_nearest nk), quality, speedup)
+           with
+          | true, Some q, Some sp ->
+            check
+              (Printf.sprintf "%s: quality ratio %.3f >= 0.9 of full" tag q)
+              (q >= 0.9);
+            knn_speedups := (members, sp) :: !knn_speedups
+          | _ -> ());
+          Printf.printf
+            "  %-16s %8d edges  build %6.2fs  solve %8.2fs  %9d iters  \
+             throughput %10.2f%s%s  certified=%b\n%!"
+            name edges build_s solve_s r.Max_flow.iterations throughput
+            (match quality with
+            | Some q -> Printf.sprintf "  quality %.3f" q
+            | None -> "")
+            (match speedup with
+            | Some sp -> Printf.sprintf "  speedup %.1fx" sp
+            | None -> "")
+            cert;
+          Tableau.add_row tab
+            [
+              string_of_int members;
+              name;
+              string_of_int edges;
+              Printf.sprintf "%.2f" build_s;
+              Printf.sprintf "%.2f" solve_s;
+              string_of_int r.Max_flow.iterations;
+              Printf.sprintf "%.2f" throughput;
+              (match quality with
+              | Some q -> Printf.sprintf "%.3f" q
+              | None -> "-");
+              (match speedup with
+              | Some sp -> Printf.sprintf "%.1fx" sp
+              | None -> "-");
+              (if cert then "ok" else "FAIL");
+            ];
+          rows :=
+            Json_export.Object_
+              ([
+                 ("members", Json_export.Number (float_of_int members));
+                 ("strategy", Json_export.String name);
+                 ("ratio", Json_export.Number ratio);
+                 ("epsilon", Json_export.Number epsilon);
+                 ("overlay_edges", Json_export.Number (float_of_int edges));
+                 ( "candidate_edges",
+                   Json_export.Number
+                     (float_of_int (members * (members - 1) / 2)) );
+                 ("build_s", Json_export.Number build_s);
+                 ("solve_s", Json_export.Number solve_s);
+                 ( "iterations",
+                   Json_export.Number (float_of_int r.Max_flow.iterations) );
+                 ("throughput", Json_export.Number throughput);
+                 ("certified", Json_export.Bool cert);
+               ]
+              @ (match quality with
+                | Some q -> [ ("quality_vs_full", Json_export.Number q) ]
+                | None -> [])
+              @
+              match speedup with
+              | Some sp -> [ ("speedup_vs_full", Json_export.Number sp) ]
+              | None -> [])
+            :: !rows)
+        strategies)
+    sizes;
+  print_newline ();
+  Tableau.print tab;
+  (* superlinear wall-clock win: the k_nearest speedup over full must
+     grow with the session size *)
+  if not smoke then begin
+    match List.sort compare !knn_speedups with
+    | (m1, s1) :: (m2, s2) :: _ ->
+      check
+        (Printf.sprintf
+           "superlinear win: k_nearest speedup grows with size (%.1fx @ %d \
+            -> %.1fx @ %d)"
+           s1 m1 s2 m2)
+        (s2 > s1)
+    | _ -> check "superlinear win: full reference at >= 2 sizes" false
+  end;
+  if not smoke then begin
+    let json =
+      Json_export.Object_
+        [
+          ( "note",
+            Json_export.String
+              "quality-vs-speed frontier for overlay sparsification; quality \
+               is throughput relative to the full (complete-overlay) \
+               strategy at the same epsilon; full is skipped above 1500 \
+               members, where dense k^2/2 route tables stop being practical"
+          );
+          ( "generator",
+            Json_export.String
+              "transit-stub: ceil(members/40) Waxman transit routers (m=2), \
+               3 stubs x 16 routers (m=2) per transit, uniform capacity 100, \
+               instance seed 97+members" );
+          ("instances", Json_export.Array_ (List.rev !instances));
+          ("runs", Json_export.Array_ (List.rev !rows));
+        ]
+    in
+    Json_export.to_file "BENCH_scale.json" json;
+    Printf.printf "wrote BENCH_scale.json\n"
+  end;
+  if !fail then exit 1
+
 let mst_only = Array.exists (fun a -> a = "--mst") Sys.argv
 let obs_only = Array.exists (fun a -> a = "--obs") Sys.argv
 let par_only = Array.exists (fun a -> a = "--par") Sys.argv
 let flat_only = Array.exists (fun a -> a = "--flat") Sys.argv
+let scale_only = Array.exists (fun a -> a = "--scale") Sys.argv
 let smoke = Array.exists (fun a -> a = "--smoke") Sys.argv
 
 let () =
   if flat_only then begin
     run_flat_bench ~smoke;
+    exit 0
+  end;
+  if scale_only then begin
+    run_scale_bench ~smoke;
     exit 0
   end;
   if mst_only then begin

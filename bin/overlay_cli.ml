@@ -15,6 +15,15 @@ let mode_conv =
   in
   Arg.conv (parse, print)
 
+let sparsify_conv =
+  let parse s =
+    match Sparsify.of_string s with
+    | Ok spec -> Ok spec
+    | Error msg -> Error (`Msg msg)
+  in
+  let print fmt spec = Format.fprintf fmt "%s" (Sparsify.to_string spec) in
+  Arg.conv (parse, print)
+
 let seed =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
 
@@ -235,10 +244,21 @@ let eval_cmd =
 
 let solve_cmd =
   let run seed nodes sizes demand mode algorithm ratio sigma trace trace_stream
-      trace_capacity jobs certify =
+      trace_capacity jobs certify sparsify =
     let setup = make_setup seed nodes sizes demand in
     let g = setup.Setup.topology.Topology.graph in
-    let overlays = Setup.overlays setup mode in
+    let overlays = Setup.overlays ~sparsify setup mode in
+    if not (Sparsify.is_full sparsify) then
+      Array.iteri
+        (fun i o ->
+          let k = Session.size (Overlay.session o) in
+          Printf.printf
+            "session %d: sparsify %s keeps %d of %d candidate overlay edges\n"
+            i
+            (Sparsify.to_string sparsify)
+            (Overlay.n_overlay_edges o)
+            (k * (k - 1) / 2))
+        overlays;
     let par = Par.create ~jobs () in
     let tr =
       Option.map (fun _ -> Obs.Trace.create ~capacity:trace_capacity ()) trace
@@ -403,12 +423,31 @@ let solve_cmd =
              LP-duality bound for the FPTAS algorithms), print the verdict \
              and exit nonzero on any violation.")
   in
+  let sparsify =
+    Arg.(
+      value
+      & opt sparsify_conv Sparsify.full
+      & info [ "sparsify" ] ~docv:"STRAT"
+          ~doc:
+            "Prune each session's candidate overlay edge set before \
+             solving: $(b,full) (default, complete overlay), \
+             $(b,k_nearest)[:K] (K cheapest edges per member by IP-route \
+             latency), $(b,random_mix):R+N (R random + N nearest per \
+             member), or $(b,cluster)[:C] (latency clusters, complete \
+             inside, representatives across).  Bare names use \
+             size-derived defaults; append $(b,@CAP) to additionally cap \
+             the candidate structure at CAP spanning trees.  Every \
+             strategy keeps the latency MST, so the pruned overlay stays \
+             connected; with $(b,--certify) the certificate is relative \
+             to the pruned candidate space (see SCALING.md).")
+  in
   let doc = "Solve one instance and print per-session rates." in
   Cmd.v
     (Cmd.info "solve" ~doc)
     Term.(
       const run $ seed $ nodes $ sizes $ demand $ mode $ algorithm $ ratio
-      $ sigma $ trace $ trace_stream $ trace_capacity $ jobs $ certify)
+      $ sigma $ trace $ trace_stream $ trace_capacity $ jobs $ certify
+      $ sparsify)
 
 (* --- export: dump an instance + solution to files --------------------------- *)
 

@@ -243,10 +243,16 @@ let run_fleischer obs st overlays working solution =
 (* --- common driver --------------------------------------------------- *)
 
 let solve ?(variant = Paper) ?(incremental = true) ?(flat = true)
-    ?(obs = Obs.Sink.null) ?(par = Par.serial) graph overlays ~epsilon
-    ~scaling =
+    ?(obs = Obs.Sink.null) ?(par = Par.serial) ?(sparsify = Sparsify.full)
+    graph overlays ~epsilon ~scaling =
   if epsilon <= 0.0 || epsilon >= 1.0 /. 3.0 then
     invalid_arg "Max_concurrent_flow.solve: epsilon out of (0, 1/3)";
+  (* convenience rebuild, identity under the default (full) spec; the
+     pruned overlays are used for preprocessing and main loop alike *)
+  let overlays =
+    if Sparsify.is_full sparsify then overlays
+    else Array.map (fun o -> Overlay.resparsify o sparsify) overlays
+  in
   let k = Array.length overlays in
   if k = 0 then invalid_arg "Max_concurrent_flow.solve: no sessions";
   Array.iter

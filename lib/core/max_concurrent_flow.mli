@@ -101,13 +101,23 @@ val ratio_to_epsilon : float -> float
     order); in arbitrary mode the pool is handed to the overlays so
     every main-loop and preprocessing MST parallelizes its source
     Dijkstras.  Output and the [obs] event sequence are bit-identical
-    at every worker count. *)
+    at every worker count.
+
+    [sparsify] (default [Sparsify.full]) rebuilds any overlay whose
+    recorded spec differs ({!Overlay.resparsify}) before preprocessing,
+    so both the per-session MaxFlow runs and the main loop price trees
+    over the same pruned candidate space.  Identity under the default
+    spec.  As with {!Max_flow.solve}, callers that certify should build
+    the overlays with [Overlay.create ~sparsify] and pass those same
+    overlays to [Check.certify_mcf] — the duality certificate is
+    relative to the pruned tree space (see SCALING.md). *)
 val solve :
   ?variant:variant ->
   ?incremental:bool ->
   ?flat:bool ->
   ?obs:Obs.Sink.t ->
   ?par:Par.t ->
+  ?sparsify:Sparsify.t ->
   Graph.t ->
   Overlay.t array ->
   epsilon:float ->

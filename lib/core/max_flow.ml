@@ -30,9 +30,15 @@ let c_rescales =
   Obs.Counter.make ~doc:"MaxFlow dual-length renormalizations" "maxflow.rescales"
 
 let solve ?(incremental = true) ?(flat = true) ?(obs = Obs.Sink.null)
-    ?(par = Par.serial) graph overlays ~epsilon =
+    ?(par = Par.serial) ?(sparsify = Sparsify.full) graph overlays ~epsilon =
   if epsilon <= 0.0 || epsilon >= 0.5 then
     invalid_arg "Max_flow.solve: epsilon out of (0, 0.5)";
+  (* convenience rebuild: with the default (full) spec this is the
+     identity, so no historical call site changes behaviour *)
+  let overlays =
+    if Sparsify.is_full sparsify then overlays
+    else Array.map (fun o -> Overlay.resparsify o sparsify) overlays
+  in
   let k = Array.length overlays in
   if k = 0 then invalid_arg "Max_flow.solve: no sessions";
   Array.iter
@@ -271,9 +277,9 @@ let solve ?(incremental = true) ?(flat = true) ?(obs = Obs.Sink.null)
     dual_ln_base = !ln_base;
   }
 
-let solve_single ?incremental ?flat ?obs ?par graph overlay ~epsilon =
+let solve_single ?incremental ?flat ?obs ?par ?sparsify graph overlay ~epsilon =
   let result =
-    solve ?incremental ?flat ?obs ?par graph [| overlay |] ~epsilon
+    solve ?incremental ?flat ?obs ?par ?sparsify graph [| overlay |] ~epsilon
   in
   (* the single session keeps its own id; rate lookup goes through the
      session array of the fresh solution, which has exactly one slot *)

@@ -74,12 +74,24 @@ val ratio_to_epsilon : float -> float
     pool is handed to the overlays instead, parallelizing each
     snapshot's source Dijkstras.  Output — solution, iteration count,
     and the [obs] event sequence — is bit-identical at every worker
-    count, including [Par.serial]. *)
+    count, including [Par.serial].
+
+    [sparsify] (default [Sparsify.full]) is a convenience: any overlay
+    whose recorded spec differs is rebuilt via {!Overlay.resparsify}
+    before the run, so callers can prune without touching their overlay
+    construction.  Under the default spec this is the identity — no
+    historical call site changes behaviour.  Callers that certify the
+    result against the overlays they hold should instead build the
+    overlays with [Overlay.create ~sparsify] themselves and pass them
+    here unchanged: the LP-duality certificate is only meaningful
+    against the {e same} (pruned) candidate space the solver optimized
+    over (see SCALING.md). *)
 val solve :
   ?incremental:bool ->
   ?flat:bool ->
   ?obs:Obs.Sink.t ->
   ?par:Par.t ->
+  ?sparsify:Sparsify.t ->
   Graph.t ->
   Overlay.t array ->
   epsilon:float ->
@@ -88,12 +100,13 @@ val solve :
 (** [solve_single graph overlay ~epsilon] runs the single-session
     special case and returns the session's maximum flow rate (the
     [zeta_i] of the concurrent-flow preprocessing) along with the full
-    result.  [obs] and [par] as in {!solve}. *)
+    result.  [obs], [par] and [sparsify] as in {!solve}. *)
 val solve_single :
   ?incremental:bool ->
   ?flat:bool ->
   ?obs:Obs.Sink.t ->
   ?par:Par.t ->
+  ?sparsify:Sparsify.t ->
   Graph.t ->
   Overlay.t ->
   epsilon:float ->

@@ -57,9 +57,10 @@ type t = {
   session : Session.t;
   graph : Graph.t;
   mode : mode;
+  sparsify : Sparsify.t;               (* spec the overlay was built under *)
   ip : ip_engine option;                       (* Some iff mode = Ip *)
   dyn_ws : Dynamic_routing.workspace option;   (* Some iff mode = Arbitrary *)
-  overlay_graph : Graph.t;             (* complete graph on member slots *)
+  overlay_graph : Graph.t;             (* member-slot graph (complete iff full) *)
   pair_of_oedge : (int * int) array;   (* overlay edge id -> member slots *)
   ocsr : Flat.Csr.t;                   (* flat view of [overlay_graph] *)
   prim_ws : Flat.Prim.ws;              (* reusable Prim working set *)
@@ -120,6 +121,39 @@ let build_complete k =
   done;
   (g, Array.of_list (List.rev !pairs))
 
+(* Sparsified counterpart of [build_complete]: the overlay graph over
+   the kept pairs only.  Pairs arrive lexicographically sorted from
+   [Sparsify.select], so overlay edge id = pair index, exactly as in the
+   complete case — everything downstream (CSR, incidence, flat kernels)
+   is oblivious to the pruning. *)
+let build_from_pairs k pairs =
+  let g = Graph.create ~n:k in
+  Array.iter (fun (a, b) -> ignore (Graph.add_edge g a b ~capacity:1.0)) pairs;
+  g
+
+(* Latency rows for [Sparsify.select]: one hop-metric Dijkstra from the
+   requested member, distances gathered into a reusable slot-indexed
+   buffer (valid until the next call, per the [row] contract).  Both
+   routing modes select on IP hop latency — for Arbitrary mode it is a
+   selection heuristic only; the solver still prices trees under its own
+   dual lengths. *)
+let sparsify_pairs spec graph session =
+  let members = session.Session.members in
+  let k = Array.length members in
+  let ws = Dijkstra.workspace ~n:(Graph.n_vertices graph) in
+  let buf = Array.make k 0.0 in
+  let row i =
+    let tree =
+      Dijkstra.shortest_path_tree_ws ws graph ~length:Dijkstra.hop_length
+        ~source:members.(i)
+    in
+    for j = 0 to k - 1 do
+      buf.(j) <- tree.Dijkstra.dist.(members.(j))
+    done;
+    buf
+  in
+  Sparsify.select spec ~k ~salt:session.Session.id ~row
+
 (* [refresh_oe] must close over both [t] (op counters) and the engine,
    so it is installed right after the record is built. *)
 let install_refresh t =
@@ -140,16 +174,28 @@ let install_refresh t =
            atomic add per call instead of one per refresh *)
         t.weight_ops <- t.weight_ops + 1)
 
-let create graph mode session =
+let create ?(sparsify = Sparsify.full) graph mode session =
   let members = session.Session.members in
   if not (Traverse.is_spanning_connected graph ~vertices:members) then
     failwith "Overlay.create: session members are disconnected";
-  let overlay_graph, pair_of_oedge = build_complete (Array.length members) in
+  (* [is_full] short-circuits onto the historical complete-overlay path:
+     complete pair set, dense route table — bit-identical to a build
+     without a spec. *)
+  let overlay_graph, pair_of_oedge =
+    if Sparsify.is_full sparsify then build_complete (Array.length members)
+    else begin
+      let pairs = sparsify_pairs sparsify graph session in
+      (build_from_pairs (Array.length members) pairs, pairs)
+    end
+  in
   let ip =
     match mode with
     | Arbitrary -> None
     | Ip ->
-      let table = Ip_routing.compute graph ~members in
+      let table =
+        if Sparsify.is_full sparsify then Ip_routing.compute graph ~members
+        else Ip_routing.compute_pairs graph ~members ~pairs:pair_of_oedge
+      in
       let oroutes =
         Array.map
           (fun (a, b) -> Ip_routing.route table members.(a) members.(b))
@@ -187,6 +233,7 @@ let create graph mode session =
       session;
       graph;
       mode;
+      sparsify;
       ip;
       dyn_ws;
       overlay_graph;
@@ -261,6 +308,13 @@ let with_session t session =
 let session t = t.session
 let mode t = t.mode
 let graph t = t.graph
+let sparsify t = t.sparsify
+let n_overlay_edges t = Array.length t.pair_of_oedge
+let overlay_pairs t = Array.copy t.pair_of_oedge
+
+let resparsify t spec =
+  if Sparsify.equal spec t.sparsify then t
+  else create ~sparsify:spec t.graph t.mode t.session
 
 let set_sink t sink = t.sink <- sink
 let clear_sink t = t.sink <- Obs.Sink.null

@@ -31,11 +31,25 @@ type mode = Ip | Arbitrary
 
 type t
 
-(** [create graph mode session] builds the context.  In [Ip] mode the
-    route table, the per-overlay-edge fixed routes and the edge->route
-    incidence index are computed here (shortest-hop, deterministic).
-    Raises [Failure] when members are disconnected. *)
-val create : Graph.t -> mode -> Session.t -> t
+(** [create ?sparsify graph mode session] builds the context.  In [Ip]
+    mode the route table, the per-overlay-edge fixed routes and the
+    edge->route incidence index are computed here (shortest-hop,
+    deterministic).  Raises [Failure] when members are disconnected.
+
+    [sparsify] (default {!Sparsify.full}) selects the candidate overlay
+    edge set.  The default — and any spec for which [Sparsify.is_full]
+    holds — takes the historical complete-overlay path and is
+    bit-identical to builds predating the knob.  A pruning spec keeps
+    only the selected member pairs (always a connected superset of the
+    latency MST, see {!Sparsify.select}); the overlay graph, route
+    table ({!Ip_routing.compute_pairs}: sparse, with on-demand fills
+    for baselines that ask for pruned pairs), CSR views and incidence
+    index all shrink with it, which is what takes per-session cost from
+    [O(k^2)] toward [O(k log k)].  Solvers are oblivious — they only
+    ever ask for minimum spanning trees, which now range over the
+    pruned candidate space; see SCALING.md for the quality/speed
+    trade-off and the certification caveat. *)
+val create : ?sparsify:Sparsify.t -> Graph.t -> mode -> Session.t -> t
 
 (** [with_session t session] reuses [t]'s routing state (the IP route
     table, fixed routes and incidence index in [Ip] mode) for a replica
@@ -54,6 +68,30 @@ val mode : t -> mode
 
 (** [graph t] is the physical graph the context was built on. *)
 val graph : t -> Graph.t
+
+(** {2 Sparsification} *)
+
+(** [sparsify t] is the spec the context was built under
+    ({!Sparsify.full} unless {!create} was told otherwise).
+    {!with_session} replicas inherit it. *)
+val sparsify : t -> Sparsify.t
+
+(** [n_overlay_edges t] is the size of the candidate overlay edge set:
+    [k (k-1) / 2] for a full build, the kept pair count after
+    pruning. *)
+val n_overlay_edges : t -> int
+
+(** [overlay_pairs t] is a fresh copy of the candidate member-slot
+    pairs, lexicographically sorted ([a < b]), indexed by overlay edge
+    id.  Property tests use it to check pruned connectivity. *)
+val overlay_pairs : t -> (int * int) array
+
+(** [resparsify t spec] rebuilds the context under [spec] on the same
+    graph, mode and session; returns [t] itself when [spec] equals the
+    current one.  A rebuild recomputes routing state from scratch
+    (nothing is shared), so prefer building with [~sparsify] up
+    front. *)
+val resparsify : t -> Sparsify.t -> t
 
 (** {2 Telemetry} *)
 

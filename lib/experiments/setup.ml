@@ -61,8 +61,8 @@ let make_b ~seed (p : params_b) =
   in
   { topology; sessions; seed }
 
-let overlays t mode =
-  Array.map (Overlay.create t.topology.Topology.graph mode) t.sessions
+let overlays ?sparsify t mode =
+  Array.map (Overlay.create ?sparsify t.topology.Topology.graph mode) t.sessions
 
 let rng_for t ~salt = Rng.create ((t.seed * 1000003) + salt)
 

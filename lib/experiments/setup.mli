@@ -42,8 +42,10 @@ val default_b : params_b
 (** [make_b ~seed params] builds Setup B. *)
 val make_b : seed:int -> params_b -> t
 
-(** [overlays t mode] builds one overlay context per session. *)
-val overlays : t -> Overlay.mode -> Overlay.t array
+(** [overlays ?sparsify t mode] builds one overlay context per session.
+    [sparsify] (default {!Sparsify.full}) prunes each session's
+    candidate overlay edge set (see {!Overlay.create}). *)
+val overlays : ?sparsify:Sparsify.t -> t -> Overlay.mode -> Overlay.t array
 
 (** [replicated_overlays t mode ~copies ~demand ~arrival_seed]
     replicates every session [copies] times at the given demand,

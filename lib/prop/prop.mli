@@ -16,7 +16,17 @@
     - case [i] of a run draws from a seed derived from the master seed,
       with case [0] using the master seed itself, so
       [OVERLAY_PROP_SEED=<case seed> OVERLAY_PROP_COUNT=1] regenerates
-      any failing case exactly. *)
+      any failing case exactly;
+    - [OVERLAY_PROP_CASE='<one-line case>'] — bypass generation
+      entirely and replay a single printed counterexample (the
+      [key=value,...] form emitted by {!report}, parsed by
+      [Prop_overlay.case_of_string]).  This is how a shrunk failure
+      from CI is re-run locally without re-deriving its seed.
+
+    Every failure report ends with both commands, so the cheapest path
+    is copy-paste: the [OVERLAY_PROP_SEED] line reproduces the unshrunk
+    case through the generator, the [OVERLAY_PROP_CASE] line replays
+    the shrunk counterexample directly. *)
 
 module Gen : sig
   (** A generator draws a value from a PRNG.  Generators are plain

@@ -259,3 +259,74 @@ let flat_equivalence c =
   else if fp_flat <> fp_record then
     Error "solutions diverge: tree/rate multisets differ between engines"
   else Ok ()
+
+(* --- sparsification soundness ----------------------------------------- *)
+
+let check_pruned_connected overlays =
+  Array.iteri
+    (fun slot o ->
+      let k = Session.size (Overlay.session o) in
+      let uf = Union_find.create k in
+      Array.iter
+        (fun (a, b) -> ignore (Union_find.union uf a b))
+        (Overlay.overlay_pairs o);
+      if k > 0 && Union_find.count uf <> 1 then
+        failwith
+          (Printf.sprintf
+             "session %d: pruned overlay (%d pairs over %d members) is \
+              disconnected"
+             slot
+             (Overlay.n_overlay_edges o)
+             k))
+    overlays
+
+let sparsify_sound c ~spec =
+  let ( let* ) = Result.bind in
+  let g, sessions = instance c in
+  let overlays = Array.map (Overlay.create ~sparsify:spec g c.mode) sessions in
+  let* () =
+    match check_pruned_connected overlays with
+    | () -> Ok ()
+    | exception Failure msg -> Error msg
+  in
+  let solve overlays =
+    with_pool c (fun par ->
+        match c.algo with
+        | Maxflow ->
+          let r = Max_flow.solve ~par g overlays ~epsilon:c.epsilon in
+          ( r.Max_flow.iterations,
+            solution_fingerprint r.Max_flow.solution,
+            Check.certify_max_flow g overlays r )
+        | Mcf ->
+          let r =
+            Max_concurrent_flow.solve ~par g overlays ~epsilon:c.epsilon
+              ~scaling:Max_concurrent_flow.Proportional
+          in
+          ( r.Max_concurrent_flow.phases,
+            solution_fingerprint r.Max_concurrent_flow.solution,
+            Check.certify_mcf g overlays
+              ~scaling:Max_concurrent_flow.Proportional r )
+        | _ -> invalid_arg "Prop_overlay.sparsify_sound: FPTAS algorithms only")
+  in
+  let iters, fp, verdict = solve overlays in
+  let* () =
+    if Check.ok verdict then Ok ()
+    else
+      Error
+        (Format.asprintf "pruned run fails certification: %a" Check.pp_verdict
+           verdict)
+  in
+  if not (Sparsify.is_full spec) then Ok ()
+  else begin
+    (* a full spec must be indistinguishable from a build without one *)
+    let plain = Array.map (Overlay.create g c.mode) sessions in
+    let iters', fp', _ = solve plain in
+    if iters <> iters' then
+      Error
+        (Printf.sprintf
+           "full spec diverges from plain build: %d vs %d iterations" iters
+           iters')
+    else if fp <> fp' then
+      Error "full spec diverges from plain build: tree/rate multisets differ"
+    else Ok ()
+  end

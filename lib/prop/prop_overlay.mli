@@ -72,3 +72,21 @@ val solve_case : case -> Check.verdict
     Only meaningful for the FPTAS solvers; raises [Invalid_argument]
     for other algorithms. *)
 val flat_equivalence : case -> (unit, string) result
+
+(** [sparsify_sound c ~spec] checks the sparsification contract on the
+    case's instance ({!Sparsify}, passed separately so the replay
+    grammar of {!case_to_string} is untouched):
+
+    - the pruned sub-overlay of every session is connected over its
+      member slots ({!Overlay.overlay_pairs} + union-find);
+    - the solver run {e on the pruned overlays} passes the full
+      {!Check} certificate (duality gap included — certified against
+      the pruned candidate space, the only sound reference);
+    - when [Sparsify.is_full spec], the run is bit-identical to a plain
+      build without a spec (equal iteration/phase counts, equal
+      per-session (tree key, rate) multisets under exact float
+      equality).
+
+    Only meaningful for the FPTAS solvers ([Maxflow]/[Mcf], MCF under
+    [Proportional] scaling); raises [Invalid_argument] otherwise. *)
+val sparsify_sound : case -> spec:Sparsify.t -> (unit, string) result

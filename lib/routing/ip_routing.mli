@@ -26,6 +26,28 @@ val compute_with_metric : Graph.t -> members:int array -> metric:(int -> float) 
     per pair. *)
 val compute_randomized : Graph.t -> Rng.t -> members:int array -> t
 
+(** [compute_pairs g ~members ~pairs] precomputes hop-metric routes for
+    the given member {e slot} pairs only (each [(a, b)] with
+    [0 <= a < b < k], sorted lexicographically so runs sharing a lower
+    slot reuse one shortest-path tree).  The table is sparse: memory and
+    precompute time scale with [|pairs|], not [k^2] — this is what makes
+    sparsified overlays ({!Sparsify}) affordable at thousands of
+    members.
+
+    Routes for pairs {e outside} [pairs] are still available through
+    {!route}: a miss recomputes the shortest-path tree from the
+    lower-indexed member on demand (bit-identical to what [compute]
+    would have stored, at [O((n + m) log n)] per miss) and caches the
+    result.  On-demand fills are serialized by an internal mutex, so a
+    table shared across domains stays safe.  Baselines that walk
+    arbitrary member pairs (e.g. random spanning trees over the full
+    member set) therefore keep working, just slower on their first
+    visit to a pruned pair.
+
+    Raises [Failure] if a requested pair is disconnected and
+    [Invalid_argument] on malformed slot pairs or duplicate members. *)
+val compute_pairs : Graph.t -> members:int array -> pairs:(int * int) array -> t
+
 (** [route t u v] returns the fixed route between two member vertices.
     Raises [Invalid_argument] naming the vertex if either vertex is not
     a member. *)
@@ -35,13 +57,20 @@ val route : t -> int -> int -> Route.t
 val members : t -> int array
 
 (** [max_hops t] is the hop count of the longest stored route — the
-    paper's [U] parameter. *)
+    paper's [U] parameter.  For sparse tables this ranges over the
+    routes stored so far (the requested pairs plus any on-demand
+    fills). *)
 val max_hops : t -> int
 
 (** [covered_edges t] is the set of physical edge ids used by at least
-    one route, sorted ascending — figure 4's "52 physical links". *)
+    one stored route, sorted ascending — figure 4's "52 physical
+    links". *)
 val covered_edges : t -> int array
 
+(** [n_routes t] is the number of stored routes: [k (k-1) / 2] for dense
+    tables, the current entry count for sparse ones. *)
+val n_routes : t -> int
+
 (** [fold_routes t f init] folds over the stored routes (one direction
-    per unordered pair). *)
+    per unordered pair), in deterministic slot-pair order. *)
 val fold_routes : t -> ('a -> Route.t -> 'a) -> 'a -> 'a

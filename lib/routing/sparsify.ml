@@ -1,0 +1,376 @@
+type strategy =
+  | Full
+  | K_nearest of int
+  | Random_mix of { random : int; nearest : int }
+  | Cluster of { clusters : int }
+
+type t = {
+  strategy : strategy;
+  tree_cap : int option;
+  seed : int;
+}
+
+let default_seed = 9
+
+let full = { strategy = Full; tree_cap = None; seed = default_seed }
+
+let k_nearest ?tree_cap ?(seed = default_seed) k =
+  { strategy = K_nearest k; tree_cap; seed }
+
+let random_mix ?tree_cap ?(seed = default_seed) ~random ~nearest () =
+  { strategy = Random_mix { random; nearest }; tree_cap; seed }
+
+let cluster ?tree_cap ?(seed = default_seed) n =
+  { strategy = Cluster { clusters = n }; tree_cap; seed }
+
+let is_full t =
+  match (t.strategy, t.tree_cap) with Full, None -> true | _ -> false
+
+let strategy_equal a b =
+  match (a, b) with
+  | Full, Full -> true
+  | K_nearest x, K_nearest y -> x = y
+  | Random_mix a, Random_mix b -> a.random = b.random && a.nearest = b.nearest
+  | Cluster a, Cluster b -> a.clusters = b.clusters
+  | (Full | K_nearest _ | Random_mix _ | Cluster _), _ -> false
+
+let equal a b =
+  strategy_equal a.strategy b.strategy
+  && a.tree_cap = b.tree_cap && a.seed = b.seed
+
+(* auto parameters: logarithmic neighborhoods keep the kept edge count
+   at O(k log k); sqrt-many clusters balance intra-cluster completeness
+   against representative fan-out *)
+
+let ceil_log2 k =
+  let rec go acc p = if p >= k then acc else go (acc + 1) (p * 2) in
+  go 0 1
+
+(* the +3 headroom matters: on transit-stub instances the nearest
+   neighbors of a member cluster inside its own stub domain, and quality
+   falls off a cliff when too few selections escape to the backbone
+   (bench --scale measured ~0.53 of full at [ceil log2 k] neighbors on a
+   500-member session vs ~1.0 one notch above the cliff) *)
+let default_k k = max 8 (ceil_log2 k + 3)
+let default_clusters k = max 2 (int_of_float (Float.round (sqrt (float_of_int k))))
+
+(* --- CLI grammar ------------------------------------------------------ *)
+
+let to_string t =
+  let base =
+    match t.strategy with
+    | Full -> "full"
+    | K_nearest k -> if k <= 0 then "k_nearest" else Printf.sprintf "k_nearest:%d" k
+    | Random_mix { random; nearest } ->
+      if random <= 0 && nearest <= 0 then "random_mix"
+      else Printf.sprintf "random_mix:%d+%d" (max 0 random) (max 0 nearest)
+    | Cluster { clusters } ->
+      if clusters <= 0 then "cluster" else Printf.sprintf "cluster:%d" clusters
+  in
+  match t.tree_cap with
+  | None -> base
+  | Some cap -> Printf.sprintf "%s@%d" base cap
+
+let of_string s =
+  let err () =
+    Error
+      (Printf.sprintf
+         "bad sparsify spec %S (expected full | k_nearest[:K] | \
+          random_mix[:R+N] | cluster[:C], optionally @CAP)"
+         s)
+  in
+  let int_of s = match int_of_string_opt s with Some n -> Some n | None -> None in
+  let base, cap =
+    match String.index_opt s '@' with
+    | None -> (s, Ok None)
+    | Some i ->
+      let cap_s = String.sub s (i + 1) (String.length s - i - 1) in
+      ( String.sub s 0 i,
+        match int_of cap_s with
+        | Some c when c >= 1 -> Ok (Some c)
+        | _ -> Error () )
+  in
+  match cap with
+  | Error () -> err ()
+  | Ok tree_cap -> (
+    let name, param =
+      match String.index_opt base ':' with
+      | None -> (base, None)
+      | Some i ->
+        ( String.sub base 0 i,
+          Some (String.sub base (i + 1) (String.length base - i - 1)) )
+    in
+    match (name, param) with
+    | "full", None ->
+      if tree_cap = None then Ok full else Ok { full with tree_cap }
+    | "k_nearest", None -> Ok { strategy = K_nearest 0; tree_cap; seed = default_seed }
+    | "k_nearest", Some p -> (
+      match int_of p with
+      | Some k when k >= 1 ->
+        Ok { strategy = K_nearest k; tree_cap; seed = default_seed }
+      | _ -> err ())
+    | "random_mix", None ->
+      Ok { strategy = Random_mix { random = 0; nearest = 0 }; tree_cap; seed = default_seed }
+    | "random_mix", Some p -> (
+      match String.index_opt p '+' with
+      | None -> err ()
+      | Some i -> (
+        let r = String.sub p 0 i
+        and n = String.sub p (i + 1) (String.length p - i - 1) in
+        match (int_of r, int_of n) with
+        | Some r, Some n when r >= 0 && n >= 0 && r + n >= 1 ->
+          Ok { strategy = Random_mix { random = r; nearest = n }; tree_cap; seed = default_seed }
+        | _ -> err ()))
+    | "cluster", None ->
+      Ok { strategy = Cluster { clusters = 0 }; tree_cap; seed = default_seed }
+    | "cluster", Some p -> (
+      match int_of p with
+      | Some c when c >= 2 ->
+        Ok { strategy = Cluster { clusters = c }; tree_cap; seed = default_seed }
+      | _ -> err ())
+    | _ -> err ())
+
+(* --- selection -------------------------------------------------------- *)
+
+(* Pair sets are kept as a hashtable of encoded [(a, b)] keys (a < b,
+   key = a * k + b): the whole point is that the kept set is far below
+   k^2, so a dense membership matrix would reintroduce the quadratic
+   footprint being removed. *)
+
+module Pairs = struct
+  type set = { k : int; tbl : (int, unit) Hashtbl.t }
+
+  let create k = { k; tbl = Hashtbl.create (4 * k) }
+
+  let add s a b =
+    if a <> b then begin
+      let a, b = if a < b then (a, b) else (b, a) in
+      Hashtbl.replace s.tbl ((a * s.k) + b) ()
+    end
+
+  let cardinal s = Hashtbl.length s.tbl
+
+  let to_sorted_array s =
+    let out = Array.make (cardinal s) (0, 0) in
+    let i = ref 0 in
+    Hashtbl.iter
+      (fun key () ->
+        out.(!i) <- (key / s.k, key mod s.k);
+        incr i)
+      s.tbl;
+    Array.sort
+      (fun (a1, b1) (a2, b2) ->
+        if a1 <> a2 then Int.compare a1 a2 else Int.compare b1 b2)
+      out;
+    out
+end
+
+(* Latency MST over the complete member graph, O(k) memory: Prim with a
+   dense best-distance table, fetching each member's latency row exactly
+   once, in tree-growth order.  Ties break toward the lower slot, so the
+   tree is a pure function of the latency matrix. *)
+let latency_mst ~k ~row add_pair =
+  let in_tree = Array.make k false in
+  let best_d = Array.make k infinity in
+  let best_from = Array.make k 0 in
+  in_tree.(0) <- true;
+  let r0 = row 0 in
+  for v = 1 to k - 1 do
+    best_d.(v) <- r0.(v)
+  done;
+  for _ = 1 to k - 1 do
+    let v = ref (-1) in
+    for u = 0 to k - 1 do
+      if (not in_tree.(u)) && (!v < 0 || best_d.(u) < best_d.(!v)) then v := u
+    done;
+    let v = !v in
+    in_tree.(v) <- true;
+    add_pair best_from.(v) v;
+    let rv = row v in
+    for u = 0 to k - 1 do
+      if (not in_tree.(u)) && rv.(u) < best_d.(u) then begin
+        best_d.(u) <- rv.(u);
+        best_from.(u) <- v
+      end
+    done
+  done
+
+(* [nearest_of ~n r self f]: visit the [n] cheapest slots of latency row
+   [r] other than [self], cheapest first (ties toward the lower slot).
+   Selection scan: O(k * n) with n logarithmic beats sorting the row. *)
+let nearest_of ~n r self f =
+  let k = Array.length r in
+  let taken = Array.make k false in
+  taken.(self) <- true;
+  let rounds = min n (k - 1) in
+  for _ = 1 to rounds do
+    let best = ref (-1) in
+    for u = 0 to k - 1 do
+      if (not taken.(u)) && (!best < 0 || r.(u) < r.(!best)) then best := u
+    done;
+    taken.(!best) <- true;
+    f !best
+  done
+
+(* Farthest-point (Gonzalez) k-centers over the latency rows: centers
+   spread out in latency space, every member is assigned to its nearest
+   center (ties toward the earlier-chosen center).  Returns the center
+   slots and the per-member center index. *)
+let gonzalez_centers ~k ~row ~clusters =
+  let c = min clusters k in
+  let centers = Array.make c 0 in
+  let assign = Array.make k 0 in
+  let dmin = Array.copy (row 0) in
+  for j = 1 to c - 1 do
+    let far = ref 0 in
+    for u = 0 to k - 1 do
+      if dmin.(u) > dmin.(!far) then far := u
+    done;
+    centers.(j) <- !far;
+    let rj = row !far in
+    for u = 0 to k - 1 do
+      if rj.(u) < dmin.(u) then begin
+        dmin.(u) <- rj.(u);
+        assign.(u) <- j
+      end
+    done
+  done;
+  (centers, assign)
+
+(* Random spanning tree of the current selection: Kruskal over the kept
+   pairs in shuffled order.  Not uniform over the tree space (uniform
+   sampling of general graphs needs Wilson's algorithm), but cheap,
+   connected, and deterministic in the RNG stream — which is all the
+   candidate-tree cap needs. *)
+let random_spanning_tree rng ~k pairs add_pair =
+  let edges = Array.copy pairs in
+  Rng.shuffle rng edges;
+  let uf = Union_find.create k in
+  let accepted = ref 0 in
+  let i = ref 0 in
+  while !accepted < k - 1 && !i < Array.length edges do
+    let a, b = edges.(!i) in
+    if Union_find.union uf a b then begin
+      add_pair a b;
+      incr accepted
+    end;
+    incr i
+  done
+
+let effective t ~k =
+  match t.strategy with
+  | Full -> Full
+  | K_nearest n -> K_nearest (if n <= 0 then default_k k else n)
+  | Random_mix { random; nearest } ->
+    if random <= 0 && nearest <= 0 then
+      let half = max 2 (default_k k / 2) in
+      Random_mix { random = half; nearest = half }
+    else Random_mix { random = max 0 random; nearest = max 0 nearest }
+  | Cluster { clusters } ->
+    Cluster { clusters = (if clusters <= 0 then default_clusters k else clusters) }
+
+let rng_of t ~salt = Rng.create (((t.seed + 1) * 1_000_003) lxor (salt * 613))
+
+let max_pairs ~k t =
+  let all = k * (k - 1) / 2 in
+  let strategy_bound =
+    match effective t ~k with
+    | Full -> all
+    | K_nearest n -> min all (k * (n + 1))
+    | Random_mix { random; nearest } -> min all (k * (random + nearest + 1))
+    | Cluster { clusters } ->
+      let c = min clusters k in
+      let per = (k + c - 1) / c in
+      min all ((c * per * (per - 1) / 2) + (c * (c - 1) / 2) + k)
+  in
+  match t.tree_cap with
+  | None -> strategy_bound
+  | Some cap -> min strategy_bound (max (k - 1) (cap * (k - 1)))
+
+let check_connected ~k pairs =
+  let uf = Union_find.create k in
+  Array.iter (fun (a, b) -> ignore (Union_find.union uf a b)) pairs;
+  if k > 0 && Union_find.count uf <> 1 then
+    failwith "Sparsify.select: internal error — selection is not connected"
+
+let select t ~k ~salt ~row =
+  if k < 2 then invalid_arg "Sparsify.select: k < 2";
+  let strategy = effective t ~k in
+  let rng = rng_of t ~salt in
+  let complete () =
+    let out = Array.make (k * (k - 1) / 2) (0, 0) in
+    let i = ref 0 in
+    for a = 0 to k - 1 do
+      for b = a + 1 to k - 1 do
+        out.(!i) <- (a, b);
+        incr i
+      done
+    done;
+    out
+  in
+  let capped =
+    (* Full + cap never materializes the complete pair set: the latency
+       MST plus uniform Prüfer trees bound the work at O(cap * k). *)
+    match (strategy, t.tree_cap) with
+    | Full, Some cap ->
+      let s = Pairs.create k in
+      latency_mst ~k ~row (Pairs.add s);
+      for _ = 2 to cap do
+        List.iter (fun (a, b) -> Pairs.add s a b) (Prufer.random rng k)
+      done;
+      Some (Pairs.to_sorted_array s)
+    | _ -> None
+  in
+  let pairs =
+    match capped with
+    | Some pairs -> pairs
+    | None when strategy = Full -> complete ()
+    | None ->
+      let s = Pairs.create k in
+      (match strategy with
+      | Full -> assert false
+      | K_nearest n ->
+        for a = 0 to k - 1 do
+          nearest_of ~n (row a) a (fun b -> Pairs.add s a b)
+        done
+      | Random_mix { random; nearest } ->
+        for a = 0 to k - 1 do
+          if nearest > 0 then nearest_of ~n:nearest (row a) a (fun b -> Pairs.add s a b);
+          for _ = 1 to random do
+            (* rejection-free: draw among the k-1 other slots *)
+            let b = Rng.int rng (k - 1) in
+            let b = if b >= a then b + 1 else b in
+            Pairs.add s a b
+          done
+        done
+      | Cluster { clusters } ->
+        let centers, assign = gonzalez_centers ~k ~row ~clusters in
+        let c = Array.length centers in
+        (* intra-cluster completeness *)
+        for a = 0 to k - 1 do
+          for b = a + 1 to k - 1 do
+            if assign.(a) = assign.(b) then Pairs.add s a b
+          done
+        done;
+        (* inter-cluster representatives: centers pairwise connected *)
+        for i = 0 to c - 1 do
+          for j = i + 1 to c - 1 do
+            Pairs.add s centers.(i) centers.(j)
+          done
+        done);
+      latency_mst ~k ~row (Pairs.add s);
+      let selected = Pairs.to_sorted_array s in
+      (match t.tree_cap with
+      | Some cap when Array.length selected > max (k - 1) (cap * (k - 1)) ->
+        (* replace the selection with <= cap spanning trees of itself:
+           the latency MST (quality anchor) plus random trees *)
+        let capped = Pairs.create k in
+        latency_mst ~k ~row (Pairs.add capped);
+        for _ = 2 to cap do
+          random_spanning_tree rng ~k selected (Pairs.add capped)
+        done;
+        Pairs.to_sorted_array capped
+      | _ -> selected)
+  in
+  check_connected ~k pairs;
+  pairs

@@ -1,0 +1,152 @@
+(** Overlay sparsification: pruning the candidate edge set of a session's
+    overlay graph {e before} optimization.
+
+    The FPTAS solvers work on the complete overlay graph over a
+    session's members, so every weight refresh, every Prim run, and the
+    route/incidence tables behind them grow as [O(|S_i|^2)] — fine for
+    the paper's 5–7 member sessions, fatal for sessions with thousands
+    of members.  This module selects a {e connected sub-overlay}: a
+    subset of member pairs that {!Overlay} then consumes transparently
+    in both routing modes (the solvers never see the difference — they
+    only ever ask for minimum spanning trees, which simply range over a
+    smaller candidate space).
+
+    {b What pruning changes.}  Restricting the overlay edge set shrinks
+    the session's spanning-tree space from Cayley's [k^(k-2)]
+    ({!Prufer.count_trees}) to the trees of the sub-overlay, so the
+    solver's optimum is the optimum {e of the pruned instance}.
+    Feasibility is untouched — any tree of the sub-overlay is a real
+    spanning tree over the members, so [Check.certify] passes and the
+    solution is deployable as-is — but the LP-duality certificate
+    ([Check.certify_max_flow] / [certify_mcf]) certifies optimality
+    against the {e pruned} feasible set, not the full one.  SCALING.md
+    discusses how close the pruned optimum tracks the full one (the
+    quality-vs-speed frontier recorded in BENCH_scale.json).
+
+    {b Connectivity guarantee.}  Every strategy unions its selection
+    with the {e latency MST}: the minimum spanning tree of the complete
+    member graph under IP-route latency (hop distance).  The result is
+    connected by construction, and the single best shortest-route tree
+    always survives pruning — which is what anchors the measured
+    quality ratios.
+
+    Selection is deterministic: a fixed [(spec, salt, latency)] triple
+    always yields the same pair set, so solver runs on sparsified
+    overlays replay exactly like full ones. *)
+
+(** The pruning strategy.  Integer parameters [<= 0] mean "auto": the
+    documented default is derived from the member count at selection
+    time ({!default_k}, {!default_clusters}).
+
+    - [Full]: keep every pair (the historical complete overlay).
+    - [K_nearest k]: each member keeps its [k] cheapest overlay edges
+      by IP-route latency (an edge survives when {e either} endpoint
+      selects it).  The SOL-style k-shortest selection.
+    - [Random_mix]: each member keeps its [nearest] cheapest edges plus
+      [random] uniformly drawn others — the spirit of SOL's
+      [choose_rand], trading locality for path diversity.
+    - [Cluster]: members are clustered in latency space
+      (farthest-point/Gonzalez k-centers); clusters are internally
+      complete and cluster centers are pairwise connected, so
+      intra-cluster traffic sees the full candidate space while
+      inter-cluster traffic funnels through representatives. *)
+type strategy =
+  | Full
+  | K_nearest of int
+  | Random_mix of { random : int; nearest : int }
+  | Cluster of { clusters : int }
+
+type t = {
+  strategy : strategy;
+  tree_cap : int option;
+      (** candidate-tree cap: when [Some cap], the sub-overlay is
+          further reduced to the union of at most [cap] spanning trees —
+          the latency MST plus [cap - 1] random spanning trees of the
+          strategy's selection (uniform Prüfer trees when the selection
+          is complete) — bounding the edge count by [cap * (k - 1)]
+          and hence the candidate structure the solver optimizes over.
+          [cap >= 1]; a cap at least as large as the selection is a
+          no-op. *)
+  seed : int;
+      (** base seed for the randomized strategies; combined with the
+          per-session salt so distinct sessions prune differently. *)
+}
+
+(** The identity spec: [Full] strategy, no tree cap.  {!Overlay.create}
+    short-circuits it onto the historical complete-overlay path, so
+    solver output is bit-identical to a build without a spec. *)
+val full : t
+
+(** [k_nearest ?tree_cap ?seed k], [random_mix ?tree_cap ?seed ~random
+    ~nearest ()] and [cluster ?tree_cap ?seed n] build specs with the
+    default seed when omitted. *)
+val k_nearest : ?tree_cap:int -> ?seed:int -> int -> t
+
+val random_mix : ?tree_cap:int -> ?seed:int -> random:int -> nearest:int -> unit -> t
+val cluster : ?tree_cap:int -> ?seed:int -> int -> t
+
+(** [is_full t] holds for specs equivalent to {!full} (a [Full]
+    strategy with no tree cap) — the specs under which sparsification
+    is a guaranteed no-op. *)
+val is_full : t -> bool
+
+(** [equal a b] is structural equality of specs. *)
+val equal : t -> t -> bool
+
+(** [default_k k] is the auto parameter of [K_nearest] for a [k]-member
+    session: [max 8 (ceil (log2 k) + 3)].  Grows logarithmically, so the
+    kept edge count is [O(k log k)] against the full [k (k-1) / 2]; the
+    constant headroom keeps enough selections escaping a member's local
+    latency neighborhood (its stub domain, on transit-stub topologies)
+    that measured throughput stays within a few percent of the full
+    overlay — see SCALING.md for the measured cliff below that. *)
+val default_k : int -> int
+
+(** [default_clusters k] is the auto parameter of [Cluster]:
+    [max 2 (round (sqrt k))], balancing intra-cluster completeness
+    ([~ k^1.5 / 2] edges) against representative fan-out. *)
+val default_clusters : int -> int
+
+(** [to_string t] renders the spec in the CLI grammar:
+    ["full"], ["k_nearest:8"], ["random_mix:4+4"], ["cluster:32"], each
+    optionally suffixed with ["@cap"] for the candidate-tree cap (auto
+    parameters render as the bare strategy name).  {!of_string} inverts
+    it; the seed is not part of the grammar (CLI runs use the default
+    seed, programmatic callers set the field directly). *)
+val to_string : t -> string
+
+(** [of_string s] parses the {!to_string} grammar, accepting bare
+    strategy names for auto parameters (["k_nearest"], ["cluster"],
+    ["random_mix"], optionally ["@cap"]-suffixed).  Returns a
+    descriptive [Error] on anything else. *)
+val of_string : string -> (t, string) result
+
+(** [select t ~k ~salt ~row] chooses the member pairs to keep for a
+    [k]-member session ([k >= 2]).
+
+    [row i] must return the latency from member slot [i] to every
+    member slot (an array of length [k], nonnegative, [row i].(i) = 0);
+    the returned array is only read before the next [row] call, so
+    providers may reuse one buffer.  {!Overlay.create} supplies
+    hop-distance rows (one Dijkstra per requested slot) — each slot is
+    requested a bounded number of times (at most once per selection
+    stage), never cached quadratically.
+
+    [salt] individualizes the randomized strategies per session
+    (callers pass the session id).
+
+    Returns the kept pairs [(a, b)] with [a < b], sorted
+    lexicographically — the overlay edge id order.  The pair set always
+    contains the latency MST, hence spans and connects [0 .. k-1];
+    [Failure] on an internal connectivity violation (a bug, not an
+    input condition). *)
+val select : t -> k:int -> salt:int -> row:(int -> float array) -> (int * int) array
+
+(** [max_pairs ~k t] is the a-priori upper bound on [select]'s pair
+    count implied by the spec: [k (k-1) / 2] for [Full], the strategy
+    bound otherwise ([k * (k_eff + 1)] for [K_nearest] and
+    [Random_mix], intra + representative pairs for [Cluster]), clamped
+    by the tree cap's [cap * (k - 1)] when present.  Used by reports
+    and SCALING.md's cost model; the realized count is
+    [Overlay.n_overlay_edges]. *)
+val max_pairs : k:int -> t -> int

@@ -91,6 +91,47 @@ let flat_property_for algo () =
         [ Overlay.Ip; Overlay.Arbitrary ])
     Prop_overlay.all_families
 
+(* sparsification soundness: strategy x topology family x routing mode,
+   seed stream offset 3000 (disjoint from the certification sweep's 1000
+   and the flat-identity block's 2000).  Specs are swept alongside the
+   generated cases rather than encoded in them, keeping the
+   OVERLAY_PROP_CASE replay grammar untouched. *)
+let sparsify_specs =
+  [
+    Sparsify.full;
+    Sparsify.k_nearest 3;
+    Sparsify.random_mix ~random:2 ~nearest:2 ();
+    Sparsify.cluster 2;
+    Sparsify.k_nearest ~tree_cap:3 4;
+  ]
+
+let sparsify_property_for algo () =
+  let combo = ref 0 in
+  List.iter
+    (fun spec ->
+      List.iter
+        (fun family ->
+          List.iter
+            (fun mode ->
+              incr combo;
+              let seed = Prop.case_seed ~seed:master_seed (3000 + !combo) in
+              Prop.check
+                ~name:
+                  (Printf.sprintf "sparsify-sound %s/%s/%s/%s"
+                     (Prop_overlay.algorithm_name algo)
+                     (Sparsify.to_string spec)
+                     (Prop_overlay.family_name family)
+                     (match mode with
+                     | Overlay.Ip -> "ip"
+                     | Overlay.Arbitrary -> "arbitrary"))
+                ~count:cases_per_combo ~seed
+                ~gen:(Prop_overlay.gen ~algo ~family ~mode ~jobs:1)
+                ~shrink:Prop_overlay.shrink ~print:Prop_overlay.case_to_string
+                (fun case -> Prop_overlay.sparsify_sound case ~spec))
+            [ Overlay.Ip; Overlay.Arbitrary ])
+        Prop_overlay.all_families)
+    sparsify_specs
+
 (* OVERLAY_PROP_CASE replay hook: when set, also run exactly that case
    (the property sweep still runs; this pinpoints the reported one). *)
 let test_replay_case () =
@@ -387,7 +428,16 @@ let suite =
           `Slow (flat_property_for algo))
       [ Prop_overlay.Maxflow; Prop_overlay.Mcf ]
   in
-  prop_tests @ flat_tests
+  let sparsify_tests =
+    List.map
+      (fun algo ->
+        Alcotest.test_case
+          (Printf.sprintf "property: sparsify sound for %s"
+             (Prop_overlay.algorithm_name algo))
+          `Slow (sparsify_property_for algo))
+      [ Prop_overlay.Maxflow; Prop_overlay.Mcf ]
+  in
+  prop_tests @ flat_tests @ sparsify_tests
   @ [
       Alcotest.test_case "OVERLAY_PROP_CASE replay hook" `Quick
         test_replay_case;

@@ -23,4 +23,5 @@ let () =
       ("io-and-protocols", Test_io_protocol.suite);
       ("certify", Test_certify.suite);
       ("flat", Test_flat.suite);
+      ("sparsify", Test_sparsify.suite);
     ]
