@@ -83,6 +83,18 @@ let workload_json ?name (setup : Setup.t) ~mode =
         ("seed", Json_export.Number (float_of_int setup.Setup.seed));
       ] )
 
+(* Every BENCH_*.json records the host it ran on — core count and OCaml
+   version — so recorded timings can be compared across machines. *)
+let host_json =
+  ( "host",
+    Json_export.Object_
+      [
+        ( "cores",
+          Json_export.Number
+            (float_of_int (Domain.recommended_domain_count ())) );
+        ("ocaml_version", Json_export.String Sys.ocaml_version);
+      ] )
+
 let ip_ratios =
   if paper_scale then Exp_tables.paper_ratios
   else [ 0.90; 0.92; 0.94; 0.95; 0.96; 0.98 ]
@@ -673,6 +685,7 @@ let run_mst_bench () =
           Json_export.String
             "Setup A: 100-node Waxman, sessions of 7 and 5, ratio 0.95, IP mode"
         );
+        host_json;
         ("ratio", Json_export.Number 0.95);
         ("epsilon", Json_export.Number epsilon);
         ("iterations", Json_export.Number (float_of_int inc.Max_flow.iterations));
@@ -777,6 +790,7 @@ let run_obs_bench () =
           Json_export.String
             "Setup A: 100-node Waxman, sessions of 7 and 5, ratio 0.95, IP mode"
         );
+        host_json;
         ("epsilon", Json_export.Number epsilon);
         ( "iterations",
           Json_export.Number (float_of_int null_r.Max_flow.iterations) );
@@ -893,6 +907,7 @@ let run_par_bench () =
         ( "setup",
           Json_export.String
             "Setup A: 100-node Waxman, sessions of 7 and 5, MaxFlow" );
+        host_json;
         ("host_recommended_domains", Json_export.Number (float_of_int host_domains));
         ("note", Json_export.String note);
         (arb_name, arb_json);
@@ -1090,6 +1105,7 @@ let run_flat_bench ~smoke =
           ( "setup",
             Json_export.String (workload_label setup_a ~mode:Overlay.Ip) );
           workload_json setup_a ~mode:Overlay.Ip;
+          host_json;
           ("ratio", Json_export.Number ratio);
           ("epsilon", Json_export.Number epsilon);
           ( "iterations",
@@ -1361,6 +1377,7 @@ let run_scale_bench ~smoke =
               "transit-stub: ceil(members/40) Waxman transit routers (m=2), \
                3 stubs x 16 routers (m=2) per transit, uniform capacity 100, \
                instance seed 97+members" );
+          host_json;
           ("instances", Json_export.Array_ (List.rev !instances));
           ("runs", Json_export.Array_ (List.rev !rows));
         ]
@@ -1370,11 +1387,210 @@ let run_scale_bench ~smoke =
   end;
   if !fail then exit 1
 
+(* ------------------------------------------------------------- *)
+(* Warm-started re-solve engine: churn events vs from-scratch     *)
+(* ------------------------------------------------------------- *)
+
+let median xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else if n mod 2 = 1 then a.(n / 2)
+  else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+(* Single-session churn events against a base instance: every event
+   kind the engine repairs — join, demand change, capacity change,
+   leave — with concrete member arrays so the sequence is
+   deterministic.  Capacity targets are absolute, computed against the
+   initial capacities (the engine mutates the graph as it replays). *)
+let warm_events g ~seed ~smoke =
+  let n = Graph.n_vertices g in
+  let members i size =
+    (Session.random (Rng.create (seed + i)) ~id:0 ~topology_size:n ~size
+       ~demand:1.0)
+      .Session.members
+  in
+  let edge = Graph.n_edges g / 3 in
+  let c0 = Graph.capacity g edge in
+  let ev at event = { Churn.at; event } in
+  let base =
+    [
+      ev 1.0 (Churn.Session_join { id = 9001; members = members 1 5; demand = 50.0 });
+      ev 2.0 (Churn.Demand_change { id = 9001; demand = 75.0 });
+      ev 3.0 (Churn.Capacity_change { edge; capacity = 0.8 *. c0 });
+      ev 4.0 (Churn.Session_leave { id = 9001 });
+    ]
+  in
+  if smoke then base
+  else
+    base
+    @ [
+        ev 5.0 (Churn.Session_join { id = 9002; members = members 2 7; demand = 120.0 });
+        ev 6.0 (Churn.Capacity_change { edge; capacity = c0 });
+        ev 7.0 (Churn.Demand_change { id = 9002; demand = 60.0 });
+        ev 8.0 (Churn.Session_leave { id = 9002 });
+      ]
+
+let run_warm_bench ~smoke =
+  section "Warm-started re-solve engine: churn events vs from-scratch";
+  let fail = ref false in
+  let check name ok =
+    if not ok then begin
+      Printf.printf "FAIL: %s\n" name;
+      fail := true
+    end
+  in
+  let bench_workload ~name ~setup ~sparsify ~ratio ~seed =
+    let g = setup.Setup.topology.Topology.graph in
+    let epsilon = Max_flow.ratio_to_epsilon ratio in
+    let config = { Engine.default_config with Engine.epsilon; sparsify } in
+    let events = warm_events g ~seed ~smoke in
+    let t, init_s =
+      elapsed (fun () -> Engine.create ~config g setup.Setup.sessions)
+    in
+    Printf.printf "\n%s (ratio %.2f, epsilon %.4g): initial cold solve %.2fs\n%!"
+      (workload_label ~name setup ~mode:Overlay.Ip)
+      ratio epsilon init_s;
+    let rows = ref [] and speedups = ref [] in
+    let all_certified = ref true and equal_guarantee = ref true in
+    (* both the warm and the from-scratch state carry the (1 - 2 eps)
+       guarantee for the same instance, so their objectives agree within
+       the two-sided band *)
+    let band = 1.0 -. (2.0 *. epsilon) -. Check.default_tol in
+    List.iter
+      (fun ev ->
+        let r = Engine.apply t ev in
+        let warm_s = r.Engine.total_s in
+        (* from-scratch reference on the same post-event instance:
+           rebuild every overlay, solve cold, certify — what a caller
+           without the engine would run after the event *)
+        let (cold_obj, cold_cert), cold_s =
+          elapsed (fun () ->
+              let overlays =
+                Array.map
+                  (fun s -> Overlay.create ~sparsify g Overlay.Ip s)
+                  (Engine.sessions t)
+              in
+              let cr = Max_flow.solve g overlays ~epsilon in
+              let v = Check.certify_max_flow g overlays cr in
+              (Solution.overall_throughput cr.Max_flow.solution, Check.ok v))
+        in
+        let speedup = cold_s /. Float.max warm_s 1e-9 in
+        let obj_ratio =
+          Float.min r.Engine.objective cold_obj
+          /. Float.max r.Engine.objective cold_obj
+        in
+        if not r.Engine.certified then all_certified := false;
+        if not (cold_cert && obj_ratio >= band) then equal_guarantee := false;
+        speedups := speedup :: !speedups;
+        Printf.printf
+          "  %-44s %s/%d  warm %8.2fms  cold %8.2fms  speedup %6.1fx  \
+           obj %.4g vs %.4g\n%!"
+          (Churn.event_to_string ev.Churn.event)
+          (if r.Engine.warm then "warm" else "cold")
+          r.Engine.attempts (warm_s *. 1e3) (cold_s *. 1e3) speedup
+          r.Engine.objective cold_obj;
+        rows :=
+          Json_export.Object_
+            [
+              ("event", Json_export.String (Churn.event_to_string ev.Churn.event));
+              ("warm", Json_export.Bool r.Engine.warm);
+              ("attempts", Json_export.Number (float_of_int r.Engine.attempts));
+              ("certified", Json_export.Bool r.Engine.certified);
+              ("warm_s", Json_export.Number warm_s);
+              ("cold_s", Json_export.Number cold_s);
+              ("speedup", Json_export.Number speedup);
+              ("warm_objective", Json_export.Number r.Engine.objective);
+              ("cold_objective", Json_export.Number cold_obj);
+              ("cold_certified", Json_export.Bool cold_cert);
+            ]
+          :: !rows)
+      events;
+    let med = median !speedups in
+    Printf.printf
+      "  %s: median re-solve speedup %.1fx, all_certified=%b, \
+       equal_guarantee=%b\n%!"
+      name med !all_certified !equal_guarantee;
+    let json =
+      Json_export.Object_
+        [
+          ("name", Json_export.String name);
+          workload_json ~name setup ~mode:Overlay.Ip;
+          ("sparsify", Json_export.String (Sparsify.to_string sparsify));
+          ("ratio", Json_export.Number ratio);
+          ("epsilon", Json_export.Number epsilon);
+          ("initial_cold_solve_s", Json_export.Number init_s);
+          ("events", Json_export.Array_ (List.rev !rows));
+          ("median_speedup", Json_export.Number med);
+          ("all_certified", Json_export.Bool !all_certified);
+          ("equal_guarantee", Json_export.Bool !equal_guarantee);
+        ]
+    in
+    (med, !all_certified, !equal_guarantee, json)
+  in
+  (* workload 1: Setup A — the paper's 100-node Waxman instance *)
+  let a_ratio = if smoke then 0.90 else 0.95 in
+  let a_med, a_cert, a_eq, a_json =
+    bench_workload ~name:"Setup A" ~setup:setup_a ~sparsify:Sparsify.full
+      ~ratio:a_ratio ~seed:501
+  in
+  (* workload 2: transit-stub with a large base session, sparsified as
+     at that scale (SCALING.md) *)
+  let members = if smoke then 50 else 1000 in
+  let ts_setup = scale_instance ~members ~seed:(97 + members) in
+  let ts_ratio = if smoke then 0.85 else 0.80 in
+  let ts_med, ts_cert, ts_eq, ts_json =
+    bench_workload
+      ~name:(Printf.sprintf "Transit-stub %d" members)
+      ~setup:ts_setup
+      ~sparsify:(Sparsify.k_nearest (Sparsify.default_k members))
+      ~ratio:ts_ratio ~seed:601
+  in
+  if not smoke then begin
+    let json =
+      Json_export.Object_
+        [
+          ( "note",
+            Json_export.String
+              "warm-started re-solve engine vs from-scratch on single-session \
+               churn events; warm_s is the full event wall-clock (instance \
+               mutation + warm ladder + certification), cold_s rebuilds all \
+               overlays, solves cold and certifies; every warm acceptance is \
+               Check.certify-gated" );
+          host_json;
+          ("workloads", Json_export.Array_ [ a_json; ts_json ]);
+          ( "median_speedup",
+            Json_export.Number (Float.min a_med ts_med) );
+          ("equal_guarantee", Json_export.Bool (a_eq && ts_eq));
+          ("all_certified", Json_export.Bool (a_cert && ts_cert));
+        ]
+    in
+    Json_export.to_file "BENCH_warm.json" json;
+    Printf.printf "wrote BENCH_warm.json\n"
+  end;
+  (* hard gates *)
+  let floor = if smoke then 2.0 else 5.0 in
+  check
+    (Printf.sprintf "Setup A: warm median >= %.0fx from-scratch (got %.1fx)"
+       floor a_med)
+    (a_med >= floor);
+  check
+    (Printf.sprintf
+       "Transit-stub %d: warm median >= %.0fx from-scratch (got %.1fx)"
+       members floor ts_med)
+    (ts_med >= floor);
+  check "every warm solution Check.certify-clean" (a_cert && ts_cert);
+  check "warm and from-scratch agree within the FPTAS guarantee band"
+    (a_eq && ts_eq);
+  if !fail then exit 1
+
 let mst_only = Array.exists (fun a -> a = "--mst") Sys.argv
 let obs_only = Array.exists (fun a -> a = "--obs") Sys.argv
 let par_only = Array.exists (fun a -> a = "--par") Sys.argv
 let flat_only = Array.exists (fun a -> a = "--flat") Sys.argv
 let scale_only = Array.exists (fun a -> a = "--scale") Sys.argv
+let warm_only = Array.exists (fun a -> a = "--warm") Sys.argv
 let smoke = Array.exists (fun a -> a = "--smoke") Sys.argv
 
 let () =
@@ -1384,6 +1600,10 @@ let () =
   end;
   if scale_only then begin
     run_scale_bench ~smoke;
+    exit 0
+  end;
+  if warm_only then begin
+    run_warm_bench ~smoke;
     exit 0
   end;
   if mst_only then begin

@@ -687,6 +687,128 @@ let trace_cmd =
   Cmd.group (Cmd.info "trace" ~doc)
     [ trace_summary_cmd; trace_convergence_cmd; trace_spans_cmd; trace_diff_cmd ]
 
+(* --- churn: replay a churn trace through the re-solve engine ---------------- *)
+
+let churn_cmd =
+  let run seed nodes mode algorithm ratio sparsify path verbose =
+    let rng = Rng.create seed in
+    let topology = Waxman.generate rng { Waxman.default_params with n = nodes } in
+    let graph = topology.Topology.graph in
+    let trace =
+      let ic = open_in path in
+      Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+          Churn.read_trace ic)
+    in
+    Printf.printf "network: %d routers, %d links; trace: %d events\n"
+      (Topology.n_nodes topology) (Topology.n_links topology)
+      (List.length trace);
+    let solver, epsilon =
+      match algorithm with
+      | "maxflow" -> (Engine.Maxflow, Max_flow.ratio_to_epsilon ratio)
+      | "mcf" ->
+        ( Engine.Mcf
+            {
+              variant = Max_concurrent_flow.Paper;
+              scaling = Max_concurrent_flow.Maxflow_weighted;
+            },
+          Max_concurrent_flow.ratio_to_epsilon ratio )
+      | other -> failwith (Printf.sprintf "unknown algorithm %S (maxflow|mcf)" other)
+    in
+    let config =
+      { Engine.default_config with Engine.solver; epsilon; mode; sparsify }
+    in
+    let t = Engine.create ~config graph [||] in
+    let t0 = Obs.now () in
+    let reports = Engine.replay t trace in
+    let wall = Obs.now () -. t0 in
+    if verbose then
+      List.iter
+        (fun (r : Engine.report) ->
+          Printf.printf
+            "%8.2f  %-40s k=%-3d %s attempts=%d obj=%10.3f  %6.2fms\n"
+            r.Engine.at
+            (match r.Engine.event with
+            | Some e -> Churn.event_to_string e
+            | None -> "-")
+            r.Engine.k
+            (if r.Engine.warm then "warm" else "cold")
+            r.Engine.attempts r.Engine.objective
+            (r.Engine.total_s *. 1e3))
+        reports;
+    let lat =
+      reports
+      |> List.map (fun (r : Engine.report) -> r.Engine.total_s)
+      |> Array.of_list
+    in
+    Array.sort compare lat;
+    let pct p =
+      let n = Array.length lat in
+      if n = 0 then 0.0
+      else lat.(min (n - 1) (int_of_float ((p *. float_of_int (n - 1)) +. 0.5)))
+    in
+    let uncertified =
+      List.length
+        (List.filter (fun (r : Engine.report) -> not r.Engine.certified) reports)
+    in
+    let s = Engine.stats t in
+    Printf.printf
+      "replayed %d events in %.2fs (%.1f events/s): %d warm / %d cold, \
+       latency p50 %.2fms p99 %.2fms, %d active sessions, objective %.3f\n"
+      (List.length reports) wall
+      (float_of_int (List.length reports) /. Float.max wall 1e-9)
+      s.Engine.warm_accepted s.Engine.cold_solves
+      (pct 0.50 *. 1e3) (pct 0.99 *. 1e3)
+      (Engine.n_sessions t) (Engine.objective t);
+    if uncertified > 0 then begin
+      Printf.printf "%d events failed certification\n" uncertified;
+      exit 1
+    end
+  in
+  let algorithm =
+    Arg.(
+      value & opt string "maxflow"
+      & info [ "algorithm"; "a" ] ~docv:"ALG" ~doc:"maxflow | mcf.")
+  in
+  let ratio =
+    Arg.(
+      value & opt float 0.95
+      & info [ "ratio" ] ~docv:"R" ~doc:"FPTAS approximation ratio.")
+  in
+  let sparsify =
+    Arg.(
+      value
+      & opt sparsify_conv Sparsify.full
+      & info [ "sparsify" ] ~docv:"STRAT"
+          ~doc:"Candidate overlay edge policy for joining sessions.")
+  in
+  let trace_file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE"
+          ~doc:
+            "Churn trace file, one event per line: $(i,<time> join id=3 \
+             demand=1 members=0,5,9), $(i,<time> leave id=3), $(i,<time> \
+             demand id=3 demand=2.5), $(i,<time> capacity edge=14 \
+             capacity=80).")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "verbose"; "v" ] ~doc:"Print one line per replayed event.")
+  in
+  let doc =
+    "Replay a churn trace (joins, leaves, demand and capacity changes) \
+     through the warm-started re-solve engine and report events/sec, \
+     p50/p99 re-solve latency and the warm/cold split.  Every accepted \
+     state is certificate-checked; exits nonzero if any event's solution \
+     failed certification."
+  in
+  Cmd.v (Cmd.info "churn" ~doc)
+    Term.(
+      const run $ seed $ nodes $ mode $ algorithm $ ratio $ sparsify
+      $ trace_file $ verbose)
+
 (* --- topo: inspect generated topologies ------------------------------------- *)
 
 let topo_cmd =
@@ -728,4 +850,4 @@ let () =
     "Optimized capacity utilization in overlay networks (Cui/Li/Nahrstedt, SPAA 2004)"
   in
   let info = Cmd.info "overlay_cli" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ tables_cmd; figures_cmd; eval_cmd; solve_cmd; export_cmd; topo_cmd; obs_cmd; trace_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ tables_cmd; figures_cmd; eval_cmd; solve_cmd; export_cmd; churn_cmd; topo_cmd; obs_cmd; trace_cmd ]))

@@ -1,41 +1,89 @@
 (* Continuous session churn: Poisson arrivals, exponential lifetimes.
 
    The paper's online algorithm only ever admits sessions; this example
-   drives the churn simulator (arrivals AND departures with load
-   release) and shows how network load, per-session rates and admission
-   control behave over time.
+   first drives the churn simulator (arrivals AND departures with load
+   release), then replays discrete churn traces — Poisson and flash
+   crowd — through the warm-started re-solve engine ({!Engine}) and
+   reports events/sec and p50/p99 re-solve latency.
 
-   Run with: dune exec examples/churn_sim.exe *)
+   Run with: dune exec examples/churn_sim.exe
+   Flags: --seed N    base RNG seed          (default 11)
+          --rate F    arrivals per unit time (default 1.5)
+          --horizon F simulated time span    (default 60)
+          --smoke     tiny instance for the test suite's exit-code check
+
+   The last line of output is machine-parseable:
+   CHURN_SUMMARY seed=... events=... warm=... cold=... events_per_s=...
+                 p50_ms=... p99_ms=... flash_events=... flash_p50_ms=...
+                 flash_p99_ms=... *)
 
 let bar width fraction =
   let n = int_of_float (fraction *. float_of_int width) in
   let n = max 0 (min width n) in
   String.make n '#' ^ String.make (width - n) '.'
 
-(* --smoke: tiny instance for the test suite's exit-code check *)
 let smoke = Array.exists (String.equal "--smoke") Sys.argv
 
+let flag_value name default parse =
+  let rec go i =
+    if i >= Array.length Sys.argv - 1 then default
+    else if String.equal Sys.argv.(i) name then
+      try parse Sys.argv.(i + 1)
+      with _ ->
+        Printf.eprintf "churn_sim: bad value for %s: %s\n" name
+          Sys.argv.(i + 1);
+        exit 2
+    else go (i + 1)
+  in
+  go 1
+
+let seed = flag_value "--seed" 11 int_of_string
+let rate = flag_value "--rate" 1.5 float_of_string
+
+let horizon =
+  flag_value "--horizon" (if smoke then 15.0 else 60.0) float_of_string
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float ((p *. float_of_int (n - 1)) +. 0.5)))
+
+(* replay a trace through a fresh engine; returns
+   (events, warm, cold, wall seconds, sorted per-event seconds) *)
+let replay_timed graph trace =
+  let t = Engine.create graph [||] in
+  let t0 = Obs.now () in
+  let reports = Engine.replay t trace in
+  let wall = Obs.now () -. t0 in
+  let lat =
+    reports |> List.map (fun (r : Engine.report) -> r.Engine.total_s)
+    |> Array.of_list
+  in
+  Array.sort compare lat;
+  let s = Engine.stats t in
+  (List.length reports, s.Engine.warm_accepted, s.Engine.cold_solves, wall, lat)
+
 let () =
-  let rng = Rng.create 11 in
+  let rng = Rng.create seed in
   let topology =
     Waxman.generate rng
       { Waxman.default_params with n = (if smoke then 24 else 60) }
   in
   let graph = topology.Topology.graph in
-  Printf.printf "network: %d routers, %d links\n\n" (Topology.n_nodes topology)
-    (Topology.n_links topology);
+  Printf.printf "network: %d routers, %d links (seed %d)\n\n"
+    (Topology.n_nodes topology) (Topology.n_links topology) seed;
 
   let config =
     {
       Churn.default_config with
-      Churn.arrival_rate = 1.5;
+      Churn.arrival_rate = rate;
       mean_holding_time = 8.0;
       size_min = 3;
       size_max = (if smoke then 5 else 8);
-      horizon = (if smoke then 15.0 else 60.0);
+      horizon;
     }
   in
-  let result = Churn.run (Rng.create 12) graph config in
+  let result = Churn.run (Rng.create (seed + 1)) graph config in
 
   (* print one line per ~5 time units *)
   Printf.printf "%-6s %-7s %-9s %-9s %-10s congestion\n" "time" "active"
@@ -61,15 +109,16 @@ let () =
 
   (* same workload with admission control *)
   let strict =
-    Churn.run (Rng.create 12) graph
+    Churn.run (Rng.create (seed + 1)) graph
       { config with Churn.admission_threshold = 0.03 }
   in
-  match (List.rev result.Churn.trace, List.rev strict.Churn.trace) with
+  (match (List.rev result.Churn.trace, List.rev strict.Churn.trace) with
   | last_open :: _, last_strict :: _ ->
     Printf.printf
       "admission control at congestion 0.03: %d accepted / %d rejected \
        (open door accepted %d)\n"
-      last_strict.Churn.accepted last_strict.Churn.rejected last_open.Churn.accepted;
+      last_strict.Churn.accepted last_strict.Churn.rejected
+      last_open.Churn.accepted;
     let min_rate_of trace =
       List.fold_left
         (fun acc (s : Churn.snapshot) ->
@@ -82,4 +131,56 @@ let () =
        admission control protects admitted sessions.\n"
       (min_rate_of result.Churn.trace)
       (min_rate_of strict.Churn.trace)
-  | _ -> ()
+  | _ -> ());
+
+  (* --- warm-started re-solve engine on discrete churn traces -------- *)
+  let trace_config =
+    {
+      config with
+      Churn.horizon = (if smoke then 8.0 else Float.min horizon 25.0);
+      size_max = (if smoke then 4 else 6);
+    }
+  in
+  let poisson =
+    Churn.poisson_trace (Rng.create (seed + 2)) graph trace_config ~first_id:0
+    |> Churn.with_perturbations
+         (Rng.create (seed + 3))
+         graph ~p_demand:0.15 ~p_capacity:0.05
+  in
+  let events, warm, cold, wall, lat = replay_timed graph poisson in
+  Printf.printf
+    "\nre-solve engine, Poisson trace: %d events in %.2fs (%.1f events/s), \
+     %d warm / %d cold, latency p50 %.2fms p99 %.2fms\n"
+    events wall
+    (float_of_int events /. Float.max wall 1e-9)
+    warm cold
+    (percentile lat 0.50 *. 1e3)
+    (percentile lat 0.99 *. 1e3);
+
+  let flash =
+    Churn.flash_crowd_trace (Rng.create (seed + 4)) graph trace_config
+      ~burst:(if smoke then 4 else 12)
+      ~at:(trace_config.Churn.horizon /. 4.0)
+      ~first_id:10_000
+  in
+  let f_events, f_warm, f_cold, f_wall, f_lat = replay_timed graph flash in
+  Printf.printf
+    "re-solve engine, flash crowd: %d events in %.2fs (%.1f events/s), \
+     %d warm / %d cold, latency p50 %.2fms p99 %.2fms\n"
+    f_events f_wall
+    (float_of_int f_events /. Float.max f_wall 1e-9)
+    f_warm f_cold
+    (percentile f_lat 0.50 *. 1e3)
+    (percentile f_lat 0.99 *. 1e3);
+
+  Printf.printf
+    "CHURN_SUMMARY seed=%d events=%d warm=%d cold=%d events_per_s=%.1f \
+     p50_ms=%.3f p99_ms=%.3f flash_events=%d flash_p50_ms=%.3f \
+     flash_p99_ms=%.3f\n"
+    seed events warm cold
+    (float_of_int events /. Float.max wall 1e-9)
+    (percentile lat 0.50 *. 1e3)
+    (percentile lat 0.99 *. 1e3)
+    f_events
+    (percentile f_lat 0.50 *. 1e3)
+    (percentile f_lat 0.99 *. 1e3)

@@ -178,3 +178,224 @@ let run rng graph config =
       end
   done;
   { trace = List.rev !trace; final_congestion = congestion }
+
+(* --- churn event traces for the re-solve engine ---------------------- *)
+
+type event =
+  | Session_join of { id : int; members : int array; demand : float }
+  | Session_leave of { id : int }
+  | Demand_change of { id : int; demand : float }
+  | Capacity_change of { edge : int; capacity : float }
+
+type timed = { at : float; event : event }
+
+(* Events carry concrete member arrays (not a seed) so a written trace
+   file replays identically regardless of generator version. *)
+
+let poisson_trace rng graph config ~first_id =
+  validate graph config;
+  let module Events = Set.Make (struct
+    type t = float * int
+
+    let compare = compare
+  end) in
+  let departures = ref Events.empty in
+  let out = ref [] in
+  let next_id = ref first_id in
+  let next_arrival =
+    ref (Rng.exponential rng ~mean:(1.0 /. config.arrival_rate))
+  in
+  let finished = ref false in
+  while not !finished do
+    match Events.min_elt_opt !departures with
+    | Some (t, id) when t <= !next_arrival && t <= config.horizon ->
+      departures := Events.remove (t, id) !departures;
+      out := { at = t; event = Session_leave { id } } :: !out
+    | _ ->
+      if !next_arrival > config.horizon then finished := true
+      else begin
+        let t = !next_arrival in
+        let size =
+          config.size_min + Rng.int rng (config.size_max - config.size_min + 1)
+        in
+        let id = !next_id in
+        incr next_id;
+        let s =
+          Session.random rng ~id ~topology_size:(Graph.n_vertices graph) ~size
+            ~demand:config.demand
+        in
+        out :=
+          {
+            at = t;
+            event =
+              Session_join
+                { id; members = s.Session.members; demand = config.demand };
+          }
+          :: !out;
+        departures :=
+          Events.add
+            (t +. Rng.exponential rng ~mean:config.mean_holding_time, id)
+            !departures;
+        next_arrival :=
+          t +. Rng.exponential rng ~mean:(1.0 /. config.arrival_rate)
+      end
+  done;
+  List.rev !out
+
+let flash_crowd_trace rng graph config ~burst ~at ~first_id =
+  validate graph config;
+  if burst <= 0 then invalid_arg "Churn.flash_crowd_trace: burst must be > 0";
+  if at < 0.0 || at > config.horizon then
+    invalid_arg "Churn.flash_crowd_trace: burst time outside the horizon";
+  (* the crowd arrives at 20x the nominal rate; departures drain at the
+     usual exponential holding times *)
+  let surge_gap = 1.0 /. (config.arrival_rate *. 20.0) in
+  let evs = ref [] in
+  let t = ref at in
+  for i = 0 to burst - 1 do
+    if !t <= config.horizon then begin
+      let id = first_id + i in
+      let size =
+        config.size_min + Rng.int rng (config.size_max - config.size_min + 1)
+      in
+      let s =
+        Session.random rng ~id ~topology_size:(Graph.n_vertices graph) ~size
+          ~demand:config.demand
+      in
+      evs :=
+        {
+          at = !t;
+          event =
+            Session_join
+              { id; members = s.Session.members; demand = config.demand };
+        }
+        :: !evs;
+      let dep = !t +. Rng.exponential rng ~mean:config.mean_holding_time in
+      if dep <= config.horizon then
+        evs := { at = dep; event = Session_leave { id } } :: !evs;
+      t := !t +. Rng.exponential rng ~mean:surge_gap
+    end
+  done;
+  List.stable_sort (fun a b -> Float.compare a.at b.at) !evs
+
+let with_perturbations rng graph ~p_demand ~p_capacity trace =
+  if p_demand < 0.0 || p_demand >= 1.0 || p_capacity < 0.0 || p_capacity >= 1.0
+  then invalid_arg "Churn.with_perturbations: probabilities must be in [0, 1)";
+  let m = Graph.n_edges graph in
+  let active : (int, float) Hashtbl.t = Hashtbl.create 16 in
+  let pick_active () =
+    let n = Hashtbl.length active in
+    if n = 0 then None
+    else begin
+      let target = Rng.int rng n in
+      let found = ref None and i = ref 0 in
+      Hashtbl.iter
+        (fun id d ->
+          if !i = target then found := Some (id, d);
+          incr i)
+        active;
+      !found
+    end
+  in
+  let out = ref [] in
+  List.iter
+    (fun te ->
+      (match te.event with
+      | Session_join { id; demand; _ } -> Hashtbl.replace active id demand
+      | Session_leave { id } -> Hashtbl.remove active id
+      | Demand_change { id; demand } ->
+        if Hashtbl.mem active id then Hashtbl.replace active id demand
+      | Capacity_change _ -> ());
+      out := te :: !out;
+      if Rng.uniform rng < p_demand then begin
+        match pick_active () with
+        | None -> ()
+        | Some (id, d) ->
+          let demand = d *. (0.5 +. Rng.float rng 1.5) in
+          Hashtbl.replace active id demand;
+          out := { at = te.at; event = Demand_change { id; demand } } :: !out
+      end;
+      if m > 0 && Rng.uniform rng < p_capacity then begin
+        let edge = Rng.int rng m in
+        let c = Graph.capacity graph edge in
+        if c > 0.0 then begin
+          let capacity = c *. (0.5 +. Rng.float rng 1.5) in
+          out := { at = te.at; event = Capacity_change { edge; capacity } } :: !out
+        end
+      end)
+    trace;
+  List.rev !out
+
+(* --- trace file grammar: one event per line ------------------------- *)
+
+let event_to_string = function
+  | Session_join { id; members; demand } ->
+    Printf.sprintf "join id=%d demand=%.17g members=%s" id demand
+      (String.concat "," (List.map string_of_int (Array.to_list members)))
+  | Session_leave { id } -> Printf.sprintf "leave id=%d" id
+  | Demand_change { id; demand } ->
+    Printf.sprintf "demand id=%d demand=%.17g" id demand
+  | Capacity_change { edge; capacity } ->
+    Printf.sprintf "capacity edge=%d capacity=%.17g" edge capacity
+
+let timed_to_string t = Printf.sprintf "%.17g %s" t.at (event_to_string t.event)
+
+let parse_fail line = failwith ("Churn.timed_of_string: cannot parse: " ^ line)
+
+let timed_of_string line =
+  let parts =
+    String.split_on_char ' ' (String.trim line)
+    |> List.filter (fun s -> s <> "")
+  in
+  match parts with
+  | at :: kind :: rest ->
+    let at = try float_of_string at with _ -> parse_fail line in
+    let field key =
+      let prefix = key ^ "=" in
+      match List.find_opt (String.starts_with ~prefix) rest with
+      | Some p ->
+        String.sub p (String.length prefix) (String.length p - String.length prefix)
+      | None -> parse_fail line
+    in
+    let int_field k = try int_of_string (field k) with _ -> parse_fail line in
+    let float_field k =
+      try float_of_string (field k) with _ -> parse_fail line
+    in
+    let event =
+      match kind with
+      | "join" ->
+        let members =
+          field "members" |> String.split_on_char ','
+          |> List.map (fun s ->
+                 try int_of_string s with _ -> parse_fail line)
+          |> Array.of_list
+        in
+        Session_join { id = int_field "id"; members; demand = float_field "demand" }
+      | "leave" -> Session_leave { id = int_field "id" }
+      | "demand" ->
+        Demand_change { id = int_field "id"; demand = float_field "demand" }
+      | "capacity" ->
+        Capacity_change
+          { edge = int_field "edge"; capacity = float_field "capacity" }
+      | _ -> parse_fail line
+    in
+    { at; event }
+  | _ -> parse_fail line
+
+let write_trace oc trace =
+  List.iter
+    (fun t ->
+      output_string oc (timed_to_string t);
+      output_char oc '\n')
+    trace
+
+let read_trace ic =
+  let rec loop acc =
+    match input_line ic with
+    | exception End_of_file -> List.rev acc
+    | line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then loop acc
+      else loop (timed_of_string line :: acc)
+  in
+  loop []

@@ -53,3 +53,66 @@ type result = {
     Raises [Invalid_argument] for non-positive rates/sizes or
     [size_max] exceeding the node count. *)
 val run : Rng.t -> Graph.t -> config -> result
+
+(** {1 Churn event traces}
+
+    Discrete churn events for the warm-started re-solve engine
+    ({!Engine}).  Events carry concrete member arrays rather than
+    generator seeds, so a written trace file replays identically
+    regardless of generator version. *)
+
+type event =
+  | Session_join of { id : int; members : int array; demand : float }
+      (** a new session arrives; [members.(0)] is the source *)
+  | Session_leave of { id : int }  (** an active session terminates *)
+  | Demand_change of { id : int; demand : float }
+      (** an active session's demand is rescaled *)
+  | Capacity_change of { edge : int; capacity : float }
+      (** a physical link's capacity changes (absolute new value) *)
+
+type timed = { at : float; event : event }
+
+(** [poisson_trace rng graph config ~first_id] draws a
+    Poisson-arrival / exponential-holding-time join-leave trace over
+    [config.horizon], session sizes uniform in
+    [[size_min, size_max]], ids assigned from [first_id] upward.
+    Sessions still active at the horizon never emit a leave.  Raises
+    like {!run}. *)
+val poisson_trace : Rng.t -> Graph.t -> config -> first_id:int -> timed list
+
+(** [flash_crowd_trace rng graph config ~burst ~at ~first_id] models a
+    flash crowd: [burst] sessions arrive at 20x the nominal
+    [arrival_rate] starting at time [at], then drain at the usual
+    exponential holding times.  Raises [Invalid_argument] for a
+    non-positive burst or [at] outside the horizon. *)
+val flash_crowd_trace :
+  Rng.t -> Graph.t -> config -> burst:int -> at:float -> first_id:int ->
+  timed list
+
+(** [with_perturbations rng graph ~p_demand ~p_capacity trace]
+    decorates a join-leave trace: after each event, with probability
+    [p_demand] an active session's demand is rescaled by a uniform
+    factor in [[0.5, 2)], and with probability [p_capacity] a random
+    positive-capacity link's capacity is rescaled likewise (absolute
+    values recorded, relative to the graph's {e current}
+    capacities). *)
+val with_perturbations :
+  Rng.t -> Graph.t -> p_demand:float -> p_capacity:float -> timed list ->
+  timed list
+
+(** {2 Trace files}
+
+    One event per line: [<time> join id=3 demand=1 members=0,5,9],
+    [<time> leave id=3], [<time> demand id=3 demand=2.5],
+    [<time> capacity edge=14 capacity=80].  Floats print with enough
+    digits to round-trip; blank lines and [#] comments are skipped on
+    read. *)
+
+val event_to_string : event -> string
+val timed_to_string : timed -> string
+
+(** Raises [Failure] on a malformed line. *)
+val timed_of_string : string -> timed
+
+val write_trace : out_channel -> timed list -> unit
+val read_trace : in_channel -> timed list

@@ -17,6 +17,12 @@ let ratio_to_epsilon r =
   if r <= 0.0 || r >= 1.0 then invalid_arg "Max_concurrent_flow.ratio_to_epsilon";
   (1.0 -. r) /. 3.0
 
+type warm_start = {
+  prev_lens : float array;
+  prev_ln_base : float;
+  room : float;
+}
+
 let renorm_threshold = 1e150
 
 let run_name = Obs.Name.intern "mcf"
@@ -244,7 +250,7 @@ let run_fleischer obs st overlays working solution =
 
 let solve ?(variant = Paper) ?(incremental = true) ?(flat = true)
     ?(obs = Obs.Sink.null) ?(par = Par.serial) ?(sparsify = Sparsify.full)
-    graph overlays ~epsilon ~scaling =
+    ?warm_start ?warm_zetas graph overlays ~epsilon ~scaling =
   if epsilon <= 0.0 || epsilon >= 1.0 /. 3.0 then
     invalid_arg "Max_concurrent_flow.solve: epsilon out of (0, 1/3)";
   (* convenience rebuild, identity under the default (full) spec; the
@@ -280,6 +286,19 @@ let solve ?(variant = Paper) ?(incremental = true) ?(flat = true)
      private buffer, replayed in worker (= ascending session) order so
      the merged trace equals the serial one. *)
   let zetas =
+    (* Warm re-solves reuse the per-session maximum flow rates of the
+       previous run: a zeta depends only on the session's members and
+       the topology, so under pure demand churn it is exact, and under
+       capacity churn the recorded zetas still define a valid demand
+       direction — [Check.certify_mcf] re-derives the scaling from the
+       zetas recorded in the result, and the duality gap is measured in
+       whatever direction was actually routed. *)
+    match warm_zetas with
+    | Some wz ->
+      if Array.length wz <> k then
+        invalid_arg "Max_concurrent_flow.solve: warm_zetas length mismatch";
+      Array.copy wz
+    | None ->
     Obs.Span.with_ obs preprocess_span (fun () ->
         let pre_par = if arbitrary then Par.serial else par in
         let zetas = Array.make k 0.0 in
@@ -330,6 +349,42 @@ let solve ?(variant = Paper) ?(incremental = true) ?(flat = true)
       Array.map (fun session -> session.Session.demand *. s) sessions
   in
   let st = make_state graph ~epsilon in
+  (* Warm start: inherit the previous run's dual shape (renormalized so
+     the largest finite entry is 1 — only ratios matter) and aim
+     [ln_base] so the dual objective opens at [exp (-room)] instead of
+     [delta]-scale; [dual_reached_one] then fires after ~[room] nats of
+     dual growth.  Feasibility is settled post hoc by measured
+     congestion, exactly as in [Max_flow]; optimality must be
+     re-validated by [Check.certify_mcf] (room ladder in [Engine]). *)
+  (match warm_start with
+  | None -> ()
+  | Some w ->
+    if Array.length w.prev_lens <> st.m then
+      invalid_arg "Max_concurrent_flow.solve: warm_start length mismatch";
+    if not (Float.is_finite w.room && w.room > 0.0) then
+      invalid_arg "Max_concurrent_flow.solve: warm_start room must be positive";
+    let mx = ref 0.0 in
+    for e = 0 to st.m - 1 do
+      let v = w.prev_lens.(e) in
+      if Float.is_nan v || v <= 0.0 then
+        invalid_arg "Max_concurrent_flow.solve: warm_start lengths must be > 0";
+      if st.caps.(e) > 0.0 then begin
+        if not (Float.is_finite v) then
+          invalid_arg
+            "Max_concurrent_flow.solve: warm_start length infinite on a \
+             capacitated edge";
+        if v > !mx then mx := v
+      end
+    done;
+    if !mx <= 0.0 then
+      invalid_arg "Max_concurrent_flow.solve: warm_start has no finite length";
+    let inv = 1.0 /. !mx in
+    for e = 0 to st.m - 1 do
+      st.lens.(e) <-
+        (if st.caps.(e) > 0.0 then w.prev_lens.(e) *. inv else infinity)
+    done;
+    refresh_dual st;
+    st.ln_base <- -.w.room -. log st.s_cache);
   (* flat engine for the main loop: [length] below is backed by
      [st.lens], so the overlays may read the array directly *)
   let saved_flat = Array.map Overlay.flat_enabled overlays in
@@ -354,10 +409,22 @@ let solve ?(variant = Paper) ?(incremental = true) ?(flat = true)
             | Paper -> run_paper obs st overlays working solution
             | Fleischer -> run_fleischer obs st overlays working solution))
   in
-  (* Scale by log_{1+eps} (1/delta) for feasibility, then guard against
-     the partial final phase with an explicit congestion check. *)
-  let scale_factor = -.st.ln_delta /. log (1.0 +. epsilon) in
-  if scale_factor > 0.0 then Solution.scale solution (1.0 /. scale_factor);
+  (match warm_start with
+  | None ->
+    (* Scale by log_{1+eps} (1/delta) for feasibility. *)
+    let scale_factor = -.st.ln_delta /. log (1.0 +. epsilon) in
+    if scale_factor > 0.0 then Solution.scale solution (1.0 /. scale_factor)
+  | Some _ ->
+    (* Measured feasibility scaling: normalize the raw flow to exact
+       link saturation.  The GK per-edge growth bound (flow on edge e
+       is at most [c_e log_{1+eps} (d_e^final / d_e^0)] for any
+       initial lengths) keeps raw magnitudes bounded; measured max
+       congestion is the exact feasibility constant and maximizes the
+       primal the certificate sees. *)
+    let c = Solution.max_congestion solution graph in
+    if c > 0.0 then Solution.scale solution (1.0 /. c));
+  (* guard against the partial final phase with an explicit
+     congestion check *)
   let congestion = Solution.max_congestion solution graph in
   if congestion > 1.0 then Solution.scale solution (1.0 /. congestion);
   if Obs.Sink.enabled obs then begin

@@ -65,6 +65,25 @@ type result = {
 (** [ratio_to_epsilon r] gives the [eps] with [(1 - 3 eps) = r]. *)
 val ratio_to_epsilon : float -> float
 
+(** Warm-start state for incremental re-solves — the concurrent-flow
+    analogue of {!Max_flow.warm_start}.  The previous run's dual shape
+    is inherited (renormalized; [prev_ln_base] is provenance only) and
+    the scale re-aimed so the dual objective [sum_e c_e d_e] opens at
+    [exp (-room)], terminating after ~[room] nats of dual growth
+    instead of the full [ln (1/delta)] climb.  Feasibility is settled
+    post hoc — the raw warm flow is normalized to measured link
+    saturation — and is
+    unconditional; the [(1 - 3 eps)] optimality claim must be
+    re-validated with [Check.certify_mcf] (escalate [room] or fall
+    back to a cold solve on a duality-gap violation).  Edges of zero
+    capacity are pinned to [infinity] as in a cold run; entries on
+    capacitated edges must be finite positive. *)
+type warm_start = {
+  prev_lens : float array;  (** previous [result.dual_lengths] *)
+  prev_ln_base : float;     (** previous [result.dual_ln_base] *)
+  room : float;             (** dual headroom in nats, [> 0] *)
+}
+
 (** [solve ?variant graph overlays ~epsilon ~scaling] runs the
     algorithm ([variant] defaults to [Paper]).  [result.phases] counts
     demand phases in [Paper] mode and alpha-steps in [Fleischer] mode.
@@ -110,7 +129,16 @@ val ratio_to_epsilon : float -> float
     spec.  As with {!Max_flow.solve}, callers that certify should build
     the overlays with [Overlay.create ~sparsify] and pass those same
     overlays to [Check.certify_mcf] — the duality certificate is
-    relative to the pruned tree space (see SCALING.md). *)
+    relative to the pruned tree space (see SCALING.md).
+
+    [warm_start] (default absent — the cold path, bit-identical to
+    builds predating the knob) seeds the main loop's duals from a
+    previous run; see {!warm_start}.  [warm_zetas] skips the MaxFlow
+    preprocessing entirely and records the given per-session rates in
+    the result ([pre_mst_operations] is then 0); the certificate
+    re-derives the demand scaling from the recorded zetas, so reuse
+    across demand/capacity churn stays certifiable.  Length must equal
+    the session count. *)
 val solve :
   ?variant:variant ->
   ?incremental:bool ->
@@ -118,6 +146,8 @@ val solve :
   ?obs:Obs.Sink.t ->
   ?par:Par.t ->
   ?sparsify:Sparsify.t ->
+  ?warm_start:warm_start ->
+  ?warm_zetas:float array ->
   Graph.t ->
   Overlay.t array ->
   epsilon:float ->

@@ -11,6 +11,12 @@ let ratio_to_epsilon r =
   if r <= 0.0 || r >= 1.0 then invalid_arg "Max_flow.ratio_to_epsilon";
   (1.0 -. r) /. 2.0
 
+type warm_start = {
+  prev_lens : float array;
+  prev_ln_base : float;
+  room : float;
+}
+
 (* Lengths are represented as d_e = exp(ln_base) * lens.(e).  Only ratios
    of lengths matter to the MST and to the update rule; ln_base enters
    solely through the stop test and is adjusted whenever the stored
@@ -30,7 +36,8 @@ let c_rescales =
   Obs.Counter.make ~doc:"MaxFlow dual-length renormalizations" "maxflow.rescales"
 
 let solve ?(incremental = true) ?(flat = true) ?(obs = Obs.Sink.null)
-    ?(par = Par.serial) ?(sparsify = Sparsify.full) graph overlays ~epsilon =
+    ?(par = Par.serial) ?(sparsify = Sparsify.full) ?warm_start graph overlays
+    ~epsilon =
   if epsilon <= 0.0 || epsilon >= 0.5 then
     invalid_arg "Max_flow.solve: epsilon out of (0, 0.5)";
   (* convenience rebuild: with the default (full) spec this is the
@@ -73,6 +80,30 @@ let solve ?(incremental = true) ?(flat = true) ?(obs = Obs.Sink.null)
   let lens = Array.make m 1.0 in
   (* d_e starts at delta for every edge: lens = 1, ln_base = ln delta *)
   let ln_base = ref ln_delta in
+  (* Warm start seeds the duals with a previous run's shape.  Only
+     length ratios enter the MSTs and the update rule, so the stored
+     magnitudes are renormalized (largest entry 1) and the previous
+     [exp prev_ln_base] scale is folded away; [ln_base] is re-aimed
+     below, once the warmest tree is known, so the run opens with
+     [room] nats of dual headroom instead of the full delta range. *)
+  (match warm_start with
+  | None -> ()
+  | Some w ->
+    if Array.length w.prev_lens <> m then
+      invalid_arg "Max_flow.solve: warm_start length mismatch";
+    if not (Float.is_finite w.room && w.room > 0.0) then
+      invalid_arg "Max_flow.solve: warm_start room must be positive";
+    let mx = ref 0.0 in
+    Array.iter
+      (fun v ->
+        if (not (Float.is_finite v)) || v <= 0.0 then
+          invalid_arg "Max_flow.solve: warm_start lengths must be finite > 0";
+        if v > !mx then mx := v)
+      w.prev_lens;
+    let inv = 1.0 /. !mx in
+    for e = 0 to m - 1 do
+      lens.(e) <- w.prev_lens.(e) *. inv
+    done);
   let length id = lens.(id) in
   (* flat engine: the [length] closure is backed by [lens], so the
      overlays may read the array directly; [set_flat false] re-engages
@@ -148,6 +179,27 @@ let solve ?(incremental = true) ?(flat = true) ?(obs = Obs.Sink.null)
         | Some prev when prev == tree -> ()
         | _ -> trees.(i) <- Some tree
       in
+      (* Warm start: evaluate every session once under the inherited
+         lengths (the results seed the lazy bounds, so nothing is
+         wasted), then aim [ln_base] so the warmest normalized tree
+         starts at [exp (-room)] — the stop test fires after roughly
+         [room / ln (1+eps)] length doublings instead of the full
+         [ln (1/delta)] climb, which is where the re-solve speedup
+         comes from.  Feasibility of the result no longer follows from
+         the a-priori delta argument; it is settled after the loop from
+         the snapshot taken here. *)
+      (match warm_start with
+      | None -> ()
+      | Some w ->
+        for i = 0 to k - 1 do
+          eval i
+        done;
+        let w_min = ref infinity in
+        for i = 0 to k - 1 do
+          if w_of.(i) < !w_min then w_min := w_of.(i)
+        done;
+        if Float.is_finite !w_min && !w_min > 0.0 then
+          ln_base := -.w.room -. log !w_min);
       while not !stop do
         let i0 = ref 0 in
         for i = 1 to k - 1 do
@@ -252,11 +304,23 @@ let solve ?(incremental = true) ?(flat = true) ?(obs = Obs.Sink.null)
           end
         end
       done);
-  (* Feasibility scaling: divide by log_{1+eps} ((1+eps)/delta). *)
-  let scale_factor =
-    (log (1.0 +. epsilon) -. ln_delta) /. log (1.0 +. epsilon)
-  in
-  if scale_factor > 0.0 then Solution.scale solution (1.0 /. scale_factor);
+  (match warm_start with
+  | None ->
+    (* Feasibility scaling: divide by log_{1+eps} ((1+eps)/delta). *)
+    let scale_factor =
+      (log (1.0 +. epsilon) -. ln_delta) /. log (1.0 +. epsilon)
+    in
+    if scale_factor > 0.0 then Solution.scale solution (1.0 /. scale_factor)
+  | Some _ ->
+    (* Measured feasibility scaling: normalize the raw flow to exact
+       link saturation.  (The GK per-edge growth bound — flow on edge
+       e is at most [c_e log_{1+eps} (d_e^final / d_e^0)] for ANY
+       initial lengths — guarantees the raw magnitudes are within a
+       [room/ln(1+eps)] factor of feasible; the measured max
+       congestion is the exact constant, and scaling by it maximizes
+       the primal the certificate sees.) *)
+    let congestion = Solution.max_congestion solution graph in
+    if congestion > 0.0 then Solution.scale solution (1.0 /. congestion));
   if Obs.Sink.enabled obs then begin
     Array.iteri
       (fun slot _ ->
@@ -277,9 +341,11 @@ let solve ?(incremental = true) ?(flat = true) ?(obs = Obs.Sink.null)
     dual_ln_base = !ln_base;
   }
 
-let solve_single ?incremental ?flat ?obs ?par ?sparsify graph overlay ~epsilon =
+let solve_single ?incremental ?flat ?obs ?par ?sparsify ?warm_start graph
+    overlay ~epsilon =
   let result =
-    solve ?incremental ?flat ?obs ?par ?sparsify graph [| overlay |] ~epsilon
+    solve ?incremental ?flat ?obs ?par ?sparsify ?warm_start graph
+      [| overlay |] ~epsilon
   in
   (* the single session keeps its own id; rate lookup goes through the
      session array of the fresh solution, which has exactly one slot *)

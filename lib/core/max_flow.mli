@@ -37,6 +37,42 @@ type result = {
     0.95) to the [eps] achieving [(1 - 2 eps) = r]. *)
 val ratio_to_epsilon : float -> float
 
+(** Warm-start state for incremental re-solves: the dual lengths of a
+    previous run on (a churn-perturbed version of) the same graph.
+
+    The solver only consumes the {e shape} of [prev_lens] — magnitudes
+    are renormalized on entry and [prev_ln_base] is folded away — and
+    re-aims the scale so the minimum normalized tree length starts at
+    [exp (-room)] instead of [delta].  The run then terminates after
+    roughly [room / ln (1+eps)] dual doublings rather than the full
+    [ln (1/delta) / ln (1+eps)] climb, which is the source of the
+    re-solve speedup when the inherited shape is near-optimal.
+
+    Feasibility is unconditional: the raw warm flow is normalized
+    {e post hoc} to measured link saturation (the GK per-edge growth
+    bound keeps the raw magnitudes in range for any initial lengths —
+    DESIGN.md §12), so a warm result is always a valid flow.  The
+    [(1 - 2 eps)] {e optimality} guarantee, by contrast, is only
+    assured when [room] was large enough for the duals to re-converge —
+    callers must re-validate every warm result with
+    [Check.certify_max_flow] and escalate [room] (or fall back to a
+    cold solve) on a duality-gap violation.  {!Engine} implements that
+    ladder. *)
+type warm_start = {
+  prev_lens : float array;
+      (** previous [result.dual_lengths]; length must equal the edge
+          count, entries finite positive (read-only, copied on entry) *)
+  prev_ln_base : float;
+      (** previous [result.dual_ln_base] — carried for provenance; the
+          solver renormalizes, so only the shape of [prev_lens]
+          matters *)
+  room : float;
+      (** dual headroom in nats ([> 0]): the warm run stops once the
+          minimum normalized tree length has grown by [exp room].
+          Small values (1–4) give the largest speedups; too small a
+          room under-converges and fails the certificate. *)
+}
+
 (** [solve graph overlays ~epsilon] runs MaxFlow over sessions sharing
     one physical graph.  All overlays must be built on [graph].
     [incremental] (default [true]) drives the overlays' incremental
@@ -85,13 +121,20 @@ val ratio_to_epsilon : float -> float
     overlays with [Overlay.create ~sparsify] themselves and pass them
     here unchanged: the LP-duality certificate is only meaningful
     against the {e same} (pruned) candidate space the solver optimized
-    over (see SCALING.md). *)
+    over (see SCALING.md).
+
+    [warm_start] (default absent — the cold path, bit-identical to
+    builds predating the knob) seeds the duals from a previous run and
+    replaces the a-priori feasibility scaling with the measured one;
+    see {!warm_start} for the contract and the certification
+    obligation. *)
 val solve :
   ?incremental:bool ->
   ?flat:bool ->
   ?obs:Obs.Sink.t ->
   ?par:Par.t ->
   ?sparsify:Sparsify.t ->
+  ?warm_start:warm_start ->
   Graph.t ->
   Overlay.t array ->
   epsilon:float ->
@@ -100,13 +143,15 @@ val solve :
 (** [solve_single graph overlay ~epsilon] runs the single-session
     special case and returns the session's maximum flow rate (the
     [zeta_i] of the concurrent-flow preprocessing) along with the full
-    result.  [obs], [par] and [sparsify] as in {!solve}. *)
+    result.  [obs], [par], [sparsify] and [warm_start] as in
+    {!solve}. *)
 val solve_single :
   ?incremental:bool ->
   ?flat:bool ->
   ?obs:Obs.Sink.t ->
   ?par:Par.t ->
   ?sparsify:Sparsify.t ->
+  ?warm_start:warm_start ->
   Graph.t ->
   Overlay.t ->
   epsilon:float ->

@@ -330,3 +330,124 @@ let sparsify_sound c ~spec =
       Error "full spec diverges from plain build: tree/rate multisets differ"
     else Ok ()
   end
+
+(* --- warm-started engine consistency ----------------------------------- *)
+
+let warm_consistent c =
+  let ( let* ) = Result.bind in
+  (match c.algo with
+  | Maxflow | Mcf -> ()
+  | _ -> invalid_arg "Prop_overlay.warm_consistent: FPTAS algorithms only");
+  let g, sessions = instance c in
+  let n = Graph.n_vertices g in
+  let size = min c.session_size n in
+  (* event randomness is split from the instance stream so shrinking
+     [nodes]/[sessions] does not scramble the churn sequence *)
+  let rng = Rng.create (c.instance_seed + 1) in
+  with_pool c (fun par ->
+      let solver =
+        match c.algo with
+        | Maxflow -> Engine.Maxflow
+        | Mcf ->
+          (* Paper variant: the Fleischer adaptation can fail its own
+             duality certificate even cold (documented in
+             test_engine.ml), which would make every run ladder out *)
+          Engine.Mcf
+            {
+              variant = Max_concurrent_flow.Paper;
+              scaling = Max_concurrent_flow.Proportional;
+            }
+        | _ -> assert false
+      in
+      let config =
+        {
+          Engine.default_config with
+          epsilon = c.epsilon;
+          solver;
+          mode = c.mode;
+          par;
+        }
+      in
+      let t = Engine.create ~config g sessions in
+      let join id =
+        let s =
+          Session.random rng ~id ~topology_size:n ~size
+            ~demand:(0.5 +. Rng.float rng 2.0)
+        in
+        Churn.Session_join
+          { id; members = s.Session.members; demand = s.Session.demand }
+      in
+      let capacity_change () =
+        let edge = Rng.int rng (Graph.n_edges g) in
+        let factor = 0.6 +. Rng.float rng 0.8 in
+        Churn.Capacity_change
+          { edge; capacity = factor *. Graph.capacity g edge }
+      in
+      (* fresh ids from 1000 up; base sessions keep ids 0 .. k-1.  The
+         sequence exercises every repair path: join (new overlay),
+         demand change (routing state reused), capacity change (dual
+         repair), leave (duals untouched). *)
+      let events =
+        [
+          join 1000;
+          Churn.Demand_change
+            { id = Rng.int rng c.n_sessions; demand = 0.5 +. Rng.float rng 2.0 };
+          capacity_change ();
+          join 1001;
+          Churn.Session_leave { id = 1000 };
+          Churn.Demand_change { id = 1001; demand = 0.5 +. Rng.float rng 2.0 };
+        ]
+      in
+      let* () =
+        List.fold_left
+          (fun acc (i, event) ->
+            let* () = acc in
+            let report = Engine.apply t { Churn.at = float_of_int i; event } in
+            if report.Engine.certified then Ok ()
+            else
+              Error
+                (Printf.sprintf "event %d (%s) accepted uncertified" i
+                   (Churn.event_to_string event)))
+          (Ok ())
+          (List.mapi (fun i e -> (i, e)) events)
+      in
+      (* the surviving instance — mutated capacities included — must
+         match a from-scratch batch solve up to the FPTAS guarantee *)
+      let live = Engine.sessions t in
+      let overlays = Array.map (Overlay.create g c.mode) live in
+      let* cold_obj, factor =
+        let checked verdict obj factor =
+          if Check.ok verdict then Ok (obj, factor)
+          else
+            Error
+              (Format.asprintf "cold reference fails certification: %a"
+                 Check.pp_verdict verdict)
+        in
+        match c.algo with
+        | Maxflow ->
+          let r = Max_flow.solve ~par g overlays ~epsilon:c.epsilon in
+          checked
+            (Check.certify_max_flow g overlays r)
+            (Solution.overall_throughput r.Max_flow.solution)
+            2.0
+        | Mcf ->
+          let scaling = Max_concurrent_flow.Proportional in
+          let r =
+            Max_concurrent_flow.solve ~par g overlays ~epsilon:c.epsilon
+              ~variant:Max_concurrent_flow.Paper ~scaling
+          in
+          checked (Check.certify_mcf g overlays ~scaling r)
+            (Solution.concurrent_ratio r.Max_concurrent_flow.solution)
+            3.0
+        | _ -> assert false
+      in
+      let warm_obj = Engine.objective t in
+      let band = 1.0 -. (factor *. c.epsilon) -. Check.default_tol in
+      if cold_obj <= 0.0 then
+        Error (Printf.sprintf "cold reference objective is %g" cold_obj)
+      else if warm_obj < band *. cold_obj then
+        Error
+          (Printf.sprintf
+             "engine objective %g below guarantee band: %g * cold %g" warm_obj
+             band cold_obj)
+      else Ok ())

@@ -90,3 +90,21 @@ val flat_equivalence : case -> (unit, string) result
     Only meaningful for the FPTAS solvers ([Maxflow]/[Mcf], MCF under
     [Proportional] scaling); raises [Invalid_argument] otherwise. *)
 val sparsify_sound : case -> spec:Sparsify.t -> (unit, string) result
+
+(** [warm_consistent c] drives the warm-started re-solve engine
+    ({!Engine}) through a deterministic churn sequence on the case's
+    instance — join, demand change, capacity change, second join,
+    leave, demand change, covering every repair path — and checks the
+    engine's contract:
+
+    - every accepted re-solve (warm {e or} cold-fallback) passes the
+      full {!Check} certificate;
+    - the objective of the final engine state is within the FPTAS
+      guarantee band ([1 - 2 eps] for [Maxflow], [1 - 3 eps] for
+      [Mcf], minus [Check.default_tol]) of a from-scratch batch solve
+      of the surviving instance, mutated capacities included.
+
+    [Mcf] runs the [Paper] variant under [Proportional] scaling, the
+    certifiable configuration.  Only meaningful for the FPTAS solvers;
+    raises [Invalid_argument] otherwise. *)
+val warm_consistent : case -> (unit, string) result

@@ -132,6 +132,35 @@ let sparsify_property_for algo () =
         Prop_overlay.all_families)
     sparsify_specs
 
+(* warm-engine consistency: topology family x routing mode per FPTAS
+   solver, seed stream offset 4000 (disjoint from the 1000/2000/3000
+   blocks above).  Each case drives the re-solve engine through a
+   deterministic churn sequence and demands every accepted state be
+   certified and the final objective sit inside the FPTAS guarantee
+   band of a from-scratch batch solve. *)
+let warm_property_for algo () =
+  let combo = ref 0 in
+  List.iter
+    (fun family ->
+      List.iter
+        (fun mode ->
+          incr combo;
+          let seed = Prop.case_seed ~seed:master_seed (4000 + !combo) in
+          Prop.check
+            ~name:
+              (Printf.sprintf "warm-consistent %s/%s/%s"
+                 (Prop_overlay.algorithm_name algo)
+                 (Prop_overlay.family_name family)
+                 (match mode with
+                 | Overlay.Ip -> "ip"
+                 | Overlay.Arbitrary -> "arbitrary"))
+            ~count:cases_per_combo ~seed
+            ~gen:(Prop_overlay.gen ~algo ~family ~mode ~jobs:1)
+            ~shrink:Prop_overlay.shrink ~print:Prop_overlay.case_to_string
+            Prop_overlay.warm_consistent)
+        [ Overlay.Ip; Overlay.Arbitrary ])
+    Prop_overlay.all_families
+
 (* OVERLAY_PROP_CASE replay hook: when set, also run exactly that case
    (the property sweep still runs; this pinpoints the reported one). *)
 let test_replay_case () =
@@ -437,7 +466,16 @@ let suite =
           `Slow (sparsify_property_for algo))
       [ Prop_overlay.Maxflow; Prop_overlay.Mcf ]
   in
-  prop_tests @ flat_tests @ sparsify_tests
+  let warm_tests =
+    List.map
+      (fun algo ->
+        Alcotest.test_case
+          (Printf.sprintf "property: warm engine consistent for %s"
+             (Prop_overlay.algorithm_name algo))
+          `Slow (warm_property_for algo))
+      [ Prop_overlay.Maxflow; Prop_overlay.Mcf ]
+  in
+  prop_tests @ flat_tests @ sparsify_tests @ warm_tests
   @ [
       Alcotest.test_case "OVERLAY_PROP_CASE replay hook" `Quick
         test_replay_case;

@@ -24,4 +24,5 @@ let () =
       ("certify", Test_certify.suite);
       ("flat", Test_flat.suite);
       ("sparsify", Test_sparsify.suite);
+      ("engine", Test_engine.suite);
     ]
