@@ -679,18 +679,131 @@ let trace_diff_cmd =
       $ trace_file ~at:1 ~docv:"TRACE_B"
       $ iter_tol $ obj_tol)
 
+let trace_engine_cmd =
+  let run path window csv strict =
+    let r = load_trace path in
+    if strict && r.Obs_export.r_issues <> [] then begin
+      Printf.eprintf "error: %s: %d validation issue(s) under --strict\n" path
+        (List.length r.Obs_export.r_issues);
+      exit 1
+    end;
+    if r.Obs_export.r_schema_name <> Obs_export.schema_engine then
+      Printf.eprintf
+        "warning: %s carries schema %s, not %s; engine events may be absent\n"
+        path r.Obs_export.r_schema_name Obs_export.schema_engine;
+    let rep = Analysis.engine_report ?window r.Obs_export.r_events in
+    if csv then print_string (Analysis.engine_csv rep)
+    else print_string (Analysis.render_engine rep)
+  in
+  let window =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "window" ] ~docv:"S"
+          ~doc:
+            "Window width in seconds (default: a tenth of the capture's \
+             engine-event time range).")
+  in
+  let csv =
+    Arg.(
+      value & flag
+      & info [ "csv" ]
+          ~doc:
+            "Emit one CSV row per window plus a total row instead of the \
+             text report.")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:
+            "Exit nonzero if the reader found any validation issue (seq \
+             gaps, non-monotonic time, truncated stream) — the CI gate.")
+  in
+  let doc =
+    "Windowed report over an overlay-engine-trace/1 capture \
+     ($(b,overlay_cli churn --trace-stream)): events/sec, joins/sec, \
+     per-window p50/p90/p99/max re-solve latency, warm/cold split and \
+     rung-escalation counts."
+  in
+  Cmd.v (Cmd.info "engine" ~doc)
+    Term.(const run $ trace_file ~at:0 ~docv:"TRACE" $ window $ csv $ strict)
+
 let trace_cmd =
   let doc =
     "Read captured telemetry traces (ring JSON or JSONL streams) and \
      report on solver behaviour."
   in
   Cmd.group (Cmd.info "trace" ~doc)
-    [ trace_summary_cmd; trace_convergence_cmd; trace_spans_cmd; trace_diff_cmd ]
+    [
+      trace_summary_cmd;
+      trace_convergence_cmd;
+      trace_spans_cmd;
+      trace_diff_cmd;
+      trace_engine_cmd;
+    ]
+
+(* --- metrics: Prometheus exposition of the registry -------------------------- *)
+
+let metrics_cmd =
+  let run json out validate =
+    match validate with
+    | Some path ->
+      let text = In_channel.with_open_text path In_channel.input_all in
+      (match Metrics_export.validate text with
+      | Ok () -> Printf.printf "%s: valid exposition\n" path
+      | Error e ->
+        Printf.eprintf "error: %s: %s\n" path e;
+        exit 1)
+    | None ->
+      if json then print_endline (Json_export.to_string (Obs_export.registry ()))
+      else (
+        match out with
+        | Some path ->
+          Metrics_export.to_file path;
+          Printf.printf "wrote metrics exposition to %s\n" path
+        | None -> print_string (Metrics_export.prometheus ()))
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the registry as JSON (the $(b,Obs_export.registry) \
+             object, histograms included) instead of exposition text.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:"Write the exposition to $(docv) instead of stdout.")
+  in
+  let validate =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "validate" ] ~docv:"FILE"
+          ~doc:
+            "Instead of dumping, check $(docv) against the exposition \
+             grammar (names, label syntax, cumulative histogram buckets, \
+             +Inf/_count agreement) and exit nonzero on the first \
+             violation.")
+  in
+  let doc =
+    "Dump the live metric registry as Prometheus text exposition (format \
+     0.0.4): counters, gauges, histograms (cumulative log buckets) and \
+     debug flags.  In a fresh process this shows the zero state; \
+     $(b,overlay_cli churn --metrics-out) writes the same dump after (or \
+     during) a replay."
+  in
+  Cmd.v (Cmd.info "metrics" ~doc) Term.(const run $ json $ out $ validate)
 
 (* --- churn: replay a churn trace through the re-solve engine ---------------- *)
 
 let churn_cmd =
-  let run seed nodes mode algorithm ratio sparsify path verbose =
+  let run seed nodes mode algorithm ratio sparsify path verbose trace_stream
+      metrics_out metrics_interval =
     let rng = Rng.create seed in
     let topology = Waxman.generate rng { Waxman.default_params with n = nodes } in
     let graph = topology.Topology.graph in
@@ -714,12 +827,36 @@ let churn_cmd =
           Max_concurrent_flow.ratio_to_epsilon ratio )
       | other -> failwith (Printf.sprintf "unknown algorithm %S (maxflow|mcf)" other)
     in
+    let stream =
+      Option.map
+        (fun f -> Obs_stream.create ~schema:Obs_export.schema_engine f)
+        trace_stream
+    in
+    let obs =
+      match stream with
+      | Some s -> Obs_stream.sink s
+      | None -> Obs.Sink.null
+    in
     let config =
-      { Engine.default_config with Engine.solver; epsilon; mode; sparsify }
+      { Engine.default_config with Engine.solver; epsilon; mode; sparsify; obs }
     in
     let t = Engine.create ~config graph [||] in
+    let dump_metrics () = Option.iter Metrics_export.to_file metrics_out in
     let t0 = Obs.now () in
-    let reports = Engine.replay t trace in
+    let reports =
+      match metrics_interval with
+      | Some n when n > 0 && metrics_out <> None ->
+        (* live scrape surface: re-write the exposition every N events *)
+        let i = ref 0 in
+        List.map
+          (fun te ->
+            let r = Engine.apply t te in
+            incr i;
+            if !i mod n = 0 then dump_metrics ();
+            r)
+          trace
+      | _ -> Engine.replay t trace
+    in
     let wall = Obs.now () -. t0 in
     if verbose then
       List.iter
@@ -735,16 +872,14 @@ let churn_cmd =
             r.Engine.attempts r.Engine.objective
             (r.Engine.total_s *. 1e3))
         reports;
-    let lat =
-      reports
-      |> List.map (fun (r : Engine.report) -> r.Engine.total_s)
-      |> Array.of_list
-    in
-    Array.sort compare lat;
-    let pct p =
-      let n = Array.length lat in
-      if n = 0 then 0.0
-      else lat.(min (n - 1) (int_of_float ((p *. float_of_int (n - 1)) +. 0.5)))
+    (* the engine feeds every event's latency into the registered
+       [engine.resolve_s] histogram (same samples as the reports), so
+       the summary quotes the histogram — identical figures to
+       [--metrics-out] and to [trace engine] over the streamed capture,
+       within the histogram's 2.2% relative-error bound *)
+    let pct =
+      let h = Obs.Histogram.make "engine.resolve_s" in
+      fun p -> Obs.Histogram.quantile h p
     in
     let uncertified =
       List.length
@@ -759,6 +894,17 @@ let churn_cmd =
       s.Engine.warm_accepted s.Engine.cold_solves
       (pct 0.50 *. 1e3) (pct 0.99 *. 1e3)
       (Engine.n_sessions t) (Engine.objective t);
+    (match stream with
+    | Some s ->
+      Obs_stream.close s;
+      Printf.printf "wrote engine trace to %s (%d events, 0 dropped)\n"
+        (Obs_stream.path s) (Obs_stream.emitted s)
+    | None -> ());
+    (match metrics_out with
+    | Some f ->
+      Metrics_export.to_file f;
+      Printf.printf "wrote metrics exposition to %s\n" f
+    | None -> ());
     if uncertified > 0 then begin
       Printf.printf "%d events failed certification\n" uncertified;
       exit 1
@@ -797,17 +943,49 @@ let churn_cmd =
       value & flag
       & info [ "verbose"; "v" ] ~doc:"Print one line per replayed event.")
   in
+  let trace_stream =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-stream" ] ~docv:"FILE"
+          ~doc:
+            "Stream the engine's churn-level telemetry (schema \
+             overlay-engine-trace/1: event_start/event_end, rung \
+             attempts, cold fallbacks, certify failures, plus the \
+             solver's own events) to $(docv) as JSON-lines.  Report on \
+             it afterwards with $(b,overlay_cli trace engine) $(docv).")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the metric registry (counters and the engine's latency \
+             histograms) as Prometheus text exposition to $(docv) after \
+             the replay — and during it with $(b,--metrics-interval).")
+  in
+  let metrics_interval =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "metrics-interval" ] ~docv:"N"
+          ~doc:
+            "Re-write $(b,--metrics-out) every $(docv) events during the \
+             replay, making the file a live scrape surface.")
+  in
   let doc =
     "Replay a churn trace (joins, leaves, demand and capacity changes) \
      through the warm-started re-solve engine and report events/sec, \
-     p50/p99 re-solve latency and the warm/cold split.  Every accepted \
+     p50/p99 re-solve latency (via the registered engine histograms, \
+     2.2% relative-error bound) and the warm/cold split.  Every accepted \
      state is certificate-checked; exits nonzero if any event's solution \
      failed certification."
   in
   Cmd.v (Cmd.info "churn" ~doc)
     Term.(
       const run $ seed $ nodes $ mode $ algorithm $ ratio $ sparsify
-      $ trace_file $ verbose)
+      $ trace_file $ verbose $ trace_stream $ metrics_out $ metrics_interval)
 
 (* --- topo: inspect generated topologies ------------------------------------- *)
 
@@ -850,4 +1028,4 @@ let () =
     "Optimized capacity utilization in overlay networks (Cui/Li/Nahrstedt, SPAA 2004)"
   in
   let info = Cmd.info "overlay_cli" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ tables_cmd; figures_cmd; eval_cmd; solve_cmd; export_cmd; churn_cmd; topo_cmd; obs_cmd; trace_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ tables_cmd; figures_cmd; eval_cmd; solve_cmd; export_cmd; churn_cmd; topo_cmd; obs_cmd; metrics_cmd; trace_cmd ]))

@@ -550,3 +550,285 @@ let render_diff r =
     (if r.equal then "traces are structurally equal\n"
      else "traces DIFFER structurally\n");
   Buffer.contents buf
+
+(* --- engine windowed report --------------------------------------------- *)
+
+(* Churn event-type wire codes, as carried in [Event_start.a].  This is
+   a mirror of the table in lib/engine/engine.ml: this library sits
+   below [core] in the dependency graph and cannot see [Churn], so the
+   codes are duplicated here and pinned against the engine's emissions
+   by test_engine_trace. *)
+let engine_event_kinds = [| "join"; "leave"; "demand"; "capacity"; "initial" |]
+
+type engine_window = {
+  w_start : float;
+  w_end : float;
+  w_events : int;
+  w_kinds : int array;
+  w_warm : int;
+  w_cold : int;
+  w_rungs : int;
+  w_escalations : int;
+  w_cold_fallbacks : int;
+  w_certify_fails : int;
+  w_p50 : float;
+  w_p90 : float;
+  w_p99 : float;
+  w_max : float;
+}
+
+type engine_report = {
+  g_window_s : float;
+  g_t0 : float;
+  g_duration : float;
+  g_events : int;
+  g_events_per_s : float;
+  g_joins_per_s : float;
+  g_windows : engine_window array;
+  g_total : engine_window;
+}
+
+(* mutable accumulator per window; latencies go into a mergeable
+   histogram so the total row is literally the merge of the windows *)
+type engine_acc = {
+  mutable c_events : int;
+  c_kinds : int array;
+  mutable c_warm : int;
+  mutable c_cold : int;
+  mutable c_rungs : int;
+  mutable c_escalations : int;
+  mutable c_cold_fallbacks : int;
+  mutable c_certify_fails : int;
+  c_hist : Obs.Histogram.t;
+}
+
+let acc_create tag =
+  {
+    c_events = 0;
+    c_kinds = Array.make (Array.length engine_event_kinds + 1) 0;
+    c_warm = 0;
+    c_cold = 0;
+    c_rungs = 0;
+    c_escalations = 0;
+    c_cold_fallbacks = 0;
+    c_certify_fails = 0;
+    c_hist = Obs.Histogram.create tag;
+  }
+
+let acc_finish ~w_start ~w_end a =
+  {
+    w_start;
+    w_end;
+    w_events = a.c_events;
+    w_kinds = Array.sub a.c_kinds 0 (Array.length engine_event_kinds);
+    w_warm = a.c_warm;
+    w_cold = a.c_cold;
+    w_rungs = a.c_rungs;
+    w_escalations = a.c_escalations;
+    w_cold_fallbacks = a.c_cold_fallbacks;
+    w_certify_fails = a.c_certify_fails;
+    w_p50 = Obs.Histogram.quantile a.c_hist 0.50;
+    w_p90 = Obs.Histogram.quantile a.c_hist 0.90;
+    w_p99 = Obs.Histogram.quantile a.c_hist 0.99;
+    w_max = Obs.Histogram.quantile a.c_hist 1.0;
+  }
+
+let is_engine_kind (k : Obs.kind) =
+  match k with
+  | Obs.Event_start | Obs.Event_end | Obs.Rung_attempt | Obs.Cold_fallback
+  | Obs.Certify_fail ->
+    true
+  | _ -> false
+
+let engine_report ?window events =
+  (* pass 1: the capture's engine-event time range.  Solver events
+     interleave in the same stream; windows are anchored on the engine
+     vocabulary only so a trace that leads with solver noise does not
+     skew the axis. *)
+  let t0 = ref infinity and t1 = ref neg_infinity in
+  Array.iter
+    (fun (e : Obs.Event.t) ->
+      if is_engine_kind e.Obs.Event.kind then begin
+        if e.Obs.Event.time < !t0 then t0 := e.Obs.Event.time;
+        if e.Obs.Event.time > !t1 then t1 := e.Obs.Event.time
+      end)
+    events;
+  if !t0 > !t1 then
+    {
+      g_window_s = 0.0;
+      g_t0 = 0.0;
+      g_duration = 0.0;
+      g_events = 0;
+      g_events_per_s = 0.0;
+      g_joins_per_s = 0.0;
+      g_windows = [||];
+      g_total = acc_finish ~w_start:0.0 ~w_end:0.0 (acc_create "engine.total");
+    }
+  else begin
+    let duration = !t1 -. !t0 in
+    let window_s =
+      match window with
+      | Some w when w > 0.0 -> w
+      | Some _ | None ->
+        (* default: ~10 windows over the capture, floored so a burst
+           of events at one instant still forms a single window *)
+        if duration <= 0.0 then 1.0 else duration /. 10.0
+    in
+    let nw =
+      if duration <= 0.0 then 1
+      else 1 + int_of_float (duration /. window_s)
+    in
+    let accs =
+      Array.init nw (fun i -> acc_create (Printf.sprintf "engine.w%d" i))
+    in
+    let total = acc_create "engine.total" in
+    let window_of time =
+      let i = int_of_float ((time -. !t0) /. window_s) in
+      if i < 0 then 0 else if i >= nw then nw - 1 else i
+    in
+    (* the engine is serial per capture: an event_end's latency is
+       attributed to the kind of the last unmatched event_start *)
+    let pending_code = ref (-1) in
+    let unknown = Array.length engine_event_kinds in
+    Array.iter
+      (fun (e : Obs.Event.t) ->
+        if is_engine_kind e.Obs.Event.kind then begin
+          let a = accs.(window_of e.Obs.Event.time) in
+          match e.Obs.Event.kind with
+          | Obs.Event_start ->
+            let code = int_of_float e.Obs.Event.a in
+            pending_code :=
+              (if code >= 0 && code < unknown then code else unknown)
+          | Obs.Event_end ->
+            let code = if !pending_code >= 0 then !pending_code else unknown in
+            pending_code := -1;
+            List.iter
+              (fun (x : engine_acc) ->
+                x.c_events <- x.c_events + 1;
+                x.c_kinds.(code) <- x.c_kinds.(code) + 1;
+                if e.Obs.Event.b >= 0.5 then x.c_warm <- x.c_warm + 1
+                else x.c_cold <- x.c_cold + 1;
+                Obs.Histogram.record x.c_hist e.Obs.Event.a)
+              [ a; total ]
+          | Obs.Rung_attempt ->
+            List.iter
+              (fun (x : engine_acc) ->
+                x.c_rungs <- x.c_rungs + 1;
+                if e.Obs.Event.session >= 1 then
+                  x.c_escalations <- x.c_escalations + 1)
+              [ a; total ]
+          | Obs.Cold_fallback ->
+            List.iter
+              (fun (x : engine_acc) ->
+                x.c_cold_fallbacks <- x.c_cold_fallbacks + 1)
+              [ a; total ]
+          | Obs.Certify_fail ->
+            List.iter
+              (fun (x : engine_acc) ->
+                x.c_certify_fails <- x.c_certify_fails + 1)
+              [ a; total ]
+          | _ -> ()
+        end)
+      events;
+    (* cross-check the mergeability claim in the one place it matters:
+       the total's histogram must equal the merge of the windows *)
+    let merged = Obs.Histogram.create "engine.merged" in
+    Array.iter (fun a -> Obs.Histogram.merge ~into:merged a.c_hist) accs;
+    assert (Obs.Histogram.count merged = Obs.Histogram.count total.c_hist);
+    let span = if duration <= 0.0 then window_s else duration in
+    let windows =
+      Array.mapi
+        (fun i a ->
+          let w_start = float_of_int i *. window_s in
+          let w_end = Float.min (w_start +. window_s) span in
+          acc_finish ~w_start ~w_end a)
+        accs
+    in
+    let joins = total.c_kinds.(0) in
+    {
+      g_window_s = window_s;
+      g_t0 = !t0;
+      g_duration = duration;
+      g_events = total.c_events;
+      g_events_per_s =
+        (if duration > 0.0 then float_of_int total.c_events /. duration
+         else 0.0);
+      g_joins_per_s =
+        (if duration > 0.0 then float_of_int joins /. duration else 0.0);
+      g_windows = windows;
+      g_total = acc_finish ~w_start:0.0 ~w_end:span total;
+    }
+  end
+
+let engine_csv r =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "window,start_s,end_s,events,joins,leaves,demand,capacity,initial,warm,\
+     cold,rung_attempts,escalations,cold_fallbacks,certify_fails,p50_ms,\
+     p90_ms,p99_ms,max_ms\n";
+  let row label (w : engine_window) =
+    Buffer.add_string buf
+      (Printf.sprintf
+         "%s,%.6f,%.6f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.6f,%.6f,%.6f,%.6f\n"
+         label w.w_start w.w_end w.w_events w.w_kinds.(0) w.w_kinds.(1)
+         w.w_kinds.(2) w.w_kinds.(3) w.w_kinds.(4) w.w_warm w.w_cold w.w_rungs
+         w.w_escalations w.w_cold_fallbacks w.w_certify_fails
+         (1e3 *. w.w_p50) (1e3 *. w.w_p90) (1e3 *. w.w_p99) (1e3 *. w.w_max))
+  in
+  Array.iteri (fun i w -> row (string_of_int i) w) r.g_windows;
+  row "total" r.g_total;
+  Buffer.contents buf
+
+let render_engine r =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  if r.g_events = 0 then begin
+    add "no engine events in trace (not an overlay-engine-trace capture?)\n";
+    Buffer.contents buf
+  end
+  else begin
+    add "events: %d over %.3fs  (%.1f events/s, %.1f joins/s)\n" r.g_events
+      r.g_duration r.g_events_per_s r.g_joins_per_s;
+    let tw = r.g_total in
+    add "kinds: %s\n"
+      (String.concat "  "
+         (Array.to_list
+            (Array.mapi
+               (fun i k -> Printf.sprintf "%s=%d" k tw.w_kinds.(i))
+               engine_event_kinds)));
+    add
+      "warm: %d  cold: %d  rung attempts: %d (escalations: %d)  cold \
+       fallbacks: %d  certify failures: %d\n"
+      tw.w_warm tw.w_cold tw.w_rungs tw.w_escalations tw.w_cold_fallbacks
+      tw.w_certify_fails;
+    add
+      "re-solve latency: p50=%.3fms  p90=%.3fms  p99=%.3fms  max=%.3fms  \
+       (quantiles within 2.2%% relative error)\n"
+      (1e3 *. tw.w_p50) (1e3 *. tw.w_p90) (1e3 *. tw.w_p99) (1e3 *. tw.w_max);
+    let t =
+      Tableau.create
+        ~title:(Printf.sprintf "windows (%.3fs each)" r.g_window_s)
+        [
+          "t (s)"; "events"; "joins"; "warm"; "cold"; "esc"; "p50 ms";
+          "p90 ms"; "p99 ms"; "max ms";
+        ]
+    in
+    Array.iter
+      (fun (w : engine_window) ->
+        Tableau.add_row t
+          [
+            Printf.sprintf "%.2f-%.2f" w.w_start w.w_end;
+            string_of_int w.w_events;
+            string_of_int w.w_kinds.(0);
+            string_of_int w.w_warm;
+            string_of_int w.w_cold;
+            string_of_int w.w_escalations;
+            Printf.sprintf "%.3f" (1e3 *. w.w_p50);
+            Printf.sprintf "%.3f" (1e3 *. w.w_p90);
+            Printf.sprintf "%.3f" (1e3 *. w.w_p99);
+            Printf.sprintf "%.3f" (1e3 *. w.w_max);
+          ])
+      r.g_windows;
+    Buffer.add_string buf (Tableau.render t);
+    Buffer.contents buf
+  end

@@ -160,3 +160,64 @@ val diff :
   diff_report
 
 val render_diff : diff_report -> string
+
+(** {1 Engine windowed report}
+
+    Time-series reduction of an [overlay-engine-trace/1] capture (the
+    churn engine's [event_start]/[event_end]/[rung_attempt]/
+    [cold_fallback]/[certify_fail] vocabulary, payloads documented on
+    {!Obs.kind}): events/sec and joins/sec, per-window re-solve latency
+    quantiles, warm/cold split and rung-escalation counts over time —
+    the sustained joins-per-second view ROADMAP item 2's daemon
+    reports.  Latencies aggregate through {!Obs.Histogram}, so every
+    quantile carries its 2.2% relative-error bound and the total row is
+    literally the merge of the per-window histograms.  Solver events
+    interleaved in the same capture are ignored. *)
+
+(** Wire names of the churn event-type codes carried in
+    [event_start.a]: [ [| "join"; "leave"; "demand"; "capacity";
+    "initial" |] ].  Mirrors the emitting table in [lib/engine] (this
+    library sits below [core] and cannot see [Churn]); the engine-trace
+    round-trip test pins the two against each other. *)
+val engine_event_kinds : string array
+
+type engine_window = {
+  w_start : float;  (** window start, seconds from the first engine event *)
+  w_end : float;
+  w_events : int;  (** completed events ([event_end]) in the window *)
+  w_kinds : int array;  (** per {!engine_event_kinds} code *)
+  w_warm : int;  (** events accepted on the warm path *)
+  w_cold : int;
+  w_rungs : int;  (** warm rungs tried ([rung_attempt]) *)
+  w_escalations : int;  (** rung attempts past the first rung *)
+  w_cold_fallbacks : int;
+  w_certify_fails : int;
+  w_p50 : float;  (** re-solve latency quantiles, seconds *)
+  w_p90 : float;
+  w_p99 : float;
+  w_max : float;
+}
+
+type engine_report = {
+  g_window_s : float;  (** window width used *)
+  g_t0 : float;  (** first engine event's absolute timestamp *)
+  g_duration : float;
+  g_events : int;
+  g_events_per_s : float;
+  g_joins_per_s : float;
+  g_windows : engine_window array;
+  g_total : engine_window;  (** whole-capture aggregate (merged windows) *)
+}
+
+(** [engine_report ?window events] folds a capture into windows of
+    [window] seconds (default: a tenth of the capture's engine-event
+    time range).  An empty capture yields [g_events = 0] and no
+    windows. *)
+val engine_report : ?window:float -> Obs.Event.t array -> engine_report
+
+(** [engine_csv r] renders one CSV row per window plus a [total] row
+    (columns: window bounds, per-kind counts, warm/cold, rung and
+    failure counts, latency quantiles in ms). *)
+val engine_csv : engine_report -> string
+
+val render_engine : engine_report -> string

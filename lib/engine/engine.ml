@@ -74,6 +74,64 @@ let c_cold =
   Obs.Counter.make ~doc:"cold (from-scratch) solves, incl. fallbacks"
     "engine.cold"
 
+(* --- latency distributions -------------------------------------------- *)
+
+let h_resolve =
+  Obs.Histogram.make
+    ~doc:"end-to-end re-solve latency per churn event (seconds)"
+    "engine.resolve_s"
+
+let h_rung_depth =
+  Obs.Histogram.make
+    ~doc:
+      "rooms-ladder depth per re-solve (warm rungs tried; a cold solve \
+       counts as one rung past the failed ladder)"
+    "engine.rung_depth"
+
+let h_certify =
+  Obs.Histogram.make ~doc:"certification time per re-solve (seconds)"
+    "engine.certify_s"
+
+(* Wire codes for the churn event types, carried in [Event_start.a] and
+   used to index the per-kind latency histograms.  [lib/analysis] keeps
+   an identical table (it sits below [core] and cannot see [Churn]);
+   test_engine_trace pins the two against each other. *)
+let event_code = function
+  | Churn.Session_join _ -> 0
+  | Churn.Session_leave _ -> 1
+  | Churn.Demand_change _ -> 2
+  | Churn.Capacity_change _ -> 3
+
+let initial_code = 4
+
+let event_subject = function
+  | Churn.Session_join { id; _ }
+  | Churn.Session_leave { id }
+  | Churn.Demand_change { id; _ } ->
+    id
+  | Churn.Capacity_change { edge; _ } -> edge
+
+(* engine.resolve_<kind>_<warm|cold>_s: per-event-kind latency split by
+   whether the warm path was accepted *)
+let h_latency =
+  Array.map
+    (fun kind ->
+      Array.map
+        (fun path ->
+          Obs.Histogram.make
+            ~doc:
+              (Printf.sprintf
+                 "re-solve latency of %s events on the %s path (seconds)" kind
+                 path)
+            (Printf.sprintf "engine.resolve_%s_%s_s" kind path))
+        [| "cold"; "warm" |])
+    [| "join"; "leave"; "demand"; "capacity" |]
+
+let record_latency ~code ~warm total_s =
+  Obs.Histogram.record h_resolve total_s;
+  if code >= 0 && code < Array.length h_latency then
+    Obs.Histogram.record h_latency.(code).(if warm then 1 else 0) total_s
+
 (* --- instance mutation ------------------------------------------------ *)
 
 let index_of_id t id =
@@ -264,8 +322,15 @@ let resolve t =
         let t2 = Obs.now () in
         solve_s := !solve_s +. (t1 -. t0);
         certify_s := !certify_s +. (t2 -. t1);
-        if Check.ok verdict then accepted := Some run
-        else warm_lens := duals_of run;
+        let ok = Check.ok verdict in
+        Obs.Sink.emit obs Obs.Rung_attempt ~session:!i ~a:rooms.(!i)
+          ~b:(if ok then 1.0 else 0.0);
+        if ok then accepted := Some run
+        else begin
+          Obs.Sink.emit obs Obs.Certify_fail ~session:!i ~a:rooms.(!i)
+            ~b:(float_of_int (List.length verdict.Check.violations));
+          warm_lens := duals_of run
+        end;
         incr i
       done
     end;
@@ -274,11 +339,15 @@ let resolve t =
       accept t run;
       t.warm_accepted <- t.warm_accepted + 1;
       Obs.Counter.incr c_warm;
+      Obs.Histogram.record h_rung_depth (float_of_int !attempts);
+      Obs.Histogram.record h_certify !certify_s;
       finish ~warm:true ~attempts:!attempts ~certified:true
         ~objective:(objective_of run) ~solve_s:!solve_s ~certify_s:!certify_s
     | None ->
       (* cold fallback (or initial solve): unconditional acceptance —
          this is exactly what a from-scratch caller would have run *)
+      Obs.Sink.emit obs Obs.Cold_fallback ~session:(-1)
+        ~a:(float_of_int !attempts) ~b:0.0;
       let t0 = Obs.now () in
       let run = run_solver t ~warm:None in
       let t1 = Obs.now () in
@@ -289,7 +358,13 @@ let resolve t =
       accept t run;
       t.cold_solves <- t.cold_solves + 1;
       Obs.Counter.incr c_cold;
-      finish ~warm:false ~attempts:!attempts ~certified:(Check.ok verdict)
+      let certified = Check.ok verdict in
+      if not certified then
+        Obs.Sink.emit obs Obs.Certify_fail ~session:(-1) ~a:0.0
+          ~b:(float_of_int (List.length verdict.Check.violations));
+      Obs.Histogram.record h_rung_depth (float_of_int (!attempts + 1));
+      Obs.Histogram.record h_certify !certify_s;
+      finish ~warm:false ~attempts:!attempts ~certified
         ~objective:(objective_of run) ~solve_s:!solve_s ~certify_s:!certify_s
   end
 
@@ -317,12 +392,27 @@ let create ?(config = default_config) graph sessions =
       cold_solves = 0;
     }
   in
-  if Array.length sessions > 0 then ignore (resolve t : report);
+  if Array.length sessions > 0 then begin
+    (* the initial solve traces like a churn event of its own kind so a
+       capture reconstructs the whole engine lifetime *)
+    let t_start = Obs.now () in
+    Obs.Sink.emit config.obs Obs.Event_start ~session:(-1)
+      ~a:(float_of_int initial_code) ~b:0.0;
+    let r = resolve t in
+    let total_s = Obs.now () -. t_start in
+    Obs.Histogram.record h_resolve total_s;
+    Obs.Sink.emit config.obs Obs.Event_end ~session:(-1) ~a:total_s
+      ~b:(if r.warm then 1.0 else 0.0)
+  end;
   t
 
 let apply t (te : Churn.timed) =
   Obs.Counter.incr c_events;
+  let code = event_code te.Churn.event in
+  let subject = event_subject te.Churn.event in
   let t_start = Obs.now () in
+  Obs.Sink.emit t.config.obs Obs.Event_start ~session:subject
+    ~a:(float_of_int code) ~b:te.Churn.at;
   (match te.Churn.event with
   | Churn.Session_join { id; members; demand } ->
     (match index_of_id t id with
@@ -373,12 +463,11 @@ let apply t (te : Churn.timed) =
     Graph.set_capacity t.graph edge capacity;
     if t.have_duals then repair_capacity t ~edge ~c_old ~c_new:capacity);
   let r = resolve t in
-  {
-    r with
-    event = Some te.Churn.event;
-    at = te.Churn.at;
-    total_s = Obs.now () -. t_start;
-  }
+  let total_s = Obs.now () -. t_start in
+  record_latency ~code ~warm:r.warm total_s;
+  Obs.Sink.emit t.config.obs Obs.Event_end ~session:subject ~a:total_s
+    ~b:(if r.warm then 1.0 else 0.0);
+  { r with event = Some te.Churn.event; at = te.Churn.at; total_s }
 
 let replay t trace = List.map (fun te -> apply t te) trace
 

@@ -59,8 +59,21 @@ type config = {
           or non-finite disables the floor *)
   certify_tol : float;
   obs : Obs.Sink.t;
-      (** receives one ["engine.resolve"] span per event, enclosing the
-          solver's own trace *)
+      (** receives the engine's churn-level telemetry in addition to
+          the solver's own trace: one ["engine.resolve"] span per
+          event, and the [overlay-engine-trace/1] vocabulary —
+          [Event_start]/[Event_end] around every {!apply} (and the
+          initial solve), one [Rung_attempt] per warm rung tried,
+          [Certify_fail] per rejected certificate and [Cold_fallback]
+          when the ladder is exhausted (payloads documented on
+          {!Obs.kind}).  Streaming this sink to a file with
+          [Obs_stream.create ~schema:Obs_export.schema_engine] makes
+          the whole churn replay reconstructable offline
+          ([overlay_cli trace engine]).  Independent of the sink, the
+          engine feeds the registered histograms [engine.resolve_s],
+          [engine.resolve_<kind>_<warm|cold>_s], [engine.rung_depth]
+          and [engine.certify_s] — like every [Obs] surface, none of
+          this perturbs solver output. *)
   par : Par.t;
 }
 

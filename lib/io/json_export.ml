@@ -24,6 +24,18 @@ let escape_string s =
   Buffer.add_char buf '"';
   Buffer.contents buf
 
+(* Shortest lossless rendering of a finite double: try increasing
+   precision until the text parses back to the exact same bits.  %.12g
+   suffices for most values that ever were decimal literals; %.17g is
+   the unconditional fallback (17 significant digits always round-trip
+   a double). *)
+let float_to_string x =
+  let s12 = Printf.sprintf "%.12g" x in
+  if float_of_string s12 = x then s12
+  else
+    let s15 = Printf.sprintf "%.15g" x in
+    if float_of_string s15 = x then s15 else Printf.sprintf "%.17g" x
+
 let rec write buf = function
   | Null -> Buffer.add_string buf "null"
   | Bool b -> Buffer.add_string buf (if b then "true" else "false")
@@ -33,7 +45,7 @@ let rec write buf = function
       Buffer.add_string buf "null"
     else if Float.is_integer x && abs_float x < 1e15 then
       Buffer.add_string buf (Printf.sprintf "%.0f" x)
-    else Buffer.add_string buf (Printf.sprintf "%.12g" x)
+    else Buffer.add_string buf (float_to_string x)
   | String s -> Buffer.add_string buf (escape_string s)
   | Array_ items ->
     Buffer.add_char buf '[';

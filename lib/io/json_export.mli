@@ -12,9 +12,16 @@ type t =
   | Object_ of (string * t) list
 
 (** [to_string json] serializes compactly (no insignificant
-    whitespace); numbers use [%.12g] so round-tripping floats is
-    lossless in practice. *)
+    whitespace); finite numbers render through {!float_to_string}, so
+    round-tripping floats is exactly lossless. *)
 val to_string : t -> string
+
+(** [float_to_string x] renders a finite float in the fewest of 12, 15
+    or 17 significant digits that parses back to exactly [x] — the one
+    lossless number renderer shared by {!to_string}, the schema-1 ring
+    dump and the schema-2 / engine-trace stream writer, so every
+    exporter agrees byte for byte on payload text. *)
+val float_to_string : float -> string
 
 (** [escape_string s] is the JSON string literal for [s], including the
     surrounding quotes — shared by the streaming trace writer so its

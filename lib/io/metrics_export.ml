@@ -1,0 +1,349 @@
+(* Prometheus text exposition (version 0.0.4) over the Obs registry.
+   One render walks counters, gauges, histograms and debug flags in
+   sorted name order, so two dumps of the same registry state are
+   byte-identical.  Metric names sanitize dots to underscores
+   ([engine.resolve_s] -> [engine_resolve_s]) because the exposition
+   grammar only allows [a-zA-Z0-9_:].  Histograms render in the
+   standard cumulative form: [<name>_bucket{le="..."}] over the
+   non-empty log buckets (zero-bucket samples are <= every bound, so
+   they fold into the first cumulative count), a [+Inf] bucket equal to
+   [<name>_count], and an exact fixed-point [<name>_sum]. *)
+
+let valid_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = ':'
+
+let sanitize_name name =
+  let n = String.length name in
+  let b = Bytes.create n in
+  for i = 0 to n - 1 do
+    let c = name.[i] in
+    Bytes.set b i (if valid_name_char c then c else '_')
+  done;
+  let s = Bytes.to_string b in
+  if s = "" then "_"
+  else
+    match s.[0] with
+    | '0' .. '9' -> "_" ^ s
+    | _ -> s
+
+(* HELP text: the grammar forbids raw newlines and requires backslash
+   escaping; registry docs are one-line ASCII but a stray doc string
+   must not corrupt the dump. *)
+let escape_help s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* label values additionally escape the double quote *)
+let escape_label_value s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '"' -> Buffer.add_string b "\\\""
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let sample_value x =
+  if Float.is_nan x then "NaN"
+  else if x = infinity then "+Inf"
+  else if x = neg_infinity then "-Inf"
+  else if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.0f" x
+  else Json_export.float_to_string x
+
+let header buf name doc mtype =
+  if doc <> "" then
+    Buffer.add_string buf
+      (Printf.sprintf "# HELP %s %s\n" name (escape_help doc));
+  Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name mtype)
+
+let prometheus () =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (name, doc, value) ->
+      let name = sanitize_name name in
+      header buf name doc "counter";
+      Buffer.add_string buf (Printf.sprintf "%s %d\n" name value))
+    (Obs.Registry.counters ());
+  List.iter
+    (fun (name, doc, value) ->
+      let name = sanitize_name name in
+      header buf name doc "gauge";
+      Buffer.add_string buf
+        (Printf.sprintf "%s %s\n" name (sample_value value)))
+    (Obs.Registry.gauges ());
+  List.iter
+    (fun (raw_name, doc, (s : Obs.Histogram.snapshot)) ->
+      let name = sanitize_name raw_name in
+      header buf name doc "histogram";
+      let cum = ref s.s_zeros in
+      List.iter
+        (fun (b : Obs.Histogram.bucket) ->
+          cum := !cum + b.b_count;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name
+               (escape_label_value (sample_value b.b_hi))
+               !cum))
+        s.s_buckets;
+      Buffer.add_string buf
+        (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name s.s_count);
+      Buffer.add_string buf
+        (Printf.sprintf "%s_sum %s\n" name (sample_value s.s_sum));
+      Buffer.add_string buf (Printf.sprintf "%s_count %d\n" name s.s_count))
+    (Obs.Registry.histograms ());
+  List.iter
+    (fun (name, _env, doc, enabled) ->
+      let name = sanitize_name name in
+      header buf name doc "gauge";
+      Buffer.add_string buf
+        (Printf.sprintf "%s %d\n" name (if enabled then 1 else 0)))
+    (Obs.Debug_flags.all ());
+  Buffer.contents buf
+
+let to_file path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (prometheus ()))
+
+(* --- validation --------------------------------------------------------- *)
+
+(* A purpose-built checker for the subset of the text format this
+   module emits (plus ordinary hand-written expositions): used by the
+   CLI ([overlay_cli metrics --validate]) and CI so a malformed dump
+   fails loudly instead of being scraped as garbage.  Checks, per line:
+   well-formed HELP/TYPE comments, valid metric names, parseable sample
+   values, label syntax; per family: samples follow their TYPE line
+   (histogram families accept the _bucket/_sum/_count suffixes),
+   histogram cumulative bucket counts are non-decreasing, and the +Inf
+   bucket equals <name>_count. *)
+
+type family = {
+  mutable f_type : string;
+  mutable buckets : (string * float) list;  (* le value, cumulative count *)
+  mutable f_count : float option;
+  mutable has_inf : bool;
+}
+
+let is_valid_name s =
+  s <> ""
+  && (match s.[0] with
+     | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+     | _ -> false)
+  && String.for_all valid_name_char s
+
+let strip_suffix name =
+  let try_one suf =
+    if String.length name > String.length suf
+       && String.ends_with ~suffix:suf name
+    then Some (String.sub name 0 (String.length name - String.length suf))
+    else None
+  in
+  match try_one "_bucket" with
+  | Some base -> Some (base, `Bucket)
+  | None -> (
+    match try_one "_sum" with
+    | Some base -> Some (base, `Sum)
+    | None -> (
+      match try_one "_count" with
+      | Some base -> Some (base, `Count)
+      | None -> None))
+
+let parse_value s =
+  match s with
+  | "+Inf" -> Some infinity
+  | "-Inf" -> Some neg_infinity
+  | "NaN" -> Some Float.nan
+  | s -> float_of_string_opt s
+
+(* splits "name{labels}" -> name, label list; labels keep their quoted
+   values verbatim (unescaping only le, the one label we interpret) *)
+let parse_sample line =
+  let fail msg = Error msg in
+  let brace = String.index_opt line '{' in
+  let name_end, labels =
+    match brace with
+    | None -> (
+      match String.index_opt line ' ' with
+      | None -> (String.length line, Ok [])
+      | Some sp -> (sp, Ok []))
+    | Some b -> (
+      match String.index_from_opt line b '}' with
+      | None -> (b, fail "unterminated label block")
+      | Some e ->
+        let body = String.sub line (b + 1) (e - b - 1) in
+        let parts =
+          if String.trim body = "" then []
+          else String.split_on_char ',' body
+        in
+        let labels =
+          List.fold_left
+            (fun acc part ->
+              match acc with
+              | Error _ -> acc
+              | Ok l -> (
+                match String.index_opt part '=' with
+                | None -> fail (Printf.sprintf "label %S has no '='" part)
+                | Some eq ->
+                  let lname = String.trim (String.sub part 0 eq) in
+                  let lval =
+                    String.sub part (eq + 1) (String.length part - eq - 1)
+                  in
+                  if not (is_valid_name lname) then
+                    fail (Printf.sprintf "invalid label name %S" lname)
+                  else if
+                    String.length lval < 2
+                    || lval.[0] <> '"'
+                    || lval.[String.length lval - 1] <> '"'
+                  then fail (Printf.sprintf "label value %S is not quoted" lval)
+                  else
+                    Ok ((lname, String.sub lval 1 (String.length lval - 2)) :: l)))
+            (Ok []) parts
+        in
+        (b, Result.map List.rev labels))
+  in
+  match labels with
+  | Error e -> Error e
+  | Ok labels ->
+    let name = String.sub line 0 name_end in
+    if not (is_valid_name name) then
+      Error (Printf.sprintf "invalid metric name %S" name)
+    else begin
+      let rest_start =
+        match brace with
+        | None -> name_end
+        | Some b -> (
+          match String.index_from_opt line b '}' with
+          | Some e -> e + 1
+          | None -> name_end)
+      in
+      let rest =
+        String.trim
+          (String.sub line rest_start (String.length line - rest_start))
+      in
+      (* value [timestamp] *)
+      let value_s =
+        match String.index_opt rest ' ' with
+        | None -> rest
+        | Some sp -> String.sub rest 0 sp
+      in
+      match parse_value value_s with
+      | None -> Error (Printf.sprintf "unparseable sample value %S" value_s)
+      | Some v -> Ok (name, labels, v)
+    end
+
+let validate text =
+  let families : (string, family) Hashtbl.t = Hashtbl.create 32 in
+  let family name =
+    match Hashtbl.find_opt families name with
+    | Some f -> f
+    | None ->
+      let f = { f_type = "untyped"; buckets = []; f_count = None; has_inf = false } in
+      Hashtbl.add families name f;
+      f
+  in
+  let err = ref None in
+  let set_err lineno msg =
+    if !err = None then err := Some (Printf.sprintf "line %d: %s" lineno msg)
+  in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      if !err = None && line <> "" then begin
+        if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then begin
+          let rest = String.sub line 7 (String.length line - 7) in
+          match String.split_on_char ' ' rest with
+          | [ name; mtype ] ->
+            if not (is_valid_name name) then
+              set_err lineno (Printf.sprintf "invalid metric name %S" name)
+            else if
+              not
+                (List.mem mtype
+                   [ "counter"; "gauge"; "histogram"; "summary"; "untyped" ])
+            then set_err lineno (Printf.sprintf "unknown metric type %S" mtype)
+            else (family name).f_type <- mtype
+          | _ -> set_err lineno "malformed TYPE comment"
+        end
+        else if String.length line >= 7 && String.sub line 0 7 = "# HELP " then begin
+          let rest = String.sub line 7 (String.length line - 7) in
+          match String.index_opt rest ' ' with
+          | None ->
+            if not (is_valid_name rest) then
+              set_err lineno "malformed HELP comment"
+          | Some sp ->
+            let name = String.sub rest 0 sp in
+            if not (is_valid_name name) then
+              set_err lineno (Printf.sprintf "invalid metric name %S" name)
+        end
+        else if line.[0] = '#' then ()  (* free-form comment *)
+        else begin
+          match parse_sample line with
+          | Error msg -> set_err lineno msg
+          | Ok (name, labels, v) ->
+            let base, role =
+              match strip_suffix name with
+              | Some (base, role)
+                when (match Hashtbl.find_opt families base with
+                     | Some f -> f.f_type = "histogram" || f.f_type = "summary"
+                     | None -> false) ->
+                (base, role)
+              | _ -> (name, `Plain)
+            in
+            let f = family base in
+            (match role with
+            | `Bucket -> (
+              match List.assoc_opt "le" labels with
+              | None -> set_err lineno "histogram bucket without le label"
+              | Some le ->
+                (match f.buckets with
+                | (_, prev) :: _ when v < prev ->
+                  set_err lineno
+                    (Printf.sprintf
+                       "bucket counts not cumulative: le=%S has %g after %g" le
+                       v prev)
+                | _ -> ());
+                if le = "+Inf" then f.has_inf <- true;
+                f.buckets <- (le, v) :: f.buckets)
+            | `Count -> f.f_count <- Some v
+            | `Sum | `Plain -> ())
+        end
+      end)
+    lines;
+  (match !err with
+  | Some _ -> ()
+  | None ->
+    Hashtbl.iter
+      (fun name f ->
+        if !err = None && f.f_type = "histogram" then begin
+          if not f.has_inf then
+            err :=
+              Some (Printf.sprintf "histogram %s has no +Inf bucket" name)
+          else
+            match (f.buckets, f.f_count) with
+            | (_, last) :: _, Some c when last <> c ->
+              err :=
+                Some
+                  (Printf.sprintf
+                     "histogram %s: +Inf bucket %g disagrees with %s_count %g"
+                     name last name c)
+            | _, None ->
+              err :=
+                Some (Printf.sprintf "histogram %s has no %s_count" name name)
+            | _ -> ()
+        end)
+      families);
+  match !err with Some e -> Error e | None -> Ok ()

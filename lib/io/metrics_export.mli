@@ -1,0 +1,33 @@
+(** Prometheus text exposition (format version 0.0.4) over the
+    process-wide [Obs] registry — the scrape surface for the future
+    always-on control-plane daemon, available today through
+    [overlay_cli metrics] and [overlay_cli churn --metrics-out].
+
+    A render lists counters, gauges, histograms and debug flags (as
+    0/1 gauges) in sorted name order with [# HELP]/[# TYPE] comments,
+    so two dumps of the same registry state are byte-identical.
+    Metric names have characters outside [[a-zA-Z0-9_:]] replaced by
+    [_] (the registry convention [engine.resolve_s] becomes
+    [engine_resolve_s]).  Histograms render cumulatively:
+    [<name>_bucket{le="<upper>"}] per non-empty log bucket (samples in
+    the zero bucket fold into every cumulative count), a [+Inf] bucket,
+    [<name>_sum] and [<name>_count].  The JSON twin of this dump is
+    [Obs_export.registry]. *)
+
+(** [prometheus ()] renders the current registry state as exposition
+    text. *)
+val prometheus : unit -> string
+
+(** [to_file path] writes {!prometheus} to [path] (truncating). *)
+val to_file : string -> unit
+
+(** [sanitize_name name] is the exposition-safe metric name. *)
+val sanitize_name : string -> string
+
+(** [validate text] checks [text] against the exposition grammar:
+    well-formed [# HELP]/[# TYPE] comments, valid metric names and
+    label syntax, parseable sample values, histogram bucket counts
+    cumulative with a [+Inf] bucket agreeing with [<name>_count].
+    Returns the first violation as [Error "line N: ..."] — used by
+    [overlay_cli metrics --validate] and the CI churn step. *)
+val validate : string -> (unit, string) result

@@ -1,6 +1,12 @@
 let schema = "overlay-obs-trace/1"
 let schema_jsonl = "overlay-obs-trace/2"
 
+(* Engine captures share schema 2's line format; the distinct header
+   marks a file whose event vocabulary includes the churn-engine kinds
+   (event_start .. certify_fail) so downstream tooling can pick the
+   right report without scanning the events. *)
+let schema_engine = "overlay-engine-trace/1"
+
 (* These kinds carry an interned name in [session]; everything else
    carries a session slot / id (or -1). *)
 let named_kind = function
@@ -41,6 +47,32 @@ let trace t =
       ("events", Array_ (List.rev !events));
     ]
 
+(* Quantile over a frozen snapshot — same nearest-rank + geometric-
+   midpoint convention as [Obs.Histogram.quantile] (sqrt (lo * hi) is
+   exactly the bucket representative), so the exported figures agree
+   with what a live query would have answered. *)
+let snapshot_quantile (s : Obs.Histogram.snapshot) p =
+  let open Obs.Histogram in
+  if s.s_count = 0 then 0.0
+  else begin
+    let rank = int_of_float ((p *. float_of_int (s.s_count - 1)) +. 0.5) in
+    if rank < s.s_zeros then 0.0
+    else begin
+      let cum = ref s.s_zeros and res = ref 0.0 and found = ref false in
+      List.iter
+        (fun b ->
+          if not !found then begin
+            cum := !cum + b.b_count;
+            if !cum > rank then begin
+              res := sqrt (b.b_lo *. b.b_hi);
+              found := true
+            end
+          end)
+        s.s_buckets;
+      !res
+    end
+  end
+
 let registry () =
   let open Json_export in
   let counters =
@@ -73,10 +105,29 @@ let registry () =
           ])
       (Obs.Debug_flags.all ())
   in
+  let histograms =
+    List.map
+      (fun (name, doc, s) ->
+        Object_
+          [
+            ("name", String name);
+            ("doc", String doc);
+            ("count", Number (float_of_int s.Obs.Histogram.s_count));
+            ("zeros", Number (float_of_int s.Obs.Histogram.s_zeros));
+            ("sum", Number s.Obs.Histogram.s_sum);
+            ("min", Number s.Obs.Histogram.s_min);
+            ("max", Number s.Obs.Histogram.s_max);
+            ("p50", Number (snapshot_quantile s 0.50));
+            ("p90", Number (snapshot_quantile s 0.90));
+            ("p99", Number (snapshot_quantile s 0.99));
+          ])
+      (Obs.Registry.histograms ())
+  in
   Object_
     [
       ("counters", Array_ counters);
       ("gauges", Array_ gauges);
+      ("histograms", Array_ histograms);
       ("debug_flags", Array_ flags);
     ]
 
@@ -98,9 +149,9 @@ let trace_csv t =
       Buffer.add_char buf ',';
       Buffer.add_string buf (Csv_export.escape name);
       Buffer.add_char buf ',';
-      Buffer.add_string buf (Printf.sprintf "%.12g" e.a);
+      Buffer.add_string buf (Json_export.float_to_string e.a);
       Buffer.add_char buf ',';
-      Buffer.add_string buf (Printf.sprintf "%.12g" e.b);
+      Buffer.add_string buf (Json_export.float_to_string e.b);
       Buffer.add_char buf '\n');
   Buffer.contents buf
 
@@ -129,6 +180,7 @@ let registry_to_file path = Json_export.to_file path (registry ())
 
 type read_result = {
   r_schema : int;
+  r_schema_name : string;
   r_events : Obs.Event.t array;
   r_emitted : int;
   r_dropped : int;
@@ -307,6 +359,7 @@ let read_trace_json text =
   Ok
     {
       r_schema = 1;
+      r_schema_name = schema;
       r_events = events;
       r_emitted = emitted;
       r_dropped = dropped;
@@ -333,7 +386,7 @@ let read_trace_jsonl_text text =
            Json_export.to_str)
     in
     let* () =
-      if schema_s = schema_jsonl then Ok ()
+      if schema_s = schema_jsonl || schema_s = schema_engine then Ok ()
       else Error (Printf.sprintf "unsupported schema %S" schema_s)
     in
     let issues = ref [] in
@@ -408,6 +461,7 @@ let read_trace_jsonl_text text =
     Ok
       {
         r_schema = 2;
+        r_schema_name = schema_s;
         r_events = events;
         r_emitted = emitted;
         r_dropped = dropped;
@@ -433,7 +487,7 @@ let read_trace path =
     match Json_export.of_string (String.trim first_line) with
     | Ok json -> (
       match Option.bind (Json_export.member "schema" json) Json_export.to_str with
-      | Some s -> s = schema_jsonl
+      | Some s -> s = schema_jsonl || s = schema_engine
       | None -> false)
     | Error _ -> false
   in

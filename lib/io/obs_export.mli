@@ -3,7 +3,18 @@
     into {!Obs.Event.t} sequences.  Formats are documented in
     OBSERVABILITY.md: schema [overlay-obs-trace/1] is the in-memory
     ring dumped as one JSON object; schema [overlay-obs-trace/2] is the
-    JSON-lines stream written by {!Obs_stream}. *)
+    JSON-lines stream written by {!Obs_stream};
+    [overlay-engine-trace/1] ({!schema_engine}) is the same JSONL line
+    format under a header that marks a churn-engine capture carrying
+    the [event_start]/[event_end]/[rung_attempt]/[cold_fallback]/
+    [certify_fail] vocabulary.  Every exporter renders payload floats
+    through the one lossless renderer [Json_export.float_to_string],
+    so schema-1 dumps round-trip exactly like the streams do. *)
+
+(** The schema string written by [Obs_stream.create
+    ~schema:Obs_export.schema_engine] and accepted by {!read_trace} —
+    ["overlay-engine-trace/1"]. *)
+val schema_engine : string
 
 (** [named_kind k] is [true] for the kinds whose [session] payload is
     an interned {!Obs.Name} id (run and span events) rather than a
@@ -24,9 +35,19 @@ val event : Obs.Event.t -> Json_export.t
 val trace : Obs.Trace.t -> Json_export.t
 
 (** [registry ()] encodes the process-wide metric registry: [counters]
-    and [gauges] as [{name, doc, value}] sorted by name, and
-    [debug_flags] as [{name, env, doc, enabled}]. *)
+    and [gauges] as [{name, doc, value}] sorted by name, [histograms]
+    as [{name, doc, count, zeros, sum, min, max, p50, p90, p99}] (the
+    quantiles computed from one consistent snapshot, under
+    [Obs.Histogram]'s 2.2% relative-error bound), and [debug_flags] as
+    [{name, env, doc, enabled}]. *)
 val registry : unit -> Json_export.t
+
+(** [snapshot_quantile s p] estimates the [p]-quantile from a frozen
+    {!Obs.Histogram.snapshot}, using the same nearest-rank and
+    geometric-midpoint convention as [Obs.Histogram.quantile] — shared
+    by the JSON registry, the Prometheus exposition and the windowed
+    trace reports so all three agree on the reported figures. *)
+val snapshot_quantile : Obs.Histogram.snapshot -> float -> float
 
 (** [trace_csv t] renders the retained events as CSV with header
     [seq,time,kind,session,name,a,b] ([name] is empty for kinds whose
@@ -48,7 +69,10 @@ val registry_to_file : string -> unit
     same {!read_result}, which [lib/analysis] then reports on. *)
 
 type read_result = {
-  r_schema : int;  (** 1 (ring JSON) or 2 (JSONL stream) *)
+  r_schema : int;  (** 1 (ring JSON) or 2 (JSONL stream / engine capture) *)
+  r_schema_name : string;
+      (** the header's exact schema string — distinguishes a plain
+          solver stream from an [overlay-engine-trace/1] capture *)
   r_events : Obs.Event.t array;  (** retained events, oldest first *)
   r_emitted : int;  (** total emissions claimed by the envelope/footer *)
   r_dropped : int;

@@ -16,7 +16,7 @@
    capacities for long stretches). *)
 
 let schema = "overlay-obs-trace/2"
-let header_line = Printf.sprintf "{\"schema\":%s}" (Json_export.escape_string schema)
+let header_line s = Printf.sprintf "{\"schema\":%s}" (Json_export.escape_string s)
 
 (* every index below is bounded by construction (see the line-length
    accounting above [flush_threshold]), so blits skip bounds checks *)
@@ -106,6 +106,11 @@ let frag_mst_lazy_skip = fragment Obs.Mst_lazy_skip
 let frag_session_rate = fragment Obs.Session_rate
 let frag_span_open = fragment Obs.Span_open
 let frag_span_close = fragment Obs.Span_close
+let frag_event_start = fragment Obs.Event_start
+let frag_event_end = fragment Obs.Event_end
+let frag_rung_attempt = fragment Obs.Rung_attempt
+let frag_cold_fallback = fragment Obs.Cold_fallback
+let frag_certify_fail = fragment Obs.Certify_fail
 
 let kind_fragment = function
   | Obs.Run_start -> frag_run_start
@@ -121,6 +126,11 @@ let kind_fragment = function
   | Obs.Session_rate -> frag_session_rate
   | Obs.Span_open -> frag_span_open
   | Obs.Span_close -> frag_span_close
+  | Obs.Event_start -> frag_event_start
+  | Obs.Event_end -> frag_event_end
+  | Obs.Rung_attempt -> frag_rung_attempt
+  | Obs.Cold_fallback -> frag_cold_fallback
+  | Obs.Certify_fail -> frag_certify_fail
 
 (* A composed line is bounded (unbounded escaped names go through a
    checked slow path): 7+19 (seq) + 6+20 (t) + ~36 (fragment) + 20
@@ -178,7 +188,10 @@ let put_float t x p =
       match Hashtbl.find_opt t.floats x with
       | Some s -> s
       | None ->
-        let s = Printf.sprintf "%.17g" x in
+        (* shortest-lossless rendering shared with the JSON exporters:
+           round-trips the double exactly, usually in fewer digits than
+           a blanket %.17g *)
+        let s = Json_export.float_to_string x in
         if Hashtbl.length t.floats < 4096 then Hashtbl.add t.floats x s;
         s
     in
@@ -332,7 +345,8 @@ let write t kind session a b =
   incr_seq t;
   t.emitted <- t.emitted + 1
 
-let create file =
+let create ?(schema = schema) file =
+  let schema_name = schema in
   let fd =
     try Unix.openfile file [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
     with Unix.Unix_error (e, _, _) ->
@@ -363,7 +377,7 @@ let create file =
   in
   Bytes.blit_string "{\"seq\":0" 0 t.seqb 0 8;
   Bytes.blit_string ",\"t\":" 0 t.tchunk 0 5;
-  let header = header_line ^ "\n" in
+  let header = header_line schema_name ^ "\n" in
   write_all fd (Bytes.unsafe_of_string header) 0 (String.length header);
   t.as_sink <- Obs.Sink.make (fun kind ~session ~a ~b -> write t kind session a b);
   t
@@ -384,7 +398,7 @@ let close t =
     Unix.close t.fd
   end
 
-let with_file file f =
-  let t = create file in
+let with_file ?schema file f =
+  let t = create ?schema file in
   let r = Fun.protect ~finally:(fun () -> close t) (fun () -> f t.as_sink) in
   (r, t.emitted)

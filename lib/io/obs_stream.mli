@@ -19,8 +19,9 @@
       [Obs_export.read_trace_jsonl] reports.
 
     Payload floats ([a], [b]) are written losslessly: integers as bare
-    decimal digits, everything else as [%.17g] (17 significant digits
-    always round-trip a double), so a read-back payload equals the
+    decimal digits, everything else through the shortest-round-trip
+    renderer shared with the JSON exporters
+    ([Json_export.float_to_string]), so a read-back payload equals the
     emitted one bit for bit.  Timestamps are fixed-point seconds with
     nine fractional digits, sampled from {!Obs.now} once every few
     events rather than per event: the clock behind [Obs.now] ticks in
@@ -39,9 +40,14 @@
 
 type t
 
-(** [create path] truncates/creates [path] and writes the header line.
-    Raises [Sys_error] when the file cannot be opened. *)
-val create : string -> t
+(** [create ?schema path] truncates/creates [path] and writes the
+    header line.  [schema] defaults to [overlay-obs-trace/2]; the
+    churn engine passes [Obs_export.schema_engine]
+    ([overlay-engine-trace/1]) to mark a capture that carries the
+    engine event vocabulary — the line format is identical and
+    [Obs_export.read_trace] accepts both.  Raises [Sys_error] when the
+    file cannot be opened. *)
+val create : ?schema:string -> string -> t
 
 (** [sink t] is the recording sink; always enabled until {!close}.
     Emitting after {!close} raises [Invalid_argument]. *)
@@ -57,7 +63,7 @@ val emitted : t -> int
     Idempotent. *)
 val close : t -> unit
 
-(** [with_file path f] runs [f sink] with a fresh stream, closing it
-    (footer included) whether [f] returns or raises.  Returns [f]'s
-    value and the number of events captured. *)
-val with_file : string -> (Obs.Sink.t -> 'a) -> 'a * int
+(** [with_file ?schema path f] runs [f sink] with a fresh stream,
+    closing it (footer included) whether [f] returns or raises.
+    Returns [f]'s value and the number of events captured. *)
+val with_file : ?schema:string -> string -> (Obs.Sink.t -> 'a) -> 'a * int

@@ -158,6 +158,189 @@ module Alloc = struct
     per_iter
 end
 
+module Histogram = struct
+  (* Log-bucketed value/latency histogram, DDSketch-style.  Buckets are
+     geometric with ratio gamma = 2^(1/16) (16 buckets per octave):
+     bucket [i] covers [2^((i-bias)/16), 2^((i-bias+1)/16)), and a
+     quantile query answers the geometric midpoint 2^((i-bias+0.5)/16)
+     of the bucket holding the requested rank — so every reported
+     quantile is within a relative error of 2^(1/32) - 1 < 2.2% of the
+     true sample.  The layout spans 2^-64 .. 2^64 (2048 buckets);
+     values outside clamp to the edge buckets, non-positive and NaN
+     values land in a dedicated zero bucket.
+
+     Recording is domain-safe and allocation-free: one atomic
+     fetch-and-add on the bucket, one on the fixed-point sum — no CAS
+     loops, no boxing.  The sum is kept in units of 2^-30 (~1e-9), so
+     it is exact to about a nanosecond per sample and holds totals up
+     to ~4.3e9; min/max are derived from the extreme non-empty buckets
+     at read time rather than maintained in the hot path. *)
+
+  let octave = 16                 (* buckets per factor of 2 *)
+  let bias = 1024                 (* bucket of values in [1, gamma) *)
+  let n_buckets = 2048
+  let sum_scale = 1073741824.0    (* 2^30 fixed-point units per 1.0 *)
+
+  type t = {
+    name : string;
+    mutable doc : string;
+    zeros : int Atomic.t;         (* samples <= 0 (and NaN) *)
+    sum_fp : int Atomic.t;        (* sum of samples, 2^-30 fixed point *)
+    buckets : int Atomic.t array;
+  }
+
+  type bucket = { b_lo : float; b_hi : float; b_count : int }
+
+  type snapshot = {
+    s_count : int;
+    s_zeros : int;
+    s_sum : float;
+    s_min : float;
+    s_max : float;
+    s_buckets : bucket list;      (* non-empty positive buckets, ascending *)
+  }
+
+  let create ?(doc = "") name =
+    {
+      name;
+      doc;
+      zeros = Atomic.make 0;
+      sum_fp = Atomic.make 0;
+      buckets = Array.init n_buckets (fun _ -> Atomic.make 0);
+    }
+
+  let table : (string, t) Hashtbl.t = Hashtbl.create 16
+
+  let make ?doc name =
+    Mutex.protect registry_lock (fun () ->
+        match Hashtbl.find_opt table name with
+        | Some h ->
+          (match doc with
+          | Some d when h.doc = "" -> h.doc <- d
+          | _ -> ());
+          h
+        | None ->
+          let h = create ?doc name in
+          Hashtbl.add table name h;
+          h)
+
+  let name h = h.name
+
+  let bucket_index v =
+    (* v > 0 and not NaN here *)
+    let l = Float.log2 v in
+    if l <= -64.0 then 0
+    else if l >= 64.0 then n_buckets - 1
+    else bias + int_of_float (Float.floor (l *. float_of_int octave))
+
+  let lower_bound i = Float.exp2 (float_of_int (i - bias) /. float_of_int octave)
+  let upper_bound i = lower_bound (i + 1)
+
+  (* geometric midpoint of bucket [i] — the canonical representative
+     every read-side estimate (quantile, min, max) answers with.
+     Computed as sqrt(lo * hi) over the exact bound floats so estimates
+     made from a frozen snapshot (which carries the bounds, not the
+     index) are bit-identical to live queries. *)
+  let representative i = Float.sqrt (lower_bound i *. upper_bound i)
+
+  let record h v =
+    if Float.is_nan v || v <= 0.0 then Atomic.incr h.zeros
+    else begin
+      Atomic.incr h.buckets.(bucket_index v);
+      let fp = int_of_float ((v *. sum_scale) +. 0.5) in
+      ignore (Atomic.fetch_and_add h.sum_fp fp)
+    end
+
+  let count h =
+    let n = ref (Atomic.get h.zeros) in
+    Array.iter (fun b -> n := !n + Atomic.get b) h.buckets;
+    !n
+
+  let sum h = float_of_int (Atomic.get h.sum_fp) /. sum_scale
+
+  let quantile h p =
+    if Float.is_nan p || p < 0.0 || p > 1.0 then
+      invalid_arg "Obs.Histogram.quantile: p must be in [0, 1]";
+    let zeros = Atomic.get h.zeros in
+    let counts = Array.map Atomic.get h.buckets in
+    let total = Array.fold_left ( + ) zeros counts in
+    if total = 0 then 0.0
+    else begin
+      (* nearest-rank with half-up rounding, matching the historical
+         sorted-array percentile index [round (p * (n-1))] *)
+      let rank = int_of_float ((p *. float_of_int (total - 1)) +. 0.5) in
+      if rank < zeros then 0.0
+      else begin
+        let cum = ref zeros and res = ref 0.0 and found = ref false in
+        (try
+           for i = 0 to n_buckets - 1 do
+             cum := !cum + counts.(i);
+             if (not !found) && !cum > rank then begin
+               res := representative i;
+               found := true;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        !res
+      end
+    end
+
+  (* [merge ~into src] adds [src]'s contents into [into]; [src] is
+     unchanged.  Safe while either side records concurrently (counts
+     are transferred with atomic adds), which is what makes per-window
+     histograms composable into run totals. *)
+  let merge ~into src =
+    if into != src then begin
+      let z = Atomic.get src.zeros in
+      if z > 0 then ignore (Atomic.fetch_and_add into.zeros z);
+      let s = Atomic.get src.sum_fp in
+      if s <> 0 then ignore (Atomic.fetch_and_add into.sum_fp s);
+      for i = 0 to n_buckets - 1 do
+        let c = Atomic.get src.buckets.(i) in
+        if c > 0 then ignore (Atomic.fetch_and_add into.buckets.(i) c)
+      done
+    end
+
+  let snapshot h =
+    let zeros = Atomic.get h.zeros in
+    let counts = Array.map Atomic.get h.buckets in
+    let total = Array.fold_left ( + ) zeros counts in
+    let buckets = ref [] in
+    let lo_i = ref (-1) and hi_i = ref (-1) in
+    for i = n_buckets - 1 downto 0 do
+      if counts.(i) > 0 then begin
+        buckets :=
+          { b_lo = lower_bound i; b_hi = upper_bound i; b_count = counts.(i) }
+          :: !buckets;
+        lo_i := i;
+        if !hi_i < 0 then hi_i := i
+      end
+    done;
+    let s_min =
+      if zeros > 0 then 0.0
+      else if !lo_i >= 0 then representative !lo_i
+      else 0.0
+    in
+    let s_max =
+      if !hi_i >= 0 then representative !hi_i
+      else 0.0
+    in
+    {
+      s_count = total;
+      s_zeros = zeros;
+      s_sum = float_of_int (Atomic.get h.sum_fp) /. sum_scale;
+      s_min;
+      s_max;
+      s_buckets = !buckets;
+    }
+
+  let reset h =
+    Atomic.set h.zeros 0;
+    Atomic.set h.sum_fp 0;
+    Array.iter (fun b -> Atomic.set b 0) h.buckets
+end
+
 module Registry = struct
   let counters () =
     Mutex.protect registry_lock (fun () ->
@@ -175,16 +358,34 @@ module Registry = struct
           Gauge.table [])
     |> List.sort compare
 
+  let histograms () =
+    (* take the name list under the lock, snapshot outside it: a
+       snapshot scans 2048 atomics and must not hold the registry
+       mutex against recorders racing on [make] *)
+    let hs =
+      Mutex.protect registry_lock (fun () ->
+          Hashtbl.fold (fun _ (h : Histogram.t) acc -> h :: acc) Histogram.table [])
+    in
+    List.map
+      (fun (h : Histogram.t) ->
+        (h.Histogram.name, h.Histogram.doc, Histogram.snapshot h))
+      hs
+    |> List.sort compare
+
   let find_counter name =
     Mutex.protect registry_lock (fun () -> Hashtbl.find_opt Counter.table name)
 
   let find_gauge name =
     Mutex.protect registry_lock (fun () -> Hashtbl.find_opt Gauge.table name)
 
+  let find_histogram name =
+    Mutex.protect registry_lock (fun () -> Hashtbl.find_opt Histogram.table name)
+
   let reset_all () =
     Mutex.protect registry_lock (fun () ->
         Hashtbl.iter (fun _ (c : Counter.t) -> Atomic.set c.Counter.n 0) Counter.table;
-        Hashtbl.iter (fun _ (g : Gauge.t) -> Atomic.set g.Gauge.v 0.0) Gauge.table)
+        Hashtbl.iter (fun _ (g : Gauge.t) -> Atomic.set g.Gauge.v 0.0) Gauge.table;
+        Hashtbl.iter (fun _ (h : Histogram.t) -> Histogram.reset h) Histogram.table)
 end
 
 (* --- debug flags ------------------------------------------------------- *)
@@ -241,6 +442,11 @@ type kind =
   | Session_rate
   | Span_open
   | Span_close
+  | Event_start
+  | Event_end
+  | Rung_attempt
+  | Cold_fallback
+  | Certify_fail
 
 let kind_name = function
   | Run_start -> "run_start"
@@ -256,12 +462,18 @@ let kind_name = function
   | Session_rate -> "session_rate"
   | Span_open -> "span_open"
   | Span_close -> "span_close"
+  | Event_start -> "event_start"
+  | Event_end -> "event_end"
+  | Rung_attempt -> "rung_attempt"
+  | Cold_fallback -> "cold_fallback"
+  | Certify_fail -> "certify_fail"
 
 let all_kinds =
   [
     Run_start; Run_end; Iter_start; Iter_end; Phase_start; Phase_end;
     Demand_double; Rescale; Mst_recompute; Mst_lazy_skip; Session_rate;
-    Span_open; Span_close;
+    Span_open; Span_close; Event_start; Event_end; Rung_attempt;
+    Cold_fallback; Certify_fail;
   ]
 
 let kind_of_name s = List.find_opt (fun k -> kind_name k = s) all_kinds
@@ -281,6 +493,11 @@ let kind_code = function
   | Session_rate -> 10
   | Span_open -> 11
   | Span_close -> 12
+  | Event_start -> 13
+  | Event_end -> 14
+  | Rung_attempt -> 15
+  | Cold_fallback -> 16
+  | Certify_fail -> 17
 
 let kind_of_code = function
   | 0 -> Run_start
@@ -296,6 +513,11 @@ let kind_of_code = function
   | 10 -> Session_rate
   | 11 -> Span_open
   | 12 -> Span_close
+  | 13 -> Event_start
+  | 14 -> Event_end
+  | 15 -> Rung_attempt
+  | 16 -> Cold_fallback
+  | 17 -> Certify_fail
   | c -> invalid_arg (Printf.sprintf "Obs.kind_of_code: %d" c)
 
 module Event = struct

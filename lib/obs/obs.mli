@@ -143,10 +143,100 @@ module Alloc : sig
   val measure : ?warmup:int -> iters:int -> (unit -> unit) -> float
 end
 
+module Histogram : sig
+  (** Log-bucketed value/latency histograms with bounded relative
+      quantile error, in the DDSketch family.
+
+      Buckets are geometric with ratio [2^(1/16)] (16 per octave)
+      spanning [2^-64 .. 2^64]; a quantile query answers the geometric
+      midpoint of the bucket holding the requested rank, so {b every
+      reported quantile is within a relative error of [2^(1/32) - 1 <
+      2.2%]} of a true sample (non-positive and NaN samples land in a
+      dedicated exact zero bucket).  Bucket boundaries are fixed by
+      the value alone, which makes histograms {e mergeable}: recording
+      into per-window histograms and {!merge}-ing them is equivalent to
+      recording everything into one.
+
+      {b Domain safety and cost.}  {!record} is allocation-free and
+      safe from any number of domains: one atomic fetch-and-add on the
+      bucket counter plus one on the fixed-point sum (units of [2^-30],
+      so sums are exact to ~1e-9 per sample and hold totals up to
+      ~4.3e9).  Reads ({!quantile}, {!snapshot}) scan the bucket array
+      and may run concurrently with recorders; they observe some
+      consistent prefix of the updates. *)
+
+  type t
+
+  (** One non-empty positive bucket of a {!snapshot}: [b_count] samples
+      fell in [[b_lo, b_hi)]. *)
+  type bucket = { b_lo : float; b_hi : float; b_count : int }
+
+  (** A consistent read of a histogram.  [s_min]/[s_max] are the
+      representatives (geometric midpoints) of the extreme non-empty
+      buckets — estimates under the same 2.2% bound, not exact
+      extremes; both are [0.0] when the histogram is empty.
+      [s_buckets] lists the non-empty positive buckets ascending;
+      samples in the zero bucket appear only in [s_zeros]/[s_count]. *)
+  type snapshot = {
+    s_count : int;
+    s_zeros : int;
+    s_sum : float;
+    s_min : float;
+    s_max : float;
+    s_buckets : bucket list;
+  }
+
+  (** [make ?doc name] returns the registered histogram called [name]
+      — same idempotent-by-name semantics as {!Counter.make}, listed by
+      {!Registry.histograms}. *)
+  val make : ?doc:string -> string -> t
+
+  (** [create ?doc name] builds an {e unregistered} histogram — for
+      transient aggregations (per-window percentiles in [lib/analysis],
+      CLI summaries) that must not pollute the process registry. *)
+  val create : ?doc:string -> string -> t
+
+  val name : t -> string
+
+  (** [record h v] adds one sample.  [v <= 0] and NaN count into the
+      zero bucket (contributing 0 to the sum); [+inf] clamps into the
+      topmost bucket. *)
+  val record : t -> float -> unit
+
+  (** [count h] is the total number of recorded samples (including
+      zeros). *)
+  val count : t -> int
+
+  (** [sum h] is the fixed-point sum of the positive samples. *)
+  val sum : t -> float
+
+  (** [quantile h p] estimates the [p]-quantile (nearest-rank with
+      half-up rounding over the recorded samples) within the 2.2%
+      relative-error bound; ranks falling in the zero bucket answer
+      [0.0], as does an empty histogram.  Raises [Invalid_argument]
+      unless [0 <= p <= 1]. *)
+  val quantile : t -> float -> float
+
+  (** [merge ~into src] adds [src]'s contents into [into] ([src] is
+      unchanged; merging a histogram into itself is a no-op).  Safe
+      while either side is concurrently recording. *)
+  val merge : into:t -> t -> unit
+
+  (** [snapshot h] reads the whole histogram at once (the export /
+      exposition surface). *)
+  val snapshot : t -> snapshot
+
+  (** [reset h] forgets all samples — test isolation, like
+      {!Counter.reset}. *)
+  val reset : t -> unit
+end
+
 module Registry : sig
   (** Read-side of the process-wide metric registry: everything
-      {!Counter.make} and {!Gauge.make} ever created, for dumping into
-      bench reports ([Obs_export.registry] in [lib/io]). *)
+      {!Counter.make}, {!Gauge.make} and {!Histogram.make} ever
+      created, for dumping into bench reports ([Obs_export.registry]
+      in [lib/io]) and the Prometheus exposition
+      ([Metrics_export.prometheus]). *)
 
   (** [counters ()] lists [(name, doc, value)] sorted by name. *)
   val counters : unit -> (string * string * int) list
@@ -154,14 +244,22 @@ module Registry : sig
   (** [gauges ()] lists [(name, doc, value)] sorted by name. *)
   val gauges : unit -> (string * string * float) list
 
+  (** [histograms ()] lists [(name, doc, snapshot)] sorted by name. *)
+  val histograms : unit -> (string * string * Histogram.snapshot) list
+
   (** [find_counter name] looks a counter up without creating it. *)
   val find_counter : string -> Counter.t option
 
   (** [find_gauge name] looks a gauge up without creating it. *)
   val find_gauge : string -> Gauge.t option
 
-  (** [reset_all ()] zeroes every counter and gauge — test isolation
-      only; benches prefer before/after snapshots. *)
+  (** [find_histogram name] looks a registered histogram up without
+      creating it. *)
+  val find_histogram : string -> Histogram.t option
+
+  (** [reset_all ()] zeroes every counter, gauge and registered
+      histogram — test isolation only; benches prefer before/after
+      snapshots. *)
   val reset_all : unit -> unit
 end
 
@@ -227,7 +325,28 @@ end
       session slot, [a] = rate.
     - [Span_open] / [Span_close]: see {!Span}.  [session] = interned
       span name; on close, [a] = duration in seconds, [b] = nesting
-      depth after closing (outermost spans close at depth 0). *)
+      depth after closing (outermost spans close at depth 0).
+
+    The last five kinds form the churn-engine vocabulary of the
+    [overlay-engine-trace/1] schema ([lib/engine] emits them from
+    [Engine.apply]; see OBSERVABILITY.md):
+
+    - [Event_start]: a churn event enters the engine.  [session] =
+      session id (or edge id for capacity changes), [a] = churn
+      event-type code (0 join, 1 leave, 2 demand change, 3 capacity
+      change, 4 initial solve), [b] = the trace's logical event time.
+    - [Event_end]: the event's re-solve finished.  [session] as on
+      start, [a] = end-to-end latency in seconds, [b] = 1.0 when the
+      warm path was accepted, 0.0 for a cold solve.
+    - [Rung_attempt]: one rung of the progressive room ladder was
+      tried.  [session] = 0-based rung index, [a] = the rung's room in
+      nats, [b] = 1.0 when its certificate was accepted, else 0.0.
+    - [Cold_fallback]: the engine solved from scratch.  [a] = warm
+      rungs burned before falling back (0.0 for an initial solve with
+      no duals to inherit).
+    - [Certify_fail]: a certificate was rejected.  [session] = rung
+      index ([-1] for the cold path), [a] = the rung's room in nats,
+      [b] = number of violations. *)
 type kind =
   | Run_start
   | Run_end
@@ -242,6 +361,11 @@ type kind =
   | Session_rate
   | Span_open
   | Span_close
+  | Event_start
+  | Event_end
+  | Rung_attempt
+  | Cold_fallback
+  | Certify_fail
 
 (** [kind_name k] is the lowercase wire name used in JSON/CSV exports
     (e.g. [Iter_start] -> ["iter_start"]). *)

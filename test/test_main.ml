@@ -17,6 +17,7 @@ let () =
       ("invariants", Test_invariants.suite);
       ("incremental-lengths", Test_incremental_lengths.suite);
       ("obs", Test_obs.suite);
+      ("histogram", Test_histogram.suite);
       ("trace-analysis", Test_trace_analysis.suite);
       ("par", Test_par.suite);
       ("par-determinism", Test_par_determinism.suite);
@@ -25,4 +26,5 @@ let () =
       ("flat", Test_flat.suite);
       ("sparsify", Test_sparsify.suite);
       ("engine", Test_engine.suite);
+      ("engine-trace", Test_engine_trace.suite);
     ]
