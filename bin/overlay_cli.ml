@@ -987,6 +987,298 @@ let churn_cmd =
       const run $ seed $ nodes $ mode $ algorithm $ ratio $ sparsify
       $ trace_file $ verbose $ trace_stream $ metrics_out $ metrics_interval)
 
+(* --- serve / client: the control-plane daemon over overlay-wire/1 ----------- *)
+
+let engine_solver algorithm ratio =
+  match algorithm with
+  | "maxflow" -> (Engine.Maxflow, Max_flow.ratio_to_epsilon ratio)
+  | "mcf" ->
+    ( Engine.Mcf
+        {
+          variant = Max_concurrent_flow.Paper;
+          scaling = Max_concurrent_flow.Maxflow_weighted;
+        },
+      Max_concurrent_flow.ratio_to_epsilon ratio )
+  | other -> failwith (Printf.sprintf "unknown algorithm %S (maxflow|mcf)" other)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"PORT" ~doc:"TCP port on 127.0.0.1.")
+
+let addr_to_string = function
+  | Unix.ADDR_UNIX path -> Printf.sprintf "unix:%s" path
+  | Unix.ADDR_INET (host, port) ->
+    Printf.sprintf "tcp:%s:%d" (Unix.string_of_inet_addr host) port
+
+let serve_cmd =
+  let run seed nodes mode algorithm ratio sparsify socket port max_frame
+      max_sessions metrics_out metrics_interval =
+    if socket = None && port = None then begin
+      prerr_endline "serve: need --socket PATH and/or --port PORT";
+      exit 2
+    end;
+    let rng = Rng.create seed in
+    let topology = Waxman.generate rng { Waxman.default_params with n = nodes } in
+    let graph = topology.Topology.graph in
+    let solver, epsilon = engine_solver algorithm ratio in
+    let config =
+      { Engine.default_config with Engine.solver; epsilon; mode; sparsify }
+    in
+    let engine = Engine.create ~config graph [||] in
+    let limits =
+      { Wire.default_limits with Wire.max_frame; max_sessions }
+    in
+    let addrs =
+      (match socket with Some p -> [ Unix.ADDR_UNIX p ] | None -> [])
+      @
+      match port with
+      | Some p -> [ Unix.ADDR_INET (Unix.inet_addr_loopback, p) ]
+      | None -> []
+    in
+    let daemon =
+      Daemon.create
+        ~config:{ Daemon.default_config with Daemon.limits }
+        ~engine addrs
+    in
+    Printf.printf
+      "overlay-wire/%d daemon: %d routers, %d links, %s ratio %.2f\n"
+      Wire.version (Topology.n_nodes topology) (Topology.n_links topology)
+      algorithm ratio;
+    List.iter
+      (fun a -> Printf.printf "listening on %s\n" (addr_to_string a))
+      addrs;
+    flush stdout;
+    let metrics_out = Option.map (fun f -> (f, metrics_interval)) metrics_out in
+    Daemon.run ?metrics_out daemon;
+    let s = Daemon.stats daemon in
+    Printf.printf
+      "drained: %d connections, %d frames in, %d events applied, %d errors \
+       sent, %d active sessions, objective %.3f\n"
+      s.Daemon.accepted s.Daemon.frames_in s.Daemon.events_applied
+      s.Daemon.errors_sent
+      (Engine.n_sessions engine)
+      (Engine.objective engine)
+  in
+  let algorithm =
+    Arg.(
+      value & opt string "maxflow"
+      & info [ "algorithm"; "a" ] ~docv:"ALG" ~doc:"maxflow | mcf.")
+  in
+  let ratio =
+    Arg.(
+      value & opt float 0.95
+      & info [ "ratio" ] ~docv:"R" ~doc:"FPTAS approximation ratio.")
+  in
+  let sparsify =
+    Arg.(
+      value
+      & opt sparsify_conv Sparsify.full
+      & info [ "sparsify" ] ~docv:"STRAT"
+          ~doc:"Candidate overlay edge policy for joining sessions.")
+  in
+  let max_frame =
+    Arg.(
+      value
+      & opt int Wire.default_limits.Wire.max_frame
+      & info [ "max-frame" ] ~docv:"BYTES"
+          ~doc:"Largest accepted frame body; oversized frames are refused.")
+  in
+  let max_sessions =
+    Arg.(
+      value
+      & opt int Wire.default_limits.Wire.max_sessions
+      & info [ "max-sessions" ] ~docv:"N"
+          ~doc:"Joins beyond $(docv) active sessions are refused.")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Re-write the Prometheus exposition to $(docv) every \
+             $(b,--metrics-interval) seconds while serving (clients can \
+             also pull it over the wire with $(b,metrics_pull)).")
+  in
+  let metrics_interval =
+    Arg.(
+      value & opt float 5.0
+      & info [ "metrics-interval" ] ~docv:"SECONDS"
+          ~doc:"Interval for $(b,--metrics-out) rewrites.")
+  in
+  let doc =
+    "Run the always-on control-plane daemon: listen on a Unix-domain \
+     socket and/or a loopback TCP port, feed overlay-wire/1 churn events \
+     into the warm-started re-solve engine, and stream a solve_report per \
+     event.  Malformed frames get an error reply and a closed connection; \
+     SIGTERM drains in-flight events before exit."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ seed $ nodes $ mode $ algorithm $ ratio $ sparsify
+      $ socket_arg $ port_arg $ max_frame $ max_sessions $ metrics_out
+      $ metrics_interval)
+
+let client_cmd =
+  let run socket host port path metrics_pull verbose wait =
+    let addr =
+      match (socket, port) with
+      | Some p, _ -> Unix.ADDR_UNIX p
+      | None, Some p ->
+        let inet =
+          try Unix.inet_addr_of_string host
+          with Failure _ -> (
+            try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+            with Not_found ->
+              prerr_endline (Printf.sprintf "client: unknown host %S" host);
+              exit 2)
+        in
+        Unix.ADDR_INET (inet, p)
+      | None, None ->
+        prerr_endline "client: need --socket PATH or --port PORT";
+        exit 2
+    in
+    let trace =
+      let ic = open_in path in
+      Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+          Churn.read_trace ic)
+    in
+    let c =
+      try Wire_client.connect_retry ~attempts:(if wait then 100 else 1) addr
+      with Unix.Unix_error (e, _, _) ->
+        prerr_endline
+          (Printf.sprintf "client: cannot connect to %s: %s"
+             (addr_to_string addr) (Unix.error_message e));
+        exit 1
+    in
+    (match Wire_client.handshake c with
+    | Ok limits ->
+      Printf.printf
+        "connected to %s: overlay-wire/%d, max_frame %d, max_sessions %d\n"
+        (addr_to_string addr) Wire.version limits.Wire.max_frame
+        limits.Wire.max_sessions
+    | Error msg ->
+      prerr_endline (Printf.sprintf "client: handshake failed: %s" msg);
+      exit 1);
+    let latencies = ref [] in
+    let joins = ref 0 in
+    let uncertified = ref 0 in
+    let rejected = ref 0 in
+    let t0 = Obs.now () in
+    List.iter
+      (fun (te : Churn.timed) ->
+        let sent = Obs.now () in
+        Wire_client.send c (Wire_event.to_frame te);
+        match Wire_client.recv c with
+        | Ok (Wire.Solve_report { k; warm; certified; objective; _ }) ->
+          latencies := (Obs.now () -. sent) :: !latencies;
+          (match te.Churn.event with
+          | Churn.Session_join _ -> incr joins
+          | _ -> ());
+          if not certified then incr uncertified;
+          if verbose then
+            Printf.printf "%8.2f  %-40s k=%-3d %s obj=%10.3f\n" te.Churn.at
+              (Churn.event_to_string te.Churn.event)
+              k
+              (if warm then "warm" else "cold")
+              objective
+        | Ok (Wire.Error { code; message }) ->
+          incr rejected;
+          Printf.eprintf "event rejected (%s): %s\n"
+            (Wire.error_code_name code) message
+        | Ok f ->
+          incr rejected;
+          Printf.eprintf "unexpected reply %s\n" (Wire.frame_name f)
+        | Error msg ->
+          prerr_endline (Printf.sprintf "client: transport failed: %s" msg);
+          exit 1)
+      trace;
+    let wall = Obs.now () -. t0 in
+    let lat = Array.of_list (List.rev !latencies) in
+    Printf.printf
+      "replayed %d events in %.2fs over the wire: round-trip p50 %.2fms \
+       p99 %.2fms, %.1f joins/s sustained\n"
+      (List.length trace) wall
+      (if Array.length lat = 0 then 0.0 else Stats.percentile lat 50.0 *. 1e3)
+      (if Array.length lat = 0 then 0.0 else Stats.percentile lat 99.0 *. 1e3)
+      (float_of_int !joins /. Float.max wall 1e-9);
+    (match metrics_pull with
+    | Some file -> (
+      Wire_client.send c (Wire.Metrics_pull { format = Wire.Prometheus });
+      match Wire_client.recv c with
+      | Ok (Wire.Metrics_reply { body; _ }) ->
+        let oc = open_out file in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc body);
+        Printf.printf "pulled %d bytes of exposition to %s\n"
+          (String.length body) file
+      | Ok f ->
+        prerr_endline
+          (Printf.sprintf "client: expected metrics_reply, got %s"
+             (Wire.frame_name f));
+        exit 1
+      | Error msg ->
+        prerr_endline (Printf.sprintf "client: metrics pull failed: %s" msg);
+        exit 1)
+    | None -> ());
+    Wire_client.close c;
+    if !uncertified > 0 || !rejected > 0 then begin
+      Printf.printf "%d events uncertified, %d rejected\n" !uncertified
+        !rejected;
+      exit 1
+    end
+  in
+  let host =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"HOST" ~doc:"TCP host (with --port).")
+  in
+  let trace_file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE" ~doc:"Churn trace file to replay over the wire.")
+  in
+  let metrics_pull =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-pull" ] ~docv:"FILE"
+          ~doc:
+            "After the replay, pull the daemon's Prometheus exposition over \
+             the wire and write it to $(docv).")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "verbose"; "v" ] ~doc:"Print one line per replayed event.")
+  in
+  let wait =
+    Arg.(
+      value & flag
+      & info [ "wait" ]
+          ~doc:"Retry the connection for up to 5s (daemon still starting).")
+  in
+  let doc =
+    "Replay a churn trace against a running daemon over overlay-wire/1 and \
+     report p50/p99 round-trip latency and sustained joins per second.  \
+     Exits nonzero if any event was rejected or its solution failed \
+     certification."
+  in
+  Cmd.v (Cmd.info "client" ~doc)
+    Term.(
+      const run $ socket_arg $ host $ port_arg $ trace_file $ metrics_pull
+      $ verbose $ wait)
+
 (* --- topo: inspect generated topologies ------------------------------------- *)
 
 let topo_cmd =
@@ -1028,4 +1320,4 @@ let () =
     "Optimized capacity utilization in overlay networks (Cui/Li/Nahrstedt, SPAA 2004)"
   in
   let info = Cmd.info "overlay_cli" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ tables_cmd; figures_cmd; eval_cmd; solve_cmd; export_cmd; churn_cmd; topo_cmd; obs_cmd; metrics_cmd; trace_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ tables_cmd; figures_cmd; eval_cmd; solve_cmd; export_cmd; churn_cmd; serve_cmd; client_cmd; topo_cmd; obs_cmd; metrics_cmd; trace_cmd ]))

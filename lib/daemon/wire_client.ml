@@ -1,0 +1,133 @@
+type t = {
+  fd : Unix.file_descr;
+  limits : Wire.limits;
+  mutable rbuf : Bytes.t;
+  mutable rlen : int;
+  mutable eof : bool;
+  mutable closed : bool;
+}
+
+let connect ?(limits = Wire.default_limits) addr =
+  let domain = Unix.domain_of_sockaddr addr in
+  let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd addr
+   with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+  { fd; limits; rbuf = Bytes.create 4096; rlen = 0; eof = false;
+    closed = false }
+
+let connect_retry ?limits ?(attempts = 40) ?(delay = 0.05) addr =
+  let rec go n =
+    match connect ?limits addr with
+    | t -> t
+    | exception
+        Unix.Unix_error ((ECONNREFUSED | ENOENT | ECONNRESET), _, _)
+      when n > 1 ->
+      Unix.sleepf delay;
+      go (n - 1)
+  in
+  go (max 1 attempts)
+
+let fd t = t.fd
+
+let write_all fd buf pos len =
+  let off = ref pos in
+  let stop = pos + len in
+  while !off < stop do
+    let n = Unix.write fd buf !off (stop - !off) in
+    off := !off + n
+  done
+
+let send t frame =
+  let buf = Wire.encode frame in
+  write_all t.fd buf 0 (Bytes.length buf)
+
+let send_bytes t buf ~pos ~len = write_all t.fd buf pos len
+
+let shutdown_send t =
+  try Unix.shutdown t.fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ()
+
+let ensure_room t extra =
+  let need = t.rlen + extra in
+  if Bytes.length t.rbuf < need then begin
+    let cap = max need (2 * Bytes.length t.rbuf) in
+    let nb = Bytes.create cap in
+    Bytes.blit t.rbuf 0 nb 0 t.rlen;
+    t.rbuf <- nb
+  end
+
+let consume t used =
+  let rest = t.rlen - used in
+  if rest > 0 then Bytes.blit t.rbuf used t.rbuf 0 rest;
+  t.rlen <- rest
+
+let readable fd timeout =
+  match Unix.select [ fd ] [] [] timeout with
+  | [], _, _ -> false
+  | _ -> true
+
+let rec try_recv t =
+  match Wire.decode ~limits:t.limits t.rbuf ~pos:0 ~len:t.rlen with
+  | Wire.Frame (f, used) ->
+    consume t used;
+    `Frame f
+  | Wire.Corrupt e ->
+    `Error
+      (Printf.sprintf "undecodable reply at byte %d: %s (%s)" e.offset
+         e.reason (Wire.error_code_name e.code))
+  | Wire.Need _ ->
+    if t.eof || t.closed then `Closed
+    else if not (readable t.fd 0.0) then `Pending
+    else begin
+      ensure_room t 65536;
+      match Unix.read t.fd t.rbuf t.rlen (Bytes.length t.rbuf - t.rlen) with
+      | 0 ->
+        t.eof <- true;
+        `Closed
+      | n ->
+        t.rlen <- t.rlen + n;
+        try_recv t
+      | exception Unix.Unix_error (EAGAIN, _, _) -> `Pending
+      | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) ->
+        t.eof <- true;
+        `Closed
+    end
+
+let recv ?(timeout = 5.0) t =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    match try_recv t with
+    | `Frame f -> Ok f
+    | `Error msg -> Error msg
+    | `Closed -> Error "connection closed by peer"
+    | `Pending ->
+      let left = deadline -. Unix.gettimeofday () in
+      if left <= 0.0 then Error "timed out waiting for a frame"
+      else begin
+        ignore (readable t.fd (Float.min left 0.25));
+        go ()
+      end
+  in
+  go ()
+
+let handshake ?timeout t =
+  send t (Wire.Hello { version = Wire.version });
+  match recv ?timeout t with
+  | Ok (Wire.Hello_ack { version; limits }) ->
+    if version = Wire.version then Ok limits
+    else
+      Error
+        (Printf.sprintf "daemon speaks overlay-wire/%d, this client speaks /%d"
+           version Wire.version)
+  | Ok (Wire.Error { code; message }) ->
+    Error
+      (Printf.sprintf "daemon rejected hello: %s (%s)" message
+         (Wire.error_code_name code))
+  | Ok f ->
+    Error (Printf.sprintf "expected hello_ack, got %s" (Wire.frame_name f))
+  | Error msg -> Error msg
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end

@@ -1,0 +1,61 @@
+(** Client side of the [overlay-wire/1] connection: framing, the hello
+    handshake, and both blocking and non-blocking receive paths.
+
+    The non-blocking {!try_recv} exists so a single-threaded test or
+    bench can interleave client reads with {!Daemon.poll} rounds of an
+    in-process server — no threads, fully deterministic.  The blocking
+    {!recv} serves the out-of-process [overlay_cli client].
+
+    {!send_bytes} writes raw bytes with no framing at all; the
+    fault-injection suite uses it for split writes, truncated frames
+    and garbage. *)
+
+type t
+
+(** [connect ?limits addr] opens a stream connection to a daemon at
+    [addr] (Unix-domain or TCP).  [limits] bounds the {e replies} this
+    client will accept (default {!Wire.default_limits}).  Raises
+    [Unix.Unix_error] when the endpoint is unreachable. *)
+val connect : ?limits:Wire.limits -> Unix.sockaddr -> t
+
+(** [connect_retry ?limits ?attempts ?delay addr] retries {!connect}
+    while the endpoint refuses or does not exist yet — for racing a
+    daemon that is still binding its socket.  Default 40 attempts,
+    0.05 s apart. *)
+val connect_retry :
+  ?limits:Wire.limits -> ?attempts:int -> ?delay:float -> Unix.sockaddr -> t
+
+val fd : t -> Unix.file_descr
+
+(** [send t frame] encodes and writes the whole frame (blocking).
+    Raises [Unix.Unix_error] on a dead peer. *)
+val send : t -> Wire.frame -> unit
+
+(** [send_bytes t buf ~pos ~len] writes raw bytes, bypassing the
+    encoder. *)
+val send_bytes : t -> Bytes.t -> pos:int -> len:int -> unit
+
+(** [shutdown_send t] half-closes the write side (the daemon sees
+    EOF) while leaving the read side open. *)
+val shutdown_send : t -> unit
+
+(** One non-blocking receive step.  [`Pending] means no complete frame
+    is buffered and the socket has nothing to read right now. *)
+val try_recv :
+  t ->
+  [ `Frame of Wire.frame  (** a complete, valid frame *)
+  | `Pending
+  | `Closed               (** EOF with no complete frame buffered *)
+  | `Error of string      (** the peer sent bytes that do not decode *)
+  ]
+
+(** [recv ?timeout t] blocks (up to [timeout] seconds, default 5) for
+    the next frame. *)
+val recv : ?timeout:float -> t -> (Wire.frame, string) result
+
+(** [handshake ?timeout t] sends [Hello] and waits for the ack;
+    returns the daemon's advertised limits.  An [Error] frame from the
+    daemon becomes [Error] with the daemon's message. *)
+val handshake : ?timeout:float -> t -> (Wire.limits, string) result
+
+val close : t -> unit

@@ -1,0 +1,37 @@
+let to_frame (timed : Churn.timed) : Wire.frame =
+  let at = timed.at in
+  match timed.event with
+  | Churn.Session_join { id; members; demand } ->
+    Wire.Session_join { at; id; demand; members = Array.copy members }
+  | Churn.Session_leave { id } -> Wire.Session_leave { at; id }
+  | Churn.Demand_change { id; demand } -> Wire.Demand_change { at; id; demand }
+  | Churn.Capacity_change { edge; capacity } ->
+    Wire.Capacity_change { at; edge; capacity }
+
+let of_frame (f : Wire.frame) : Churn.timed option =
+  match f with
+  | Wire.Session_join { at; id; demand; members } ->
+    Some
+      { Churn.at;
+        event = Churn.Session_join { id; members = Array.copy members; demand } }
+  | Wire.Session_leave { at; id } ->
+    Some { Churn.at; event = Churn.Session_leave { id } }
+  | Wire.Demand_change { at; id; demand } ->
+    Some { Churn.at; event = Churn.Demand_change { id; demand } }
+  | Wire.Capacity_change { at; edge; capacity } ->
+    Some { Churn.at; event = Churn.Capacity_change { edge; capacity } }
+  | _ -> None
+
+let report_to_frame ~seq (r : Engine.report) : Wire.frame =
+  Wire.Solve_report
+    {
+      seq;
+      at = r.Engine.at;
+      k = r.Engine.k;
+      warm = r.Engine.warm;
+      certified = r.Engine.certified;
+      attempts = min r.Engine.attempts 0xFFFF;
+      objective = r.Engine.objective;
+      solve_s = r.Engine.solve_s;
+      total_s = r.Engine.total_s;
+    }

@@ -1,0 +1,21 @@
+(** Mapping between the engine's churn vocabulary and the
+    [overlay-wire/1] frames that carry it.
+
+    The event frames embed the trace timestamp, so
+    [of_frame (to_frame e) = Some e] and a wire replay of a
+    {!Churn} trace reaches the engine as the identical [timed] list a
+    local {!Engine.replay} would see. *)
+
+(** [to_frame timed] is the wire frame for a churn event.  Raises
+    [Invalid_argument] (from the codec's validators) if the event's
+    fields are outside the version-1 wire domains — negative ids,
+    non-positive demand, fewer than two members. *)
+val to_frame : Churn.timed -> Wire.frame
+
+(** [of_frame f] is the churn event carried by [f], or [None] when [f]
+    is not one of the four event frames. *)
+val of_frame : Wire.frame -> Churn.timed option
+
+(** [report_to_frame ~seq report] is the [Solve_report] reply for one
+    applied event.  [attempts] saturates at the wire's u16. *)
+val report_to_frame : seq:int -> Engine.report -> Wire.frame

@@ -1,0 +1,49 @@
+(** Property cases for the [overlay-wire/1] codec ({!Wire}).
+
+    Two families, run under {!Prop.check} from [test/test_certify.ml]
+    with their own seed offsets:
+
+    - {!roundtrip}: for a random valid frame (including limit-edge
+      member counts and empty/binary string payloads),
+      encode → decode is the identity — bit-exact under
+      {!Wire.frame_equal} — [encoded_length] agrees with the buffer,
+      encoding is position-independent, and every strict prefix
+      decodes to [Need] of exactly the full length.
+
+    - {!mutation_total}: for a random valid frame put through a random
+      byte flip, truncation, or replacement by garbage, [decode] is
+      total — it returns [Frame] (claiming no more bytes than
+      offered, and only frames inside the wire domain), [Need] (more
+      than offered, bounded by the frame limit), or [Corrupt] (offset
+      inside the slice) — and is independent of the bytes surrounding
+      the slice.  It must never raise and never read out of bounds. *)
+
+(** Generation limits: small enough that shrunk counterexamples stay
+    readable ([max_frame = 512], [max_members = 24]), with join sizes
+    drawn up to exactly [max_members]. *)
+val gen_limits : Wire.limits
+
+val gen_frame : Wire.frame Prop.Gen.t
+val shrink_frame : Wire.frame -> Wire.frame list
+val frame_to_string : Wire.frame -> string
+
+val roundtrip : Wire.frame -> (unit, string) result
+
+type mutation_kind =
+  | Flip      (** xor one byte of the encoding with a nonzero value *)
+  | Truncate  (** keep a strict prefix of the encoding *)
+  | Garbage   (** replace the encoding with derived pseudo-random bytes *)
+
+type mutation = {
+  frame : Wire.frame;
+  kind : mutation_kind;
+  pos : int;  (** flip index / prefix length / garbage length, reduced
+                  modulo the relevant bound when applied *)
+  byte : int; (** xor mask seed / garbage stream seed *)
+}
+
+val gen_mutation : mutation Prop.Gen.t
+val shrink_mutation : mutation -> mutation list
+val mutation_to_string : mutation -> string
+
+val mutation_total : mutation -> (unit, string) result

@@ -1,0 +1,132 @@
+(** [overlay-wire/1]: the control-plane daemon's binary frame format.
+
+    A frame is a big-endian 32-bit body length followed by the body —
+    one tag byte and a fixed per-tag payload layout (PROTOCOL.md has
+    the byte tables).  The codec is {e total} on the decode side: any
+    byte sequence, including adversarial input, yields [Frame], [Need]
+    or [Corrupt] — never an exception, never a read outside
+    [\[pos, pos+len)].  Every length, tag, count, code and flag is
+    bounds-checked against {!limits} before it is used, and a
+    [Corrupt] result carries the byte offset of the first violation.
+
+    Encoding is allocation-conscious: {!encode_into} writes into a
+    caller-owned buffer at a caller-chosen offset ({!encoded_length}
+    sizes it), so a steady-state sender reuses one scratch buffer.
+    Encoders validate their input and raise [Invalid_argument] on
+    out-of-range fields — malformed {e outgoing} frames are programmer
+    errors, unlike malformed incoming bytes. *)
+
+(** Hard bounds enforced during decode (and by the daemon on top).
+    [max_frame] bounds the body length declared in the frame header;
+    [max_members] bounds a join's member count; [max_sessions] is not a
+    codec-level bound — the daemon enforces it per join — but it
+    travels in [Hello_ack] so clients can see it. *)
+type limits = {
+  max_frame : int;     (** largest accepted body length, bytes *)
+  max_sessions : int;  (** advertised daemon-side cap on active sessions *)
+  max_members : int;   (** largest accepted member array in a join *)
+}
+
+(** 1 MiB frames, 4096 sessions, 65536 members. *)
+val default_limits : limits
+
+(** Protocol version carried in [Hello]/[Hello_ack]; this codec speaks
+    exactly version 1. *)
+val version : int
+
+(** Error codes carried by {!frame.Error} frames.  The u16 code space
+    is pinned (PROTOCOL.md): adding a code is a protocol version bump,
+    so decode rejects unknown codes. *)
+type error_code =
+  | Protocol_error       (** malformed frame: bad length, flag, count or code *)
+  | Unknown_tag          (** tag byte outside the version-1 table *)
+  | Limit_exceeded       (** frame, member or session limit violated *)
+  | Bad_event            (** well-formed event rejected by the engine *)
+  | Unsupported_version  (** hello carried a version this peer cannot speak *)
+  | Not_ready            (** event or pull before the hello handshake *)
+  | Shutting_down        (** daemon is draining; event not applied *)
+  | Internal             (** unexpected server-side failure *)
+
+val error_code_to_int : error_code -> int
+val error_code_of_int : int -> error_code option
+val error_code_name : error_code -> string
+
+type metrics_format =
+  | Prometheus  (** text exposition, format 0.0.4 *)
+  | Json        (** the [Obs_export.registry] object *)
+
+(** The version-1 frame vocabulary.  Client-to-server: [Hello], the
+    four churn events, [Metrics_pull], [Shutdown].  Server-to-client:
+    [Hello_ack], [Solve_report], [Metrics_reply], [Error], [Shutdown]
+    (echoed).  Event frames carry the trace timestamp [at] so a wire
+    replay preserves {!Churn.timed} exactly. *)
+type frame =
+  | Hello of { version : int }
+  | Hello_ack of { version : int; limits : limits }
+  | Session_join of { at : float; id : int; demand : float; members : int array }
+  | Session_leave of { at : float; id : int }
+  | Demand_change of { at : float; id : int; demand : float }
+  | Capacity_change of { at : float; edge : int; capacity : float }
+  | Solve_report of {
+      seq : int;         (** daemon-global event sequence number *)
+      at : float;        (** echo of the event's timestamp *)
+      k : int;           (** active sessions after the event *)
+      warm : bool;
+      certified : bool;
+      attempts : int;
+      objective : float;
+      solve_s : float;
+      total_s : float;
+    }
+  | Metrics_pull of { format : metrics_format }
+  | Metrics_reply of { format : metrics_format; body : string }
+  | Error of { code : error_code; message : string }
+  | Shutdown
+
+val tag_of_frame : frame -> int
+val frame_name : frame -> string
+
+(** Structural equality with exact float comparison (the round-trip
+    contract is bit-identity). *)
+val frame_equal : frame -> frame -> bool
+
+(** One-line rendering for logs and property-failure reports. *)
+val frame_to_string : frame -> string
+
+(** Where and why a decode rejected its input.  [offset] is relative to
+    the [pos] passed to {!decode} — the first byte the decoder could
+    not accept.  [code] is the coarse classification a server echoes
+    back in an [Error] frame ([Protocol_error], [Unknown_tag] or
+    [Limit_exceeded]); [reason] is the human-readable detail. *)
+type decode_error = { offset : int; code : error_code; reason : string }
+
+type progress =
+  | Frame of frame * int
+      (** a complete frame and the bytes it consumed (header included) *)
+  | Need of int
+      (** the slice is a valid prefix; at least this many total bytes
+          (from [pos]) are required before retrying *)
+  | Corrupt of decode_error
+
+(** Number of bytes in the frame header (the u32 body length). *)
+val header_size : int
+
+(** [decode ?limits buf ~pos ~len] reads at most one frame from
+    [buf.[pos .. pos+len-1]].  Total: never raises on any input
+    (including [len = 0]); raises [Invalid_argument] only if
+    [pos]/[len] do not describe a valid slice of [buf] — a caller bug,
+    not an input property. *)
+val decode : ?limits:limits -> Bytes.t -> pos:int -> len:int -> progress
+
+(** [encoded_length f] is the exact size of [f] on the wire, header
+    included.  Raises [Invalid_argument] on fields outside the
+    version-1 domains (negative ids, non-finite floats, …). *)
+val encoded_length : frame -> int
+
+(** [encode_into f buf ~pos] writes [f] at [pos] and returns the end
+    offset ([pos + encoded_length f]).  Raises [Invalid_argument] on an
+    invalid frame or insufficient room. *)
+val encode_into : frame -> Bytes.t -> pos:int -> int
+
+(** [encode f] is a fresh buffer holding exactly [f]. *)
+val encode : frame -> Bytes.t

@@ -161,6 +161,25 @@ let warm_property_for algo () =
         [ Overlay.Ip; Overlay.Arbitrary ])
     Prop_overlay.all_families
 
+(* wire-codec fuzz: seed stream offsets 5000 (round-trip) and 5100
+   (mutation/truncation totality), disjoint from the solver blocks
+   above.  Frame cases are microseconds each, so these blocks run far
+   more cases than the solver sweeps at the same
+   OVERLAY_PROP_COUNT. *)
+let wire_cases = Int.max (cases_per_combo * 40) 120
+
+let wire_roundtrip_property () =
+  Prop.check ~name:"wire round-trip identity" ~count:wire_cases
+    ~seed:(Prop.case_seed ~seed:master_seed 5000)
+    ~gen:Prop_wire.gen_frame ~shrink:Prop_wire.shrink_frame
+    ~print:Prop_wire.frame_to_string Prop_wire.roundtrip
+
+let wire_mutation_property () =
+  Prop.check ~name:"wire decode total under mutation" ~count:wire_cases
+    ~seed:(Prop.case_seed ~seed:master_seed 5100)
+    ~gen:Prop_wire.gen_mutation ~shrink:Prop_wire.shrink_mutation
+    ~print:Prop_wire.mutation_to_string Prop_wire.mutation_total
+
 (* OVERLAY_PROP_CASE replay hook: when set, also run exactly that case
    (the property sweep still runs; this pinpoints the reported one). *)
 let test_replay_case () =
@@ -475,7 +494,15 @@ let suite =
           `Slow (warm_property_for algo))
       [ Prop_overlay.Maxflow; Prop_overlay.Mcf ]
   in
-  prop_tests @ flat_tests @ sparsify_tests @ warm_tests
+  let wire_tests =
+    [
+      Alcotest.test_case "property: wire codec round-trip" `Quick
+        wire_roundtrip_property;
+      Alcotest.test_case "property: wire decode total under mutation" `Quick
+        wire_mutation_property;
+    ]
+  in
+  prop_tests @ flat_tests @ sparsify_tests @ warm_tests @ wire_tests
   @ [
       Alcotest.test_case "OVERLAY_PROP_CASE replay hook" `Quick
         test_replay_case;

@@ -27,4 +27,6 @@ let () =
       ("sparsify", Test_sparsify.suite);
       ("engine", Test_engine.suite);
       ("engine-trace", Test_engine_trace.suite);
+      ("wire", Test_wire.suite);
+      ("daemon", Test_daemon.suite);
     ]
